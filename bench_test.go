@@ -1,0 +1,159 @@
+package logbase
+
+// One benchmark per table/figure of the paper's evaluation (§4), each
+// delegating to the experiment registry in internal/bench at SmallScale
+// so `go test -bench=.` stays tractable. cmd/logbase-bench runs the
+// same experiments at full scale and prints the paper-style series.
+//
+// A reported metric "shape_held" of 1 means the run reproduced the
+// paper's qualitative claim (who wins, roughly by how much).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	s := bench.SmallScale()
+	held := 0
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if tab.Hold {
+			held++
+		}
+	}
+	b.ReportMetric(float64(held)/float64(b.N), "shape_held")
+}
+
+func BenchmarkFig06SequentialWrite(b *testing.B)   { runFigure(b, "fig06") }
+func BenchmarkFig07RandomReadNoCache(b *testing.B) { runFigure(b, "fig07") }
+func BenchmarkFig08RandomReadCache(b *testing.B)   { runFigure(b, "fig08") }
+func BenchmarkFig09SequentialScan(b *testing.B)    { runFigure(b, "fig09") }
+func BenchmarkFig10RangeScan(b *testing.B)         { runFigure(b, "fig10") }
+func BenchmarkFig11YCSBLoad(b *testing.B)          { runFigure(b, "fig11") }
+func BenchmarkFig12MixedThroughput(b *testing.B)   { runFigure(b, "fig12") }
+func BenchmarkFig13UpdateLatency(b *testing.B)     { runFigure(b, "fig13") }
+func BenchmarkFig14ReadLatency(b *testing.B)       { runFigure(b, "fig14") }
+func BenchmarkFig15TPCWLatency(b *testing.B)       { runFigure(b, "fig15") }
+func BenchmarkFig16TPCWThroughput(b *testing.B)    { runFigure(b, "fig16") }
+func BenchmarkFig17Checkpoint(b *testing.B)        { runFigure(b, "fig17") }
+func BenchmarkFig18Recovery(b *testing.B)          { runFigure(b, "fig18") }
+func BenchmarkFig19LRSWrite(b *testing.B)          { runFigure(b, "fig19") }
+func BenchmarkFig20LRSRead(b *testing.B)           { runFigure(b, "fig20") }
+func BenchmarkFig21LRSScan(b *testing.B)           { runFigure(b, "fig21") }
+func BenchmarkFig22LRSThroughput(b *testing.B)     { runFigure(b, "fig22") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkAblationLogPerGroup(b *testing.B)       { runFigure(b, "abl-log-per-group") }
+func BenchmarkAblationCachePolicy(b *testing.B)       { runFigure(b, "abl-cache-policy") }
+func BenchmarkAblationGroupCommit(b *testing.B)       { runFigure(b, "abl-group-commit") }
+func BenchmarkAblationBloomFilter(b *testing.B)       { runFigure(b, "abl-bloom") }
+func BenchmarkAblationVerticalPartition(b *testing.B) { runFigure(b, "abl-vertical") }
+
+// Per-operation microbenchmarks on the public API (real allocations,
+// real file I/O, no disk model).
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(b.TempDir(), Options{ReadCacheBytes: 8 << 20, SegmentSize: 32 << 20})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	if err := db.CreateTable("t", "g"); err != nil {
+		b.Fatalf("CreateTable: %v", err)
+	}
+	return db
+}
+
+func BenchmarkOpPut1K(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1024)
+}
+
+func BenchmarkOpGetCached(b *testing.B) {
+	db := benchDB(b)
+	key := []byte("hot")
+	db.Put("t", "g", key, make([]byte, 1024))
+	db.Get("t", "g", key)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get("t", "g", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpGetLongTail(b *testing.B) {
+	// The paper's long-tail read: dense index + one log read, no cache.
+	db, err := Open(b.TempDir(), Options{SegmentSize: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.CreateTable("t", "g")
+	const n = 10000
+	val := make([]byte, 1024)
+	for i := 0; i < n; i++ {
+		db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("user%012d", (i*7919)%n))
+		if _, err := db.Get("t", "g", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpTxnCommit(b *testing.B) {
+	db := benchDB(b)
+	db.Put("t", "g", []byte("a"), []byte("0"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := db.RunTxn(func(tx *Txn) error {
+			v, err := tx.Get("t", "g", []byte("a"))
+			if err != nil {
+				return err
+			}
+			return tx.Put("t", "g", []byte("a"), v)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpScan100(b *testing.B) {
+	db := benchDB(b)
+	for i := 0; i < 1000; i++ {
+		db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), make([]byte, 256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		start := []byte(fmt.Sprintf("user%012d", (i*37)%900))
+		end := []byte(fmt.Sprintf("user%012d", (i*37)%900+100))
+		if err := db.Scan("t", "g", start, end, func(Row) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 100 {
+			b.Fatalf("scan saw %d rows", n)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command logbase-bench regenerates the tables and figures of the
+// LogBase paper's evaluation (§4) against this reproduction.
+//
+// Usage:
+//
+//	logbase-bench -list
+//	logbase-bench -run fig06            # one experiment
+//	logbase-bench -run all              # everything, in paper order
+//	logbase-bench -run all -scale 4     # 4x the default workload
+//	logbase-bench -run all -md          # markdown output (EXPERIMENTS.md body)
+//
+// Shapes, not absolute numbers, are the reproduction target: each table
+// ends with the paper's qualitative claim and whether this run upheld
+// it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	scaleF := flag.Int("scale", 1, "workload scale factor (1 = default bench scale)")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	s := bench.DefaultScale()
+	if *scaleF > 1 {
+		s.Rows *= *scaleF
+		s.Ops *= *scaleF
+	}
+
+	var exps []bench.Experiment
+	if *run == "all" {
+		exps = bench.All()
+	} else {
+		e, ok := bench.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if *md {
+			printMarkdown(tab)
+		} else {
+			fmt.Println(tab.Render())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if !tab.Hold {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) errored or missed the paper's shape\n", failures)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(t bench.Table) {
+	fmt.Printf("### %s — %s\n\n", t.ID, t.Title)
+	fmt.Printf("| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Printf("| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Printf("| %s |\n", strings.Join(row, " | "))
+	}
+	held := "**held**"
+	if !t.Hold {
+		held = "**not held**"
+	}
+	fmt.Printf("\nPaper shape: %s — %s in this run.\n\n", t.Shape, held)
+}

@@ -1,0 +1,58 @@
+// Command logbase-cli is an interactive client for logbase-server: it
+// forwards each input line over TCP and prints response lines until the
+// server finishes (single-line replies, or ROW.../END for streams).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer conn.Close()
+	server := bufio.NewScanner(conn)
+	server.Buffer(make([]byte, 1<<20), 1<<20)
+	stdin := bufio.NewScanner(os.Stdin)
+
+	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN CHECKPOINT COMPACT STATS QUIT")
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			return
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		streaming := false
+		switch strings.ToUpper(strings.Fields(line)[0]) {
+		case "SCAN", "VERSIONS":
+			streaming = true
+		}
+		for server.Scan() {
+			resp := server.Text()
+			fmt.Println(resp)
+			if !streaming || strings.HasPrefix(resp, "END ") || strings.HasPrefix(resp, "ERR ") {
+				break
+			}
+		}
+		if strings.EqualFold(line, "quit") {
+			return
+		}
+	}
+}

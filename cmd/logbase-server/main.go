@@ -1,0 +1,88 @@
+// Command logbase-server runs an embedded LogBase instance behind the
+// minimal line-oriented TCP protocol in internal/textproto, so the
+// engine can be poked from logbase-cli or netcat:
+//
+//	CREATE <table> <group> [group...]
+//	PUT <table> <group> <key> <value>
+//	GET <table> <group> <key>
+//	GETAT <table> <group> <key> <ts>
+//	VERSIONS <table> <group> <key>
+//	DEL <table> <group> <key>
+//	SCAN <table> <group> <start> <end> [limit]
+//	CHECKPOINT | QUIT
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	logbase "repro"
+	"repro/internal/textproto"
+)
+
+// dbAdapter maps the textproto.Store surface onto *logbase.DB (the row
+// types differ only nominally).
+type dbAdapter struct{ db *logbase.DB }
+
+func (a dbAdapter) CreateTable(name string, groups ...string) error {
+	return a.db.CreateTable(name, groups...)
+}
+func (a dbAdapter) Put(table, group string, key, value []byte) error {
+	return a.db.Put(table, group, key, value)
+}
+func (a dbAdapter) Get(table, group string, key []byte) (textproto.Row, error) {
+	r, err := a.db.Get(table, group, key)
+	return textproto.Row(r), err
+}
+func (a dbAdapter) GetAt(table, group string, key []byte, ts int64) (textproto.Row, error) {
+	r, err := a.db.GetAt(table, group, key, ts)
+	return textproto.Row(r), err
+}
+func (a dbAdapter) Versions(table, group string, key []byte) ([]textproto.Row, error) {
+	rows, err := a.db.Versions(table, group, key)
+	out := make([]textproto.Row, len(rows))
+	for i, r := range rows {
+		out[i] = textproto.Row(r)
+	}
+	return out, err
+}
+func (a dbAdapter) Delete(table, group string, key []byte) error {
+	return a.db.Delete(table, group, key)
+}
+func (a dbAdapter) Scan(table, group string, start, end []byte, fn func(textproto.Row) bool) error {
+	return a.db.Scan(table, group, start, end, func(r logbase.Row) bool {
+		return fn(textproto.Row(r))
+	})
+}
+func (a dbAdapter) Checkpoint() error { return a.db.Checkpoint() }
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
+	dir := flag.String("dir", "./logbase-data", "data directory")
+	cache := flag.Int64("cache", 32<<20, "read buffer bytes (0 disables)")
+	flag.Parse()
+
+	db, err := logbase.Open(*dir, logbase.Options{ReadCacheBytes: *cache, GroupCommit: true})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("logbase-server listening on %s (data in %s)", *addr, *dir)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			if err := textproto.Serve(conn, dbAdapter{db}); err != nil {
+				log.Printf("session: %v", err)
+			}
+		}()
+	}
+}

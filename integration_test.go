@@ -1,0 +1,248 @@
+package logbase
+
+// End-to-end integration tests exercising the full paper story across
+// module boundaries: ingest → mixed traffic → compaction → checkpoint →
+// crash → recovery → verification, plus cluster failover with the DFS
+// losing a datanode at the same time.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dfs"
+)
+
+func TestEndToEndLifecycle(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		ReadCacheBytes:      1 << 20,
+		SegmentSize:         1 << 16,
+		CompactKeepVersions: 2,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	db.CreateTable("events", "payload")
+
+	// Phase 1: ingest with overwrites and deletes.
+	rng := rand.New(rand.NewSource(2024))
+	model := map[string]string{}
+	for op := 0; op < 5000; op++ {
+		key := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(12) {
+		case 0:
+			if err := db.Delete("events", "payload", []byte(key)); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(model, key)
+		default:
+			val := fmt.Sprintf("v%d", op)
+			if err := db.Put("events", "payload", []byte(key), []byte(val)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			model[key] = val
+		}
+	}
+
+	verify := func(stage string, d *DB) {
+		t.Helper()
+		for key, want := range model {
+			row, err := d.Get("events", "payload", []byte(key))
+			if err != nil || string(row.Value) != want {
+				t.Fatalf("%s: %s = %q err=%v, want %q", stage, key, row.Value, err, want)
+			}
+		}
+		// A couple of deleted keys must stay gone.
+		misses := 0
+		for i := 0; i < 300 && misses < 3; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			if _, ok := model[key]; !ok {
+				if _, err := d.Get("events", "payload", []byte(key)); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("%s: deleted key %s visible (err=%v)", stage, key, err)
+				}
+				misses++
+			}
+		}
+	}
+	verify("after ingest", db)
+
+	// Phase 2: transactions interleaved with a compaction.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			err := db.RunTxn(func(tx *Txn) error {
+				key := []byte(fmt.Sprintf("txn-key-%02d", i))
+				return tx.Put("events", "payload", key, []byte("txn"))
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	if _, err := db.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("txn during compaction: %v", err)
+	default:
+	}
+	verify("after compaction", db)
+	for i := 0; i < 20; i++ {
+		if _, err := db.Get("events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
+			t.Fatalf("txn write %d lost around compaction: %v", i, err)
+		}
+	}
+
+	// Phase 3: checkpoint, more writes, crash, recover.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("post-%02d", i)
+		db.Put("events", "payload", []byte(key), []byte("tail"))
+		model[key] = "tail"
+	}
+	db2, err := db.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	db2.CreateTable("events", "payload")
+	st, err := db2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !st.UsedCheckpoint {
+		t.Error("recovery ignored the checkpoint")
+	}
+	verify("after recovery", db2)
+	for i := 0; i < 20; i++ {
+		if _, err := db2.Get("events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
+			t.Fatalf("txn write %d lost across crash: %v", i, err)
+		}
+	}
+}
+
+func TestClusterSurvivesServerAndDataNodeFailure(t *testing.T) {
+	c, err := NewCluster(t.TempDir(), ClusterConfig{
+		NumServers: 4,
+		Tables:     []TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 8}},
+		DFS:        dfs.Config{NumDataNodes: 4, ReplicationFactor: 3, BlockSize: 1 << 16},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl := c.NewClient()
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := []byte{byte(i * 256 / n), byte(i)}
+		if err := cl.Put("t", "g", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Lose a datanode AND a tablet server.
+	c.FS().KillDataNode(1)
+	if _, err := c.FS().RecoverReplication(); err != nil {
+		t.Fatalf("RecoverReplication: %v", err)
+	}
+	if err := c.KillServer(c.LiveServers()[0]); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		key := []byte{byte(i * 256 / n), byte(i)}
+		row, err := cl.Get("t", "g", key)
+		if err != nil || string(row.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %d after double failure = %+v err=%v", i, row, err)
+		}
+	}
+	// Second server failure on the already-degraded cluster.
+	if err := c.KillServer(c.LiveServers()[0]); err != nil {
+		t.Fatalf("second KillServer: %v", err)
+	}
+	for i := 0; i < n; i += 7 {
+		key := []byte{byte(i * 256 / n), byte(i)}
+		if _, err := cl.Get("t", "g", key); err != nil {
+			t.Fatalf("Get %d after second failover: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{GroupCommit: true, SegmentSize: 1 << 18})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	db.CreateTable("acct", "bal")
+	// 16 accounts, each seeded with 1000; random transfers preserve the
+	// global sum under snapshot isolation.
+	const accounts, transfers, workers = 16, 40, 8
+	for i := 0; i < accounts; i++ {
+		db.Put("acct", "bal", []byte(fmt.Sprintf("a%02d", i)), []byte("1000"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from := fmt.Sprintf("a%02d", rng.Intn(accounts))
+				to := fmt.Sprintf("a%02d", rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				err := db.RunTxn(func(tx *Txn) error {
+					f, err := tx.Get("acct", "bal", []byte(from))
+					if err != nil {
+						return err
+					}
+					g, err := tx.Get("acct", "bal", []byte(to))
+					if err != nil {
+						return err
+					}
+					fv, tv := atoi(f), atoi(g)
+					if fv < 10 {
+						return nil
+					}
+					if err := tx.Put("acct", "bal", []byte(from), itoa(fv-10)); err != nil {
+						return err
+					}
+					return tx.Put("acct", "bal", []byte(to), itoa(tv+10))
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for i := 0; i < accounts; i++ {
+		row, err := db.Get("acct", "bal", []byte(fmt.Sprintf("a%02d", i)))
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		sum += atoi(row.Value)
+	}
+	if sum != accounts*1000 {
+		t.Errorf("money not conserved: sum = %d, want %d", sum, accounts*1000)
+	}
+}
+
+func atoi(b []byte) int {
+	n := 0
+	for _, c := range b {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func itoa(n int) []byte { return []byte(fmt.Sprint(n)) }

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/partition"
+)
+
+// AblationBloomFilter quantifies the bLSM idea the paper cites (§2.3):
+// with several store files per region, bloom filters let a point read
+// skip files that cannot contain the key, cutting the multi-file check
+// that hurts the WAL+Data baseline's reads.
+func AblationBloomFilter(s Scale) (Table, error) {
+	t := Table{
+		ID:     "abl-bloom",
+		Title:  "Bloom filters on baseline store files (modelled disk ms, cold reads)",
+		Header: []string{"store files", "no bloom", "bloom 10b/key"},
+		Shape:  "blooms cut cold read cost once reads face multiple store files",
+	}
+	n := s.Rows / 2
+	reads := s.Ops / 8
+	hold := true
+	for _, bloom := range []int{0, 10} {
+		_ = bloom
+	}
+	run := func(bloomBits int) (files int, cost float64, err error) {
+		dir, err := tempDir("abl-bloom")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		fx, err := newFixture(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		hb, err := fx.newHBaseWithBloom(int64(n)*int64(s.ValueSize), bloomBits)
+		if err != nil {
+			return 0, 0, err
+		}
+		val := value(s.ValueSize, 31)
+		for i := 0; i < n; i++ {
+			if err := hb.Put(key(i), int64(i+1), val); err != nil {
+				return 0, 0, err
+			}
+		}
+		hb.Flush()
+		rng := rand.New(rand.NewSource(17))
+		order := make([]int, reads)
+		for i := range order {
+			order[i] = rng.Intn(n)
+		}
+		_, disk, err := fx.timed(func() error {
+			for _, i := range order {
+				if _, err := hb.GetLatest(key(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return hb.NumStoreFiles(), float64(disk), err
+	}
+	filesOff, costOff, err := run(0)
+	if err != nil {
+		return t, err
+	}
+	filesOn, costOn, err := run(10)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprint(filesOff), fmt.Sprintf("%.1f", costOff/1e6), "-"},
+		[]string{fmt.Sprint(filesOn), "-", fmt.Sprintf("%.1f", costOn/1e6)},
+	)
+	if filesOff > 1 && costOn >= costOff {
+		hold = false
+	}
+	t.Hold = hold
+	return t, nil
+}
+
+// AblationVerticalPartition evaluates §3.2's workload-driven vertical
+// partitioning with the deterministic I/O cost model: the optimizer's
+// grouping versus all-columns-in-one-group and one-group-per-column, on
+// a trace shaped like the paper's motivating webshop workload.
+func AblationVerticalPartition(Scale) (Table, error) {
+	t := Table{
+		ID:     "abl-vertical",
+		Title:  "Vertical partitioning I/O cost (bytes per workload unit)",
+		Header: []string{"layout", "cost", "vs optimized"},
+		Shape:  "workload-driven groups cost no more than single-group or fully-split layouts",
+	}
+	cols := []partition.ColumnSpec{
+		{Name: "id", AvgBytes: 8},
+		{Name: "price", AvgBytes: 8},
+		{Name: "qty", AvgBytes: 8},
+		{Name: "title", AvgBytes: 80},
+		{Name: "description", AvgBytes: 900},
+		{Name: "image", AvgBytes: 2000},
+	}
+	queries := []partition.Query{
+		{Columns: []string{"price", "qty"}, Freq: 1000},        // order updates
+		{Columns: []string{"id", "title", "price"}, Freq: 400}, // listings
+		{Columns: []string{"description", "image"}, Freq: 50},  // product page
+		{Columns: []string{"id", "price", "qty", "title"}, Freq: 100},
+	}
+	groups := partition.Optimize(cols, queries)
+	var optimized [][]string
+	for _, g := range groups {
+		optimized = append(optimized, g.Columns)
+	}
+	single := [][]string{{"id", "price", "qty", "title", "description", "image"}}
+	split := [][]string{{"id"}, {"price"}, {"qty"}, {"title"}, {"description"}, {"image"}}
+
+	costOpt := partition.IOCost(cols, optimized, queries)
+	costSingle := partition.IOCost(cols, single, queries)
+	costSplit := partition.IOCost(cols, split, queries)
+	rel := func(c float64) string { return fmt.Sprintf("%.2fx", c/costOpt) }
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprintf("optimized (%d groups)", len(groups)), fmt.Sprintf("%.0f", costOpt), "1.00x"},
+		[]string{"single group", fmt.Sprintf("%.0f", costSingle), rel(costSingle)},
+		[]string{"one per column", fmt.Sprintf("%.0f", costSplit), rel(costSplit)},
+	)
+	t.Hold = costOpt <= costSingle && costOpt <= costSplit
+	return t, nil
+}

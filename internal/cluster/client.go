@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/txn"
+)
+
+// Client is a routing client: it caches the tablet map and refreshes it
+// when stale (paper §3.3 — metadata "cached for later use and hence only
+// need to be looked up for the first time or when the cache is stale").
+// Clients are cheap; create one per benchmark worker.
+type Client struct {
+	c *Cluster
+
+	// cached routing state.
+	epoch   int64
+	routers map[string]*partition.Router
+	owners  map[string]*core.Server
+
+	// Refreshes counts metadata cache refreshes (tests observe it).
+	Refreshes int
+}
+
+// NewClient creates a client with a warm metadata cache.
+func (c *Cluster) NewClient() *Client {
+	cl := &Client{c: c}
+	cl.refresh()
+	return cl
+}
+
+func (cl *Client) refresh() {
+	cl.epoch = cl.c.Epoch()
+	cl.routers = make(map[string]*partition.Router)
+	cl.owners = make(map[string]*core.Server)
+	cl.Refreshes++
+}
+
+func (cl *Client) rpc() {
+	if d := cl.c.cfg.RPCLatency; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// route resolves (table, key) to the owning server and tablet id via
+// the cached metadata, refreshing once on staleness.
+func (cl *Client) route(table string, key []byte) (*core.Server, string, error) {
+	for attempt := 0; ; attempt++ {
+		r, ok := cl.routers[table]
+		if !ok {
+			router, err := cl.c.Router(table)
+			if err != nil {
+				return nil, "", err
+			}
+			cl.routers[table] = router
+			r = router
+		}
+		tab, ok := r.Lookup(key)
+		if !ok {
+			return nil, "", errors.New("cluster: key outside table keyspace")
+		}
+		srv, ok := cl.owners[tab.ID]
+		if !ok {
+			s, err := cl.c.ServerFor(tab.ID)
+			if err != nil {
+				return nil, "", err
+			}
+			cl.owners[tab.ID] = s
+			srv = s
+		}
+		// Stale cache: the tablet moved since we cached its owner.
+		if cl.epoch != cl.c.Epoch() && attempt == 0 {
+			cl.refresh()
+			continue
+		}
+		return srv, tab.ID, nil
+	}
+}
+
+// retryStale runs op, refreshing the metadata cache and retrying once
+// if the op hit a moved tablet or a dead server.
+func (cl *Client) retryStale(table string, key []byte, op func(srv *core.Server, tablet string) error) error {
+	srv, tab, err := cl.route(table, key)
+	if err == nil {
+		err = op(srv, tab)
+	}
+	if err != nil && (errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown)) {
+		cl.refresh()
+		srv, tab, err = cl.route(table, key)
+		if err != nil {
+			return err
+		}
+		return op(srv, tab)
+	}
+	return err
+}
+
+// Put writes a row version into a column group (auto-commit); the
+// version timestamp comes from the global timestamp authority.
+func (cl *Client) Put(table, group string, key, value []byte) error {
+	cl.rpc()
+	ts := cl.c.svc.NextTimestamp()
+	return cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		return srv.Write(tablet, group, key, ts, value)
+	})
+}
+
+// Get reads the latest version of a row in a column group.
+func (cl *Client) Get(table, group string, key []byte) (core.Row, error) {
+	cl.rpc()
+	var row core.Row
+	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		r, err := srv.Get(tablet, group, key)
+		row = r
+		return err
+	})
+	return row, err
+}
+
+// GetAt reads the row version visible at snapshot ts.
+func (cl *Client) GetAt(table, group string, key []byte, ts int64) (core.Row, error) {
+	cl.rpc()
+	var row core.Row
+	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		r, err := srv.GetAt(tablet, group, key, ts)
+		row = r
+		return err
+	})
+	return row, err
+}
+
+// GetRow reconstructs a full tuple by collecting the row from every
+// column group using the primary key (paper §3.2 tuple reconstruction).
+func (cl *Client) GetRow(table string, key []byte) (map[string]core.Row, error) {
+	out := make(map[string]core.Row)
+	for _, g := range cl.c.Groups(table) {
+		row, err := cl.Get(table, g, key)
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out[g] = row
+	}
+	if len(out) == 0 {
+		return nil, core.ErrNotFound
+	}
+	return out, nil
+}
+
+// Delete removes a row from a column group.
+func (cl *Client) Delete(table, group string, key []byte) error {
+	cl.rpc()
+	ts := cl.c.svc.NextTimestamp()
+	return cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		return srv.Delete(tablet, group, key, ts)
+	})
+}
+
+// Scan streams the latest version of each key in [start, end) across
+// all tablets the range spans, in key order (sub-ranges execute
+// per-server, paper §3.6.4).
+func (cl *Client) Scan(table, group string, start, end []byte, fn func(core.Row) bool) error {
+	cl.rpc()
+	router, err := cl.c.Router(table)
+	if err != nil {
+		return err
+	}
+	snapshot := cl.c.svc.LastTimestamp()
+	for _, tab := range router.Overlapping(start, end) {
+		srv, err := cl.c.ServerFor(tab.ID)
+		if err != nil {
+			return err
+		}
+		stop := false
+		if err := srv.Scan(tab.ID, group, start, end, snapshot, func(r core.Row) bool {
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FullScan streams every live row of a table's column group; tablets
+// are scanned sequentially here, and the bench harness fans out one
+// goroutine per server for the parallel-scan experiments.
+func (cl *Client) FullScan(table, group string, fn func(core.Row) bool) error {
+	cl.rpc()
+	router, err := cl.c.Router(table)
+	if err != nil {
+		return err
+	}
+	tablets := router.Tablets()
+	sort.Slice(tablets, func(i, j int) bool { return tablets[i].ID < tablets[j].ID })
+	for _, tab := range tablets {
+		srv, err := cl.c.ServerFor(tab.ID)
+		if err != nil {
+			return err
+		}
+		stop := false
+		if err := srv.FullScan(tab.ID, group, func(r core.Row) bool {
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Txn begins a cluster-wide transaction.
+func (cl *Client) Txn() *txn.Txn { return cl.c.txns.Begin() }
+
+// RunTxn executes fn transactionally with conflict retries.
+func (cl *Client) RunTxn(fn func(*txn.Txn) error) error {
+	return cl.c.txns.RunTxn(20, fn)
+}
+
+// TabletFor exposes routing for tests and the transaction examples
+// (transactions address tablets directly).
+func (cl *Client) TabletFor(table string, key []byte) (string, error) {
+	_, tab, err := cl.route(table, key)
+	return tab, err
+}

@@ -1,0 +1,373 @@
+// Package cluster assembles LogBase's distributed architecture (paper
+// §3.3) in one process: N tablet servers over a shared DFS, a master
+// (elected through the coordination service) that assigns tablets and
+// handles tablet-server failures by reassigning and recovering their
+// tablets, and clients that route by key through cached metadata.
+//
+// The in-process substitution keeps every architectural interaction —
+// registration via ephemeral nodes, master election, tablet assignment,
+// log-split failover, stale routing caches — while replacing RPC with
+// method calls plus an injectable per-call latency.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/partition"
+	"repro/internal/simdisk"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// TableSpec declares a table with its column groups and tablet count.
+type TableSpec struct {
+	Name    string
+	Groups  []string
+	Tablets int // zero = one per server
+}
+
+// Config configures a simulated cluster.
+type Config struct {
+	// NumServers is the number of tablet servers (the paper's 3–24).
+	NumServers int
+	// Tables created at startup.
+	Tables []TableSpec
+	// Server is applied to every tablet server.
+	Server core.Config
+	// DFS overrides the file-system geometry; NumDataNodes defaults to
+	// NumServers (each machine runs a datanode and a tablet server,
+	// §4.1) and BlockSize to 4 MB.
+	DFS dfs.Config
+	// RPCLatency, when > 0, is slept on every client call to model the
+	// network hop.
+	RPCLatency time.Duration
+}
+
+// ErrServerDown is returned for operations routed to a killed server.
+var ErrServerDown = errors.New("cluster: tablet server down")
+
+// Cluster is a running simulated LogBase deployment.
+type Cluster struct {
+	cfg Config
+	fs  *dfs.DFS
+	svc *coord.Service
+
+	mu          sync.RWMutex
+	servers     map[string]*serverState
+	assignments map[string]string            // tabletID -> serverID
+	tabletSpecs map[string]partition.Tablet  // tabletID -> spec
+	tableGroups map[string][]string          // table -> column groups
+	routers     map[string]*partition.Router // table -> router
+	epoch       int64                        // bumped on reassignment; invalidates client caches
+
+	master *Master
+	txns   *txn.Manager
+}
+
+type serverState struct {
+	srv   *core.Server
+	sess  *coord.Session
+	alive bool
+}
+
+// New builds and starts a cluster under dir.
+func New(dir string, cfg Config) (*Cluster, error) {
+	if cfg.NumServers <= 0 {
+		return nil, errors.New("cluster: need at least one server")
+	}
+	dcfg := cfg.DFS
+	if dcfg.NumDataNodes == 0 {
+		dcfg.NumDataNodes = cfg.NumServers
+	}
+	if dcfg.BlockSize == 0 {
+		dcfg.BlockSize = 4 << 20
+	}
+	fs, err := dfs.New(dir, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		fs:          fs,
+		svc:         coord.New(),
+		servers:     make(map[string]*serverState),
+		assignments: make(map[string]string),
+		tabletSpecs: make(map[string]partition.Tablet),
+		tableGroups: make(map[string][]string),
+		routers:     make(map[string]*partition.Router),
+	}
+	for i := 0; i < cfg.NumServers; i++ {
+		id := fmt.Sprintf("ts%02d", i)
+		srv, err := core.NewServer(fs, id, cfg.Server)
+		if err != nil {
+			return nil, err
+		}
+		sess := c.svc.NewSession()
+		if err := sess.CreateEphemeral("/servers/"+id, []byte(id)); err != nil {
+			return nil, err
+		}
+		c.servers[id] = &serverState{srv: srv, sess: sess, alive: true}
+	}
+	c.master = newMaster(c)
+	if err := c.master.start(); err != nil {
+		return nil, err
+	}
+	for _, ts := range cfg.Tables {
+		if err := c.CreateTable(ts); err != nil {
+			return nil, err
+		}
+	}
+	c.txns = txn.NewManager(c.svc, txn.ResolverFunc(c.ServerFor))
+	return c, nil
+}
+
+// FS returns the cluster's DFS.
+func (c *Cluster) FS() *dfs.DFS { return c.fs }
+
+// Coord returns the coordination service (timestamp authority etc.).
+func (c *Cluster) Coord() *coord.Service { return c.svc }
+
+// TxnManager returns the cluster-wide transaction manager.
+func (c *Cluster) TxnManager() *txn.Manager { return c.txns }
+
+// Clock returns the shared virtual disk clock, if one was configured.
+func (c *Cluster) Clock() *simdisk.Clock { return c.cfg.DFS.Clock }
+
+// CreateTable declares a table and assigns its tablets round-robin over
+// live servers (the master's metadata duty, §3.3).
+func (c *Cluster) CreateTable(ts TableSpec) error {
+	n := ts.Tablets
+	if n <= 0 {
+		n = c.cfg.NumServers
+	}
+	tablets := partition.MakeTablets(ts.Name, partition.SplitUniform(n))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tableGroups[ts.Name]; ok {
+		return fmt.Errorf("cluster: table %s exists", ts.Name)
+	}
+	c.tableGroups[ts.Name] = append([]string(nil), ts.Groups...)
+	c.routers[ts.Name] = partition.NewRouter(tablets)
+	live := c.liveServerIDsLocked()
+	if len(live) == 0 {
+		return errors.New("cluster: no live servers")
+	}
+	for i, tab := range tablets {
+		owner := live[i%len(live)]
+		c.tabletSpecs[tab.ID] = tab
+		c.assignments[tab.ID] = owner
+		c.servers[owner].srv.AddTablet(tab, ts.Groups)
+	}
+	c.epoch++
+	return nil
+}
+
+func (c *Cluster) liveServerIDsLocked() []string {
+	var ids []string
+	for id, st := range c.servers {
+		if st.alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// LiveServers returns the ids of live tablet servers.
+func (c *Cluster) LiveServers() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.liveServerIDsLocked()
+}
+
+// Server returns the named server (nil if unknown), dead or alive —
+// benches inspect stats on dead servers too.
+func (c *Cluster) Server(id string) *core.Server {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if st, ok := c.servers[id]; ok {
+		return st.srv
+	}
+	return nil
+}
+
+// ServerFor resolves the live server owning a tablet; the transaction
+// manager and clients route through this.
+func (c *Cluster) ServerFor(tablet string) (*core.Server, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	owner, ok := c.assignments[tablet]
+	if !ok {
+		return nil, fmt.Errorf("cluster: tablet %s unassigned", tablet)
+	}
+	st := c.servers[owner]
+	if !st.alive {
+		return nil, fmt.Errorf("%w: %s (tablet %s)", ErrServerDown, owner, tablet)
+	}
+	return st.srv, nil
+}
+
+// Router returns the key router for a table.
+func (c *Cluster) Router(table string) (*partition.Router, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.routers[table]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no table %s", table)
+	}
+	return r, nil
+}
+
+// Groups returns the column groups of a table.
+func (c *Cluster) Groups(table string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.tableGroups[table]...)
+}
+
+// Epoch returns the routing epoch; it changes whenever assignments do.
+func (c *Cluster) Epoch() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// Assignments returns a copy of tablet -> server routing.
+func (c *Cluster) Assignments() map[string]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]string, len(c.assignments))
+	for k, v := range c.assignments {
+		out[k] = v
+	}
+	return out
+}
+
+// KillServer simulates a tablet-server machine failure: the server's
+// session expires (its ephemeral node vanishes, waking the master) and
+// the master reassigns and recovers its tablets from the shared DFS.
+// The co-located datanode is NOT killed (the paper treats those
+// failures separately; use FS().KillDataNode for that).
+func (c *Cluster) KillServer(id string) error {
+	c.mu.Lock()
+	st, ok := c.servers[id]
+	if !ok || !st.alive {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no live server %s", id)
+	}
+	st.alive = false
+	sess := st.sess
+	c.mu.Unlock()
+	sess.Close() // fires the master's watch in real deployments
+	return c.master.handleServerFailure(id)
+}
+
+// Checkpoint checkpoints every live server.
+func (c *Cluster) Checkpoint() error {
+	for _, id := range c.LiveServers() {
+		if err := c.Server(id).Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactAll runs log compaction on every live server.
+func (c *Cluster) CompactAll() error {
+	for _, id := range c.LiveServers() {
+		if _, err := c.Server(id).Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Master is the cluster's metadata/failover authority. Multiple
+// instances can run; one wins the election and the rest stand by
+// (paper §3.3).
+type Master struct {
+	c      *Cluster
+	sess   *coord.Session
+	leader bool
+}
+
+func newMaster(c *Cluster) *Master {
+	return &Master{c: c, sess: c.svc.NewSession()}
+}
+
+func (m *Master) start() error {
+	won, err := m.sess.Elect("/master", []byte("master"))
+	if err != nil {
+		return err
+	}
+	m.leader = won
+	return nil
+}
+
+// IsLeader reports whether this master won the election.
+func (m *Master) IsLeader() bool { return m.leader }
+
+// handleServerFailure reassigns a dead server's tablets across the
+// survivors and recovers their data by scanning the dead server's log
+// in the shared DFS (paper §3.8 failover).
+func (m *Master) handleServerFailure(deadID string) error {
+	c := m.c
+	c.mu.Lock()
+	var orphans []string
+	for tab, owner := range c.assignments {
+		if owner == deadID {
+			orphans = append(orphans, tab)
+		}
+	}
+	sort.Strings(orphans)
+	live := c.liveServerIDsLocked()
+	if len(live) == 0 {
+		c.mu.Unlock()
+		return errors.New("cluster: no survivors to adopt tablets")
+	}
+	// Plan: orphan i goes to survivor i%len(live).
+	plan := make(map[string][]string) // heirID -> tablets
+	for i, tab := range orphans {
+		heir := live[i%len(live)]
+		plan[heir] = append(plan[heir], tab)
+		c.assignments[tab] = heir
+	}
+	c.epoch++
+	specs := make(map[string]partition.Tablet, len(orphans))
+	groupsOf := make(map[string][]string, len(orphans))
+	for _, tab := range orphans {
+		spec := c.tabletSpecs[tab]
+		specs[tab] = spec
+		groupsOf[tab] = c.tableGroups[spec.Table]
+	}
+	c.mu.Unlock()
+
+	for heirID, tabs := range plan {
+		heir := c.Server(heirID)
+		for _, tab := range tabs {
+			heir.AddTablet(specs[tab], groupsOf[tab])
+		}
+		if _, err := heir.RecoverTablets(deadID, wal.Position{}, tabs); err != nil {
+			return fmt.Errorf("cluster: recover tablets from %s on %s: %w", deadID, heirID, err)
+		}
+	}
+	return nil
+}
+
+// FailoverMaster simulates the active master dying: a standby master is
+// created, notices the vacancy, and wins the election.
+func (c *Cluster) FailoverMaster() *Master {
+	c.master.sess.Close()
+	standby := newMaster(c)
+	standby.start() //nolint:errcheck // election on fresh session cannot fail here
+	c.master = standby
+	return standby
+}

@@ -1,0 +1,378 @@
+// Package coord is the reproduction's ZooKeeper (paper §3.3, §3.7): an
+// in-process coordination service providing the four facilities LogBase
+// delegates to ZooKeeper — ephemeral registration with watches (server
+// liveness and discovery), master election, a distributed lock service
+// (MVOCC validation-phase write locks), and a timestamp authority that
+// issues globally ordered commit timestamps.
+//
+// Only the semantics matter for the reproduction, not the wire
+// protocol, so the service is a small, strictly synchronised state
+// machine. Sessions mirror ZooKeeper sessions: closing one removes its
+// ephemeral nodes and releases its locks, which is what drives failover.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EventType describes a watch notification.
+type EventType int
+
+const (
+	// EventCreated fires when a watched path appears.
+	EventCreated EventType = iota
+	// EventDeleted fires when a watched path disappears.
+	EventDeleted
+	// EventChanged fires when a watched path's data changes.
+	EventChanged
+)
+
+// Event is a watch notification.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// ErrNodeExists is returned when creating an existing path.
+var ErrNodeExists = errors.New("coord: node exists")
+
+// ErrNoNode is returned for operations on a missing path.
+var ErrNoNode = errors.New("coord: no such node")
+
+// ErrSessionClosed is returned for operations on a closed session.
+var ErrSessionClosed = errors.New("coord: session closed")
+
+type znode struct {
+	data  []byte
+	owner int64 // session id for ephemerals; 0 = persistent
+}
+
+// Service is the coordination service. One instance serves a whole
+// simulated cluster.
+type Service struct {
+	mu       sync.Mutex
+	nodes    map[string]*znode
+	watches  map[string][]chan Event
+	sessions map[int64]*Session
+	locks    map[string]*lockState
+
+	nextSession atomic.Int64
+	clock       atomic.Int64
+}
+
+// New creates an empty coordination service.
+func New() *Service {
+	return &Service{
+		nodes:    make(map[string]*znode),
+		watches:  make(map[string][]chan Event),
+		sessions: make(map[int64]*Session),
+		locks:    make(map[string]*lockState),
+	}
+}
+
+// NextTimestamp issues the next globally ordered timestamp. LogBase
+// uses this as the commit-timestamp authority establishing a total
+// order over committed update transactions (paper §3.7.1).
+func (s *Service) NextTimestamp() int64 { return s.clock.Add(1) }
+
+// LastTimestamp returns the most recently issued timestamp (a safe
+// read-snapshot bound).
+func (s *Service) LastTimestamp() int64 { return s.clock.Load() }
+
+// Session is one client's connection to the service.
+type Session struct {
+	svc    *Service
+	id     int64
+	closed atomic.Bool
+}
+
+// NewSession opens a session.
+func (s *Service) NewSession() *Session {
+	sess := &Session{svc: s, id: s.nextSession.Add(1)}
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	return sess
+}
+
+// ID returns the session's id.
+func (s *Session) ID() int64 { return s.id }
+
+// Close expires the session: its ephemeral nodes vanish (firing
+// watches) and its locks are released, exactly as when a ZooKeeper
+// client dies.
+func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	delete(svc.sessions, s.id)
+	var dead []string
+	for path, n := range svc.nodes {
+		if n.owner == s.id {
+			dead = append(dead, path)
+		}
+	}
+	for _, path := range dead {
+		delete(svc.nodes, path)
+	}
+	var unlock []string
+	for key, ls := range svc.locks {
+		if ls.owner == s.id {
+			unlock = append(unlock, key)
+		}
+	}
+	svc.mu.Unlock()
+	for _, path := range dead {
+		svc.notify(path, EventDeleted)
+	}
+	for _, key := range unlock {
+		svc.unlock(s.id, key)
+	}
+}
+
+func (s *Session) check() error {
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// Create creates a persistent node.
+func (s *Session) Create(path string, data []byte) error {
+	return s.create(path, data, 0)
+}
+
+// CreateEphemeral creates a node tied to the session's lifetime.
+func (s *Session) CreateEphemeral(path string, data []byte) error {
+	return s.create(path, data, s.id)
+}
+
+func (s *Session) create(path string, data []byte, owner int64) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	if _, ok := svc.nodes[path]; ok {
+		svc.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNodeExists, path)
+	}
+	svc.nodes[path] = &znode{data: append([]byte(nil), data...), owner: owner}
+	svc.mu.Unlock()
+	svc.notify(path, EventCreated)
+	return nil
+}
+
+// Set replaces a node's data.
+func (s *Session) Set(path string, data []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	n, ok := svc.nodes[path]
+	if !ok {
+		svc.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	n.data = append([]byte(nil), data...)
+	svc.mu.Unlock()
+	svc.notify(path, EventChanged)
+	return nil
+}
+
+// Get reads a node's data.
+func (s *Session) Get(path string) ([]byte, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	n, ok := svc.nodes[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Delete removes a node.
+func (s *Session) Delete(path string) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	if _, ok := svc.nodes[path]; !ok {
+		svc.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	delete(svc.nodes, path)
+	svc.mu.Unlock()
+	svc.notify(path, EventDeleted)
+	return nil
+}
+
+// Exists reports whether a path exists.
+func (s *Session) Exists(path string) bool {
+	svc := s.svc
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	_, ok := svc.nodes[path]
+	return ok
+}
+
+// List returns sorted paths with the given prefix.
+func (s *Session) List(prefix string) []string {
+	svc := s.svc
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	var out []string
+	for p := range svc.nodes {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers for events on path. The returned channel is buffered;
+// slow consumers drop events (ZooKeeper watches are one-shot and lossy
+// too — consumers must re-read state).
+func (s *Session) Watch(path string) <-chan Event {
+	ch := make(chan Event, 16)
+	svc := s.svc
+	svc.mu.Lock()
+	svc.watches[path] = append(svc.watches[path], ch)
+	svc.mu.Unlock()
+	return ch
+}
+
+func (s *Service) notify(path string, t EventType) {
+	s.mu.Lock()
+	chans := append([]chan Event(nil), s.watches[path]...)
+	s.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- Event{Type: t, Path: path}:
+		default:
+		}
+	}
+}
+
+// Elect attempts to become leader for path by creating an ephemeral
+// node carrying data. It reports whether this session won; losers can
+// watch the path for EventDeleted and retry.
+func (s *Session) Elect(path string, data []byte) (bool, error) {
+	err := s.CreateEphemeral(path, data)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrNodeExists) {
+		return false, nil
+	}
+	return false, err
+}
+
+// lockState holds a lock's owner and FIFO waiter queue.
+type lockState struct {
+	owner   int64
+	waiters []chan struct{}
+}
+
+// TryLock attempts to acquire the named lock without blocking. Locks
+// are re-entrant per session (a session already holding it succeeds).
+func (s *Session) TryLock(key string) (bool, error) {
+	if err := s.check(); err != nil {
+		return false, err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	ls, ok := svc.locks[key]
+	if !ok || ls.owner == 0 {
+		svc.locks[key] = &lockState{owner: s.id}
+		return true, nil
+	}
+	if ls.owner == s.id {
+		return true, nil
+	}
+	return false, nil
+}
+
+// Lock blocks until the named lock is acquired (FIFO order among
+// waiters). MVOCC acquires locks in sorted key order, which prevents
+// deadlock (paper §3.7.1), so the service itself does not detect them.
+func (s *Session) Lock(key string) error {
+	for {
+		if err := s.check(); err != nil {
+			return err
+		}
+		svc := s.svc
+		svc.mu.Lock()
+		ls, ok := svc.locks[key]
+		if !ok || ls.owner == 0 {
+			if !ok {
+				ls = &lockState{}
+				svc.locks[key] = ls
+			}
+			ls.owner = s.id
+			svc.mu.Unlock()
+			return nil
+		}
+		if ls.owner == s.id {
+			svc.mu.Unlock()
+			return nil
+		}
+		wait := make(chan struct{})
+		ls.waiters = append(ls.waiters, wait)
+		svc.mu.Unlock()
+		<-wait
+	}
+}
+
+// Unlock releases the named lock if held by this session.
+func (s *Session) Unlock(key string) {
+	s.svc.unlock(s.id, key)
+}
+
+func (s *Service) unlock(session int64, key string) {
+	s.mu.Lock()
+	ls, ok := s.locks[key]
+	if !ok || ls.owner != session {
+		s.mu.Unlock()
+		return
+	}
+	ls.owner = 0
+	var next chan struct{}
+	if len(ls.waiters) > 0 {
+		next = ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+	} else {
+		delete(s.locks, key)
+	}
+	s.mu.Unlock()
+	if next != nil {
+		close(next)
+	}
+}
+
+// HeldLocks reports how many locks the session holds (for tests).
+func (s *Service) HeldLocks(session int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ls := range s.locks {
+		if ls.owner == session {
+			n++
+		}
+	}
+	return n
+}

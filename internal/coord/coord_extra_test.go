@@ -1,0 +1,101 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMultipleWatchersAllNotified(t *testing.T) {
+	svc := New()
+	s := svc.NewSession()
+	const watchers = 5
+	chans := make([]<-chan Event, watchers)
+	for i := range chans {
+		chans[i] = svc.NewSession().Watch("/x")
+	}
+	s.Create("/x", []byte("v"))
+	for i, ch := range chans {
+		select {
+		case ev := <-ch:
+			if ev.Type != EventCreated {
+				t.Errorf("watcher %d got %+v", i, ev)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("watcher %d never notified", i)
+		}
+	}
+}
+
+func TestSlowWatcherDropsNotBlocks(t *testing.T) {
+	svc := New()
+	s := svc.NewSession()
+	svc.NewSession().Watch("/hot") // never drained
+	done := make(chan struct{})
+	go func() {
+		s.Create("/hot", nil)
+		for i := 0; i < 100; i++ {
+			s.Set("/hot", []byte{byte(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("undrained watcher blocked the writer")
+	}
+}
+
+func TestDoubleCloseSafe(t *testing.T) {
+	svc := New()
+	s := svc.NewSession()
+	s.CreateEphemeral("/e", nil)
+	s.Close()
+	s.Close() // must be a no-op
+}
+
+func TestTryLockAfterOwnerDies(t *testing.T) {
+	svc := New()
+	a := svc.NewSession()
+	b := svc.NewSession()
+	a.Lock("k")
+	if ok, _ := b.TryLock("k"); ok {
+		t.Fatal("TryLock on held lock")
+	}
+	a.Close()
+	if ok, _ := b.TryLock("k"); !ok {
+		t.Error("lock not freed by owner death")
+	}
+}
+
+func TestConcurrentElectionsDistinctPaths(t *testing.T) {
+	svc := New()
+	var wg sync.WaitGroup
+	wins := make([]int, 4)
+	var mu sync.Mutex
+	for p := 0; p < 4; p++ {
+		for c := 0; c < 5; c++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				s := svc.NewSession()
+				won, err := s.Elect("/master-"+string(rune('a'+p)), nil)
+				if err != nil {
+					t.Errorf("Elect: %v", err)
+					return
+				}
+				if won {
+					mu.Lock()
+					wins[p]++
+					mu.Unlock()
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	for p, n := range wins {
+		if n != 1 {
+			t.Errorf("path %d had %d winners", p, n)
+		}
+	}
+}

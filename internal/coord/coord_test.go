@@ -1,0 +1,282 @@
+package coord
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimestampOracleMonotonic(t *testing.T) {
+	svc := New()
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ts := svc.NextTimestamp()
+				mu.Lock()
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %d", ts)
+				}
+				seen[ts] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 8000 {
+		t.Errorf("issued %d distinct timestamps, want 8000", len(seen))
+	}
+	if svc.LastTimestamp() != 8000 {
+		t.Errorf("LastTimestamp = %d", svc.LastTimestamp())
+	}
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	svc := New()
+	s := svc.NewSession()
+	if err := s.Create("/a", []byte("1")); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := s.Create("/a", []byte("2")); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate Create err = %v", err)
+	}
+	v, err := s.Get("/a")
+	if err != nil || string(v) != "1" {
+		t.Errorf("Get = %q, %v", v, err)
+	}
+	if err := s.Set("/a", []byte("2")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, _ = s.Get("/a")
+	if string(v) != "2" {
+		t.Errorf("after Set, Get = %q", v)
+	}
+	if err := s.Delete("/a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("/a"); !errors.Is(err, ErrNoNode) {
+		t.Errorf("Get after delete err = %v", err)
+	}
+}
+
+func TestEphemeralRemovedOnClose(t *testing.T) {
+	svc := New()
+	s1 := svc.NewSession()
+	s2 := svc.NewSession()
+	s1.CreateEphemeral("/servers/s1", []byte("addr"))
+	s1.Create("/persistent", []byte("stays"))
+	if !s2.Exists("/servers/s1") {
+		t.Fatal("ephemeral not visible to other session")
+	}
+	s1.Close()
+	if s2.Exists("/servers/s1") {
+		t.Error("ephemeral survived session close")
+	}
+	if !s2.Exists("/persistent") {
+		t.Error("persistent node removed on close")
+	}
+	if err := s1.Create("/x", nil); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("closed session Create err = %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	svc := New()
+	s := svc.NewSession()
+	s.Create("/servers/a", nil)
+	s.Create("/servers/b", nil)
+	s.Create("/other", nil)
+	got := s.List("/servers/")
+	want := []string{"/servers/a", "/servers/b"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestWatchFires(t *testing.T) {
+	svc := New()
+	s1 := svc.NewSession()
+	s2 := svc.NewSession()
+	ch := s2.Watch("/node")
+	s1.Create("/node", []byte("x"))
+	select {
+	case ev := <-ch:
+		if ev.Type != EventCreated || ev.Path != "/node" {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no create event")
+	}
+	s1.Set("/node", []byte("y"))
+	if ev := <-ch; ev.Type != EventChanged {
+		t.Errorf("event = %+v, want changed", ev)
+	}
+	s1.Delete("/node")
+	if ev := <-ch; ev.Type != EventDeleted {
+		t.Errorf("event = %+v, want deleted", ev)
+	}
+}
+
+func TestWatchEphemeralDeath(t *testing.T) {
+	svc := New()
+	master := svc.NewSession()
+	standby := svc.NewSession()
+	master.CreateEphemeral("/master", []byte("m1"))
+	ch := standby.Watch("/master")
+	master.Close()
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no deletion event after session death")
+	}
+	// Standby can now win the election.
+	won, err := standby.Elect("/master", []byte("m2"))
+	if err != nil || !won {
+		t.Errorf("standby election: won=%v err=%v", won, err)
+	}
+}
+
+func TestElectionSingleWinner(t *testing.T) {
+	svc := New()
+	const n = 10
+	var winners int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := svc.NewSession()
+			won, err := s.Elect("/master", []byte{byte(i)})
+			if err != nil {
+				t.Errorf("Elect: %v", err)
+			}
+			if won {
+				mu.Lock()
+				winners++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if winners != 1 {
+		t.Errorf("%d election winners, want exactly 1", winners)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	svc := New()
+	a := svc.NewSession()
+	b := svc.NewSession()
+	ok, _ := a.TryLock("k")
+	if !ok {
+		t.Fatal("first TryLock failed")
+	}
+	// Re-entrant for the same session.
+	if ok, _ := a.TryLock("k"); !ok {
+		t.Error("re-entrant TryLock failed")
+	}
+	if ok, _ := b.TryLock("k"); ok {
+		t.Error("TryLock on held lock succeeded")
+	}
+	a.Unlock("k")
+	if ok, _ := b.TryLock("k"); !ok {
+		t.Error("TryLock after unlock failed")
+	}
+}
+
+func TestLockBlocksAndFIFO(t *testing.T) {
+	svc := New()
+	holder := svc.NewSession()
+	holder.Lock("k")
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := svc.NewSession()
+			s.Lock("k")
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			s.Unlock("k")
+		}(i)
+		time.Sleep(20 * time.Millisecond) // deterministic queueing order
+	}
+	holder.Unlock("k")
+	wg.Wait()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("lock grant order %v, want FIFO", order)
+	}
+}
+
+func TestLocksReleasedOnSessionClose(t *testing.T) {
+	svc := New()
+	a := svc.NewSession()
+	b := svc.NewSession()
+	a.Lock("x")
+	a.Lock("y")
+	if svc.HeldLocks(a.ID()) != 2 {
+		t.Fatalf("HeldLocks = %d", svc.HeldLocks(a.ID()))
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Lock("x")
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("lock not released by session close")
+	}
+	if svc.HeldLocks(a.ID()) != 0 {
+		t.Error("dead session still holds locks")
+	}
+}
+
+func TestOrderedAcquisitionNoDeadlock(t *testing.T) {
+	// Two transactions locking overlapping key sets in sorted order
+	// (the paper's deadlock-avoidance rule) must always complete.
+	svc := New()
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := svc.NewSession()
+			defer s.Close()
+			for iter := 0; iter < 50; iter++ {
+				subset := keys[g%2 : 2+g%2] // overlapping slices, still sorted
+				for _, k := range subset {
+					s.Lock(k)
+				}
+				for _, k := range subset {
+					s.Unlock(k)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock despite ordered acquisition")
+	}
+}

@@ -1,0 +1,563 @@
+// Package core implements the paper's primary contribution: the
+// log-only tablet server (paper §3.3–§3.6). One server owns a set of
+// tablets (horizontal partitions of vertically partitioned column
+// groups), records all their data in a single log instance in the
+// shared DFS, and serves reads through dense in-memory multiversion
+// indexes — there are no separate data files and no memtable flushes.
+//
+// Write path: frame the operation as a log record, append it durably
+// (optionally group-committed), then point the in-memory index at the
+// new location and optionally populate the read buffer. Read path: read
+// buffer → in-memory index → one log seek. Deletes persist an
+// invalidated record so they survive recovery. Compaction and
+// checkpoint/recovery live in compaction.go and checkpoint.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dfs"
+	"repro/internal/index"
+	"repro/internal/partition"
+	"repro/internal/wal"
+)
+
+// Config tunes a tablet server.
+type Config struct {
+	// SegmentSize is the log segment rotation size; zero = 64 MB.
+	SegmentSize int64
+	// ReadCacheBytes bounds the optional read buffer; zero disables it
+	// (the read buffer is an optional component, paper §3.6.1).
+	ReadCacheBytes int64
+	// CachePolicy overrides the read buffer's replacement strategy
+	// (nil = LRU, the paper's default).
+	CachePolicy cache.Policy
+	// GroupCommit enables batching of log appends (paper §3.7.2).
+	GroupCommit bool
+	// GroupCommitBatch and GroupCommitDelay tune the batcher.
+	GroupCommitBatch int
+	GroupCommitDelay time.Duration
+	// IndexFlushUpdates is the per-column-group update counter threshold
+	// after which the index is merged out to an index file (paper
+	// §3.6.1); zero disables counter-triggered flushes (explicit
+	// checkpoints still work).
+	IndexFlushUpdates int64
+	// CompactKeepVersions bounds versions retained per key by
+	// compaction; zero keeps all committed versions.
+	CompactKeepVersions int
+}
+
+// ErrNotFound is returned when a key (or version) does not exist.
+var ErrNotFound = errors.New("core: not found")
+
+// ErrUnknownTablet is returned for operations on an unserved tablet.
+var ErrUnknownTablet = errors.New("core: tablet not served here")
+
+// Row is one record version returned by reads and scans.
+type Row struct {
+	Key   []byte
+	TS    int64
+	Value []byte
+}
+
+// columnGroup is the in-memory state for one column group of one
+// tablet: its multiversion index and the update counter driving index
+// flushes.
+type columnGroup struct {
+	name    string
+	idx     atomic.Pointer[index.Tree]
+	updates atomic.Int64
+	flushes atomic.Int64
+}
+
+func (g *columnGroup) tree() *index.Tree { return g.idx.Load() }
+
+// Tablet is one horizontal partition served by this server.
+type Tablet struct {
+	id     string
+	table  string
+	rng    partition.Range
+	mu     sync.RWMutex
+	groups map[string]*columnGroup
+}
+
+// group returns the column group, creating it lazily is NOT done — the
+// schema is declared via AddTablet so typos surface as errors.
+func (t *Tablet) group(name string) (*columnGroup, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	g, ok := t.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("core: tablet %s has no column group %q", t.id, name)
+	}
+	return g, nil
+}
+
+// Server is a LogBase tablet server.
+type Server struct {
+	id  string
+	fs  *dfs.DFS
+	cfg Config
+
+	log     *wal.Log
+	batcher *wal.Batcher
+
+	mu      sync.RWMutex
+	tablets map[string]*Tablet
+
+	// installMu serialises index swaps (compaction install, recovery)
+	// against mutations; normal operations hold it shared.
+	installMu sync.RWMutex
+
+	readCache *cache.Cache
+
+	// secondary indexes (the §5 future-work extension; secondary.go).
+	secMu     sync.RWMutex
+	secondary map[string]*secondaryIndex
+
+	stats ServerStats
+}
+
+// ServerStats counts operations for bench output.
+type ServerStats struct {
+	Writes      atomic.Int64
+	Reads       atomic.Int64
+	Deletes     atomic.Int64
+	CacheHits   atomic.Int64
+	LogReads    atomic.Int64
+	Compactions atomic.Int64
+}
+
+// NewServer opens (or reopens) tablet server id over fs. Reopening an
+// id whose log exists leaves recovery to the caller (Recover).
+func NewServer(fs *dfs.DFS, id string, cfg Config) (*Server, error) {
+	log, err := wal.Open(fs, "log/"+id, wal.Options{SegmentSize: cfg.SegmentSize})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		id:        id,
+		fs:        fs,
+		cfg:       cfg,
+		log:       log,
+		tablets:   make(map[string]*Tablet),
+		readCache: cache.New(cfg.ReadCacheBytes, cfg.CachePolicy),
+	}
+	if cfg.GroupCommit {
+		s.batcher = wal.NewBatcher(log, cfg.GroupCommitBatch, cfg.GroupCommitDelay)
+	}
+	return s, nil
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() string { return s.id }
+
+// Log exposes the server's log (benches inspect segment counts).
+func (s *Server) Log() *wal.Log { return s.log }
+
+// Stats exposes the server's counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// CacheStats returns read-buffer counters.
+func (s *Server) CacheStats() cache.Stats { return s.readCache.Stats() }
+
+// AddTablet declares a tablet with its column groups. Idempotent.
+func (s *Server) AddTablet(tab partition.Tablet, groups []string) *Tablet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tablets[tab.ID]; ok {
+		return t
+	}
+	t := &Tablet{id: tab.ID, table: tab.Table, rng: tab.Range, groups: make(map[string]*columnGroup)}
+	for _, g := range groups {
+		cg := &columnGroup{name: g}
+		cg.idx.Store(index.New())
+		t.groups[g] = cg
+	}
+	s.tablets[tab.ID] = t
+	return t
+}
+
+// RemoveTablet stops serving a tablet (its log data stays; the new
+// owner recovers it from the shared DFS).
+func (s *Server) RemoveTablet(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tablets, id)
+}
+
+// Tablets lists served tablet ids.
+func (s *Server) Tablets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tablets))
+	for id := range s.tablets {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Server) tablet(id string) (*Tablet, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tablets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTablet, id)
+	}
+	return t, nil
+}
+
+func (s *Server) append(recs ...*wal.Record) ([]wal.Ptr, error) {
+	if s.batcher != nil {
+		return s.batcher.Append(recs...)
+	}
+	return s.log.Append(recs...)
+}
+
+func cacheKey(table, group string, key []byte) string {
+	return table + "\x00" + group + "\x00" + string(key)
+}
+
+// encodeCached packs (ts, value) for the read buffer.
+func encodeCached(ts int64, value []byte) []byte {
+	out := make([]byte, 8+len(value))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(uint64(ts) >> (8 * i))
+	}
+	copy(out[8:], value)
+	return out
+}
+
+func decodeCached(b []byte) (int64, []byte) {
+	var ts uint64
+	for i := 0; i < 8; i++ {
+		ts |= uint64(b[i]) << (8 * i)
+	}
+	return int64(ts), b[8:]
+}
+
+// Write inserts or updates one row version in a column group at version
+// timestamp ts. It is the auto-commit path (single-row ACID): durable
+// once the log append returns.
+func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byte) error {
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Kind: wal.KindWrite, Table: t.table, Tablet: t.id,
+		Group: group, Key: key, TS: ts, Value: value,
+	}
+	ptrs, err := s.append(rec)
+	if err != nil {
+		return err
+	}
+	g.tree().Put(index.Entry{Key: key, TS: ts, Ptr: ptrs[0], LSN: rec.LSN})
+	s.readCache.Put(cacheKey(t.table, group, key), encodeCached(ts, value))
+	s.maintainSecondary(tabletID, group, key, ts, ptrs[0], rec.LSN, value, false)
+	s.stats.Writes.Add(1)
+	s.bumpUpdates(t, g)
+	return nil
+}
+
+// bumpUpdates advances the column group's update counter and merges the
+// index out to an index file when the threshold is reached (§3.6.1).
+func (s *Server) bumpUpdates(t *Tablet, g *columnGroup) {
+	if s.cfg.IndexFlushUpdates <= 0 {
+		return
+	}
+	if n := g.updates.Add(1); n >= s.cfg.IndexFlushUpdates {
+		if g.updates.CompareAndSwap(n, 0) {
+			path := s.indexFilePath(t.id, g.name)
+			if _, err := g.tree().Flush(s.fs, path); err == nil {
+				g.flushes.Add(1)
+			}
+		}
+	}
+}
+
+func (s *Server) indexFilePath(tabletID, group string) string {
+	return fmt.Sprintf("idx/%s/%s/%s", s.id, tabletID, group)
+}
+
+// Get returns the latest version of key in the column group.
+func (s *Server) Get(tabletID, group string, key []byte) (Row, error) {
+	return s.GetAt(tabletID, group, key, int64(^uint64(0)>>1))
+}
+
+// GetAt returns the latest version of key visible at snapshot ts
+// (paper §3.6.2: a Get with an attached timestamp).
+func (s *Server) GetAt(tabletID, group string, key []byte, ts int64) (Row, error) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return Row{}, err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return Row{}, err
+	}
+	s.stats.Reads.Add(1)
+
+	// Read buffer first (only serves the latest version).
+	ck := cacheKey(t.table, group, key)
+	if b, ok := s.readCache.Get(ck); ok {
+		cts, v := decodeCached(b)
+		if cts <= ts {
+			// The cached latest is visible at this snapshot only if no
+			// newer-but-<=ts version exists; cached entries are the
+			// newest overall, so visibility holds exactly when cts<=ts.
+			s.stats.CacheHits.Add(1)
+			return Row{Key: key, TS: cts, Value: append([]byte(nil), v...)}, nil
+		}
+	}
+
+	e, ok := g.tree().LatestAt(key, ts)
+	if !ok {
+		return Row{}, fmt.Errorf("%w: %s/%s %q", ErrNotFound, tabletID, group, key)
+	}
+	rec, err := s.log.Read(e.Ptr)
+	if err != nil {
+		return Row{}, err
+	}
+	s.stats.LogReads.Add(1)
+	// Cache only the globally newest version.
+	if latest, lok := g.tree().Latest(key); lok && latest.TS == e.TS {
+		s.readCache.Put(ck, encodeCached(e.TS, rec.Value))
+	}
+	return Row{Key: key, TS: e.TS, Value: rec.Value}, nil
+}
+
+// Versions returns all versions of key, oldest first (multiversion data
+// access for historical analysis, a headline requirement in §1).
+func (s *Server) Versions(tabletID, group string, key []byte) ([]Row, error) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return nil, err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return nil, err
+	}
+	entries := g.tree().Versions(key, nil)
+	rows := make([]Row, 0, len(entries))
+	for _, e := range entries {
+		rec, err := s.log.Read(e.Ptr)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Key: key, TS: e.TS, Value: rec.Value})
+	}
+	return rows, nil
+}
+
+// Delete removes key from the column group: it drops all index entries
+// and persists an invalidated log entry so the deletion survives
+// recovery from an older checkpoint (paper §3.6.3).
+func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Kind: wal.KindDelete, Table: t.table, Tablet: t.id,
+		Group: group, Key: key, TS: ts,
+	}
+	if _, err := s.append(rec); err != nil {
+		return err
+	}
+	g.tree().DeleteKey(key)
+	s.readCache.Invalidate(cacheKey(t.table, group, key))
+	s.maintainSecondary(tabletID, group, key, ts, wal.Ptr{}, rec.LSN, nil, true)
+	s.stats.Deletes.Add(1)
+	s.bumpUpdates(t, g)
+	return nil
+}
+
+// Scan streams the latest visible version (at snapshot ts) of each key
+// in [start, end) to fn until it returns false (paper §3.6.4 range
+// scan). Pre-compaction this performs one random log read per row;
+// post-compaction rows come clustered from sorted segments.
+func (s *Server) Scan(tabletID, group string, start, end []byte, ts int64, fn func(Row) bool) error {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return err
+	}
+	var entries []index.Entry
+	g.tree().RangeLatest(start, end, ts, func(e index.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	for _, e := range entries {
+		rec, err := s.log.Read(e.Ptr)
+		if err != nil {
+			return err
+		}
+		s.stats.LogReads.Add(1)
+		if !fn(Row{Key: e.Key, TS: e.TS, Value: rec.Value}) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FullScan streams every live record of the column group in log order
+// (no key order), checking each scanned version against the index so
+// only current data is returned (paper §3.6.4 full table scan). It
+// reads segments sequentially — the batch-analytics path.
+func (s *Server) FullScan(tabletID, group string, fn func(Row) bool) error {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return err
+	}
+	sc := s.log.NewScanner(wal.Position{})
+	for sc.Next() {
+		rec := sc.Record()
+		if rec.Kind != wal.KindWrite || rec.Tablet != tabletID || rec.Group != group {
+			continue
+		}
+		// Version check: only the current version per the index counts.
+		cur, ok := g.tree().Latest(rec.Key)
+		if !ok || cur.TS != rec.TS || cur.Ptr != sc.Ptr() {
+			continue
+		}
+		if !fn(Row{Key: rec.Key, TS: rec.TS, Value: rec.Value}) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// IndexLen returns the number of index entries for a column group.
+func (s *Server) IndexLen(tabletID, group string) int {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return 0
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return 0
+	}
+	return g.tree().Len()
+}
+
+// IndexMemBytes returns the estimated index memory across all tablets.
+func (s *Server) IndexMemBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, t := range s.tablets {
+		t.mu.RLock()
+		for _, g := range t.groups {
+			n += g.tree().MemBytes()
+		}
+		t.mu.RUnlock()
+	}
+	return n
+}
+
+// ApplyTxn durably applies a validated transaction: all write and
+// delete records plus the final commit record are appended as one
+// atomic group (group commit batches across transactions), and only
+// after the commit record is durable are the in-memory indexes updated
+// (paper §3.7.2: uncommitted writes are never reflected in the index).
+func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	recs := make([]*wal.Record, 0, len(writes)+1)
+	for _, w := range writes {
+		t, err := s.tablet(w.Tablet)
+		if err != nil {
+			return err
+		}
+		if _, err := t.group(w.Group); err != nil {
+			return err
+		}
+		kind := wal.KindWrite
+		if w.Delete {
+			kind = wal.KindDelete
+		}
+		recs = append(recs, &wal.Record{
+			Kind: kind, Table: t.table, Tablet: w.Tablet, Group: w.Group,
+			Key: w.Key, TS: commitTS, Value: w.Value, TxnID: txnID,
+		})
+	}
+	recs = append(recs, &wal.Record{Kind: wal.KindCommit, TxnID: txnID, TS: commitTS})
+	ptrs, err := s.append(recs...)
+	if err != nil {
+		return err
+	}
+	// Commit record durable: reflect the writes in indexes and cache.
+	for i, w := range writes {
+		t, _ := s.tablet(w.Tablet)
+		g, _ := t.group(w.Group)
+		if w.Delete {
+			g.tree().DeleteKey(w.Key)
+			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, wal.Ptr{}, recs[i].LSN, nil, true)
+			s.stats.Deletes.Add(1)
+		} else {
+			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: ptrs[i], LSN: recs[i].LSN})
+			s.readCache.Put(cacheKey(t.table, w.Group, w.Key), encodeCached(commitTS, w.Value))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, ptrs[i], recs[i].LSN, w.Value, false)
+			s.stats.Writes.Add(1)
+		}
+		s.bumpUpdates(t, g)
+	}
+	return nil
+}
+
+// TxnWrite is one buffered transactional write targeted at this server.
+type TxnWrite struct {
+	Tablet string
+	Group  string
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// CurrentVersion returns the latest version timestamp of a key (0 if
+// absent); MVOCC validation compares these against a transaction's read
+// versions (paper §3.7.1).
+func (s *Server) CurrentVersion(tabletID, group string, key []byte) (int64, error) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return 0, err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return 0, err
+	}
+	e, ok := g.tree().Latest(key)
+	if !ok {
+		return 0, nil
+	}
+	return e.TS, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/wal"
+)
+
+// Prepared holds the durable-but-uncommitted writes of one transaction
+// on one participant server (phase one of two-phase commit).
+type Prepared struct {
+	writes []TxnWrite
+	ptrs   []wal.Ptr
+	lsns   []uint64
+}
+
+// PrepareTxn durably appends a transaction's writes for this server
+// WITHOUT a commit record and WITHOUT touching the indexes: the writes
+// are invisible (scans and recovery ignore records whose commit record
+// is absent, paper §3.7.2) until CommitTxn. This is the participant
+// side of the cross-server commit; single-server transactions use
+// ApplyTxn's one-batch fast path instead.
+func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*Prepared, error) {
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	recs := make([]*wal.Record, 0, len(writes))
+	for _, w := range writes {
+		t, err := s.tablet(w.Tablet)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.group(w.Group); err != nil {
+			return nil, err
+		}
+		kind := wal.KindWrite
+		if w.Delete {
+			kind = wal.KindDelete
+		}
+		recs = append(recs, &wal.Record{
+			Kind: kind, Table: t.table, Tablet: w.Tablet, Group: w.Group,
+			Key: w.Key, TS: commitTS, Value: w.Value, TxnID: txnID,
+		})
+	}
+	ptrs, err := s.append(recs...)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{writes: writes, ptrs: ptrs}
+	for _, r := range recs {
+		p.lsns = append(p.lsns, r.LSN)
+	}
+	return p, nil
+}
+
+// CommitTxn persists the commit record for a prepared transaction and
+// reflects its writes in the in-memory indexes and read buffer.
+func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	if _, err := s.append(&wal.Record{Kind: wal.KindCommit, TxnID: txnID, TS: commitTS}); err != nil {
+		return err
+	}
+	for i, w := range p.writes {
+		t, err := s.tablet(w.Tablet)
+		if err != nil {
+			return err
+		}
+		g, err := t.group(w.Group)
+		if err != nil {
+			return err
+		}
+		if w.Delete {
+			g.tree().DeleteKey(w.Key)
+			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, wal.Ptr{}, p.lsns[i], nil, true)
+			s.stats.Deletes.Add(1)
+		} else {
+			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: p.ptrs[i], LSN: p.lsns[i]})
+			s.readCache.Put(cacheKey(t.table, w.Group, w.Key), encodeCached(commitTS, w.Value))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, p.ptrs[i], p.lsns[i], w.Value, false)
+			s.stats.Writes.Add(1)
+		}
+		s.bumpUpdates(t, g)
+	}
+	return nil
+}

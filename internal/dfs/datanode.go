@@ -1,0 +1,119 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simdisk"
+)
+
+// DataNode stores block replicas on a simulated disk. A dead datanode
+// rejects all I/O until restarted; its on-disk state survives restarts.
+type DataNode struct {
+	id    int
+	rack  int
+	disk  *simdisk.Disk
+	alive atomic.Bool
+
+	mu    sync.Mutex
+	files map[blockID]*simdisk.File
+}
+
+func (n *DataNode) setAlive(v bool) {
+	n.alive.Store(v)
+	if !v {
+		n.mu.Lock()
+		for _, f := range n.files {
+			f.Close()
+		}
+		n.files = nil
+		n.mu.Unlock()
+	}
+}
+
+// Alive reports whether the node is accepting I/O.
+func (n *DataNode) Alive() bool { return n.alive.Load() }
+
+// ID returns the node's cluster-wide id.
+func (n *DataNode) ID() int { return n.id }
+
+// Rack returns the rack the node is placed on.
+func (n *DataNode) Rack() int { return n.rack }
+
+// Disk exposes the node's disk for stats inspection in tests/benches.
+func (n *DataNode) Disk() *simdisk.Disk { return n.disk }
+
+var errDeadNode = fmt.Errorf("dfs: datanode is dead")
+
+func (n *DataNode) blockFile(id blockID, create bool) (*simdisk.File, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.files == nil {
+		n.files = make(map[blockID]*simdisk.File)
+	}
+	if f, ok := n.files[id]; ok {
+		return f, nil
+	}
+	name := fmt.Sprintf("blk_%012d", id)
+	var (
+		f   *simdisk.File
+		err error
+	)
+	if n.disk.Exists(name) {
+		f, err = n.disk.Open(name)
+	} else if create {
+		f, err = n.disk.Create(name)
+	} else {
+		return nil, fmt.Errorf("dfs: dn%d: block %d not found", n.id, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.files[id] = f
+	return f, nil
+}
+
+func (n *DataNode) writeBlock(id blockID, off int64, p []byte) error {
+	if !n.Alive() {
+		return errDeadNode
+	}
+	f, err := n.blockFile(id, true)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(p, off)
+	return err
+}
+
+func (n *DataNode) readBlock(id blockID, off int64, length int) ([]byte, error) {
+	if !n.Alive() {
+		return nil, errDeadNode
+	}
+	f, err := n.blockFile(id, false)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, length)
+	m, err := f.ReadAt(buf, off)
+	if err != nil && m < length {
+		return nil, err
+	}
+	return buf[:m], nil
+}
+
+func (n *DataNode) deleteBlock(id blockID) {
+	if !n.Alive() {
+		return
+	}
+	n.mu.Lock()
+	if f, ok := n.files[id]; ok {
+		f.Close()
+		delete(n.files, id)
+	}
+	n.mu.Unlock()
+	name := fmt.Sprintf("blk_%012d", id)
+	if n.disk.Exists(name) {
+		n.disk.Remove(name) //nolint:errcheck // best-effort GC
+	}
+}

@@ -1,0 +1,602 @@
+// Package dfs implements an HDFS-like distributed file system used by
+// LogBase as its shared log and index repository (paper §3.4).
+//
+// Files are append-only sequences of fixed-size blocks. Every block is
+// synchronously replicated to n datanodes before a write returns
+// (mirroring HDFS's write pipeline, "equivalent to RAID-1" in the
+// paper's terms), with rack-aware placement: the second replica lands on
+// a different rack from the first, the third on the same rack as the
+// second. Datanodes can be killed to exercise failure handling; the
+// namenode re-replicates under-replicated blocks from surviving
+// replicas.
+//
+// The whole cluster runs in one process. Datanodes persist blocks on a
+// simdisk.Disk so that I/O costs (seek vs sequential transfer) follow
+// the disk model used throughout the reproduction.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/simdisk"
+)
+
+// Config controls cluster geometry and replication.
+type Config struct {
+	// NumDataNodes is the number of datanodes to start.
+	NumDataNodes int
+	// Racks is the number of racks datanodes are spread over
+	// (round-robin). Zero means 2.
+	Racks int
+	// ReplicationFactor is the number of synchronous replicas per block.
+	// Zero means 3 (the HDFS and paper default). Clamped to the number
+	// of datanodes.
+	ReplicationFactor int
+	// BlockSize is the maximum block size in bytes. Zero means 64 MB
+	// (the paper/HDFS default); simulations typically use much less.
+	BlockSize int64
+	// DiskModel is applied to every datanode's disk.
+	DiskModel simdisk.Model
+	// Clock, when non-nil, is shared by all datanode disks so one
+	// virtual-time reading covers the cluster.
+	Clock *simdisk.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Racks <= 0 {
+		c.Racks = 2
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 3
+	}
+	if c.ReplicationFactor > c.NumDataNodes {
+		c.ReplicationFactor = c.NumDataNodes
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 << 20
+	}
+	return c
+}
+
+// ErrNotFound is returned when a path does not exist in the namespace.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrExists is returned by Create when the path already exists.
+var ErrExists = errors.New("dfs: file already exists")
+
+// ErrNoDataNodes is returned when no datanode is alive to host a block.
+var ErrNoDataNodes = errors.New("dfs: no live datanodes")
+
+type blockID uint64
+
+// blockMeta records where a block's replicas live and how full it is.
+type blockMeta struct {
+	id       blockID
+	size     int64
+	replicas []int // datanode ids
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	blocks []*blockMeta
+}
+
+func (fm *fileMeta) size() int64 {
+	var n int64
+	for _, b := range fm.blocks {
+		n += b.size
+	}
+	return n
+}
+
+// DFS is a single-process distributed file system: one namenode plus a
+// set of datanodes. It is safe for concurrent use.
+type DFS struct {
+	cfg Config
+
+	mu        sync.Mutex
+	files     map[string]*fileMeta
+	nextBlock blockID
+	nodes     []*DataNode
+	nextPlace int // round-robin cursor for first-replica placement
+}
+
+// New starts a DFS with cfg.NumDataNodes datanodes whose disks live
+// under dir.
+func New(dir string, cfg Config) (*DFS, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumDataNodes <= 0 {
+		return nil, errors.New("dfs: need at least one datanode")
+	}
+	d := &DFS{cfg: cfg, files: make(map[string]*fileMeta)}
+	for i := 0; i < cfg.NumDataNodes; i++ {
+		disk, err := simdisk.New(fmt.Sprintf("%s/dn%02d", dir, i), cfg.DiskModel, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		dn := &DataNode{id: i, rack: i % cfg.Racks, disk: disk}
+		dn.alive.Store(true)
+		d.nodes = append(d.nodes, dn)
+	}
+	return d, nil
+}
+
+// Config returns the (defaulted) configuration the cluster runs with.
+func (d *DFS) Config() Config { return d.cfg }
+
+// DataNode returns datanode i.
+func (d *DFS) DataNode(i int) *DataNode { return d.nodes[i] }
+
+// NumDataNodes returns the cluster size.
+func (d *DFS) NumDataNodes() int { return len(d.nodes) }
+
+// placeReplicas chooses datanodes for a new block, rack-aware: first
+// replica round-robin over live nodes, second on a different rack,
+// remaining on the second's rack when possible, falling back to any
+// live node.
+func (d *DFS) placeReplicas() ([]int, error) {
+	live := d.liveNodesLocked()
+	if len(live) == 0 {
+		return nil, ErrNoDataNodes
+	}
+	want := d.cfg.ReplicationFactor
+	if want > len(live) {
+		want = len(live)
+	}
+	first := live[d.nextPlace%len(live)]
+	d.nextPlace++
+	chosen := []int{first.id}
+	used := map[int]bool{first.id: true}
+
+	pick := func(pred func(*DataNode) bool) bool {
+		for _, n := range live {
+			if !used[n.id] && pred(n) {
+				chosen = append(chosen, n.id)
+				used[n.id] = true
+				return true
+			}
+		}
+		return false
+	}
+	if len(chosen) < want {
+		// Second replica: different rack if one exists.
+		if !pick(func(n *DataNode) bool { return n.rack != first.rack }) {
+			pick(func(*DataNode) bool { return true })
+		}
+	}
+	for len(chosen) < want {
+		secondRack := d.nodes[chosen[len(chosen)-1]].rack
+		if !pick(func(n *DataNode) bool { return n.rack == secondRack }) && !pick(func(*DataNode) bool { return true }) {
+			break
+		}
+	}
+	return chosen, nil
+}
+
+func (d *DFS) liveNodesLocked() []*DataNode {
+	var live []*DataNode
+	for _, n := range d.nodes {
+		if n.Alive() {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// Create creates a new empty file and returns a writer positioned at
+// offset zero. The file becomes visible immediately.
+func (d *DFS) Create(path string) (*Writer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	d.files[path] = &fileMeta{}
+	return &Writer{d: d, path: path}, nil
+}
+
+// OpenAppend opens an existing file for appending.
+func (d *DFS) OpenAppend(path string) (*Writer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fm, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return &Writer{d: d, path: path, off: fm.size()}, nil
+}
+
+// Open returns a reader for the file.
+func (d *DFS) Open(path string) (*Reader, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return &Reader{d: d, path: path}, nil
+}
+
+// Exists reports whether path is in the namespace.
+func (d *DFS) Exists(path string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[path]
+	return ok
+}
+
+// Size returns the logical size of the file.
+func (d *DFS) Size(path string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fm, ok := d.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return fm.size(), nil
+}
+
+// Delete removes the file and its blocks from all replicas.
+func (d *DFS) Delete(path string) error {
+	d.mu.Lock()
+	fm, ok := d.files[path]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(d.files, path)
+	blocks := fm.blocks
+	nodes := d.nodes
+	d.mu.Unlock()
+
+	for _, b := range blocks {
+		for _, nid := range b.replicas {
+			nodes[nid].deleteBlock(b.id) // best effort; dead nodes ignore
+		}
+	}
+	return nil
+}
+
+// Rename atomically renames a file within the namespace.
+func (d *DFS) Rename(from, to string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fm, ok := d.files[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, from)
+	}
+	if _, ok := d.files[to]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, to)
+	}
+	delete(d.files, from)
+	d.files[to] = fm
+	return nil
+}
+
+// List returns all paths with the given prefix, sorted.
+func (d *DFS) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for p := range d.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KillDataNode marks a datanode dead. Its replicas become unreadable
+// until RecoverReplication copies them elsewhere.
+func (d *DFS) KillDataNode(id int) { d.nodes[id].setAlive(false) }
+
+// RestartDataNode brings a datanode back with its disk contents intact.
+func (d *DFS) RestartDataNode(id int) { d.nodes[id].setAlive(true) }
+
+// UnderReplicated returns the number of blocks with fewer than the
+// configured number of live replicas.
+func (d *DFS) UnderReplicated() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, fm := range d.files {
+		for _, b := range fm.blocks {
+			if d.liveReplicasLocked(b) < min(d.cfg.ReplicationFactor, len(d.liveNodesLocked())) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (d *DFS) liveReplicasLocked(b *blockMeta) int {
+	n := 0
+	for _, nid := range b.replicas {
+		if d.nodes[nid].Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoverReplication copies every under-replicated block from a live
+// replica to a live node that does not yet hold it. It returns the
+// number of new replicas created. In a real HDFS this runs continuously
+// off heartbeats; the simulation invokes it explicitly (or from the
+// cluster master's failure handler).
+func (d *DFS) RecoverReplication() (int, error) {
+	d.mu.Lock()
+	type job struct {
+		b    *blockMeta
+		src  int
+		dsts []int
+	}
+	var jobs []job
+	for _, fm := range d.files {
+		for _, b := range fm.blocks {
+			want := min(d.cfg.ReplicationFactor, len(d.liveNodesLocked()))
+			live := d.liveReplicasLocked(b)
+			if live == 0 || live >= want {
+				continue
+			}
+			src := -1
+			holds := map[int]bool{}
+			for _, nid := range b.replicas {
+				holds[nid] = true
+				if d.nodes[nid].Alive() && src < 0 {
+					src = nid
+				}
+			}
+			var dsts []int
+			for _, n := range d.liveNodesLocked() {
+				if len(dsts) >= want-live {
+					break
+				}
+				if !holds[n.id] {
+					dsts = append(dsts, n.id)
+				}
+			}
+			jobs = append(jobs, job{b: b, src: src, dsts: dsts})
+		}
+	}
+	d.mu.Unlock()
+
+	created := 0
+	for _, j := range jobs {
+		data, err := d.nodes[j.src].readBlock(j.b.id, 0, int(j.b.size))
+		if err != nil {
+			return created, fmt.Errorf("dfs: re-replicate block %d: %w", j.b.id, err)
+		}
+		for _, dst := range j.dsts {
+			if err := d.nodes[dst].writeBlock(j.b.id, 0, data); err != nil {
+				return created, fmt.Errorf("dfs: re-replicate block %d to dn%d: %w", j.b.id, dst, err)
+			}
+			d.mu.Lock()
+			j.b.replicas = append(j.b.replicas, dst)
+			d.mu.Unlock()
+			created++
+		}
+	}
+	return created, nil
+}
+
+// appendLocked-free helper: append p to the file, splitting across
+// blocks, replicating each fragment synchronously.
+func (d *DFS) appendAt(path string, p []byte) (int64, error) {
+	d.mu.Lock()
+	fm, ok := d.files[path]
+	if !ok {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	start := fm.size()
+	d.mu.Unlock()
+
+	off := start
+	for len(p) > 0 {
+		d.mu.Lock()
+		var last *blockMeta
+		if n := len(fm.blocks); n > 0 {
+			last = fm.blocks[n-1]
+		}
+		if last == nil || last.size >= d.cfg.BlockSize {
+			replicas, err := d.placeReplicas()
+			if err != nil {
+				d.mu.Unlock()
+				return 0, err
+			}
+			d.nextBlock++
+			last = &blockMeta{id: d.nextBlock, replicas: replicas}
+			fm.blocks = append(fm.blocks, last)
+		}
+		room := d.cfg.BlockSize - last.size
+		n := int64(len(p))
+		if n > room {
+			n = room
+		}
+		frag := p[:n]
+		blockOff := last.size
+		replicas := append([]int(nil), last.replicas...)
+		id := last.id
+		d.mu.Unlock()
+
+		// Synchronous pipeline: every live replica must accept the write
+		// before it returns, but the replicas run concurrently (HDFS
+		// streams through the pipeline; the client does not pay 3x wall
+		// time). A dead replica is dropped from the block's replica set
+		// — it is stale from now on (HDFS's generation-stamp rule);
+		// restarting the node does not resurrect it, only re-replication
+		// does.
+		var stale []int
+		var live []*DataNode
+		for _, nid := range replicas {
+			node := d.nodes[nid]
+			if !node.Alive() {
+				stale = append(stale, nid)
+				continue
+			}
+			live = append(live, node)
+		}
+		if len(live) == 0 {
+			return 0, ErrNoDataNodes
+		}
+		errs := make([]error, len(live))
+		var wg sync.WaitGroup
+		for i, node := range live {
+			wg.Add(1)
+			go func(i int, node *DataNode) {
+				defer wg.Done()
+				if err := node.writeBlock(id, blockOff, frag); err != nil {
+					errs[i] = fmt.Errorf("dfs: write block %d on dn%d: %w", id, node.id, err)
+				}
+			}(i, node)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		d.mu.Lock()
+		if len(stale) > 0 {
+			kept := last.replicas[:0]
+			for _, nid := range last.replicas {
+				drop := false
+				for _, s := range stale {
+					if nid == s {
+						drop = true
+						break
+					}
+				}
+				if !drop {
+					kept = append(kept, nid)
+				}
+			}
+			last.replicas = kept
+		}
+		last.size += n
+		d.mu.Unlock()
+		p = p[n:]
+		off += n
+	}
+	return start, nil
+}
+
+// readAt reads into p starting at off, returning the number of bytes
+// read. Short reads at end-of-file return io.EOF.
+func (d *DFS) readAt(path string, p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	fm, ok := d.files[path]
+	if !ok {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	size := fm.size()
+	blocks := append([]*blockMeta(nil), fm.blocks...)
+	blockSize := d.cfg.BlockSize
+	d.mu.Unlock()
+
+	if off >= size {
+		return 0, io.EOF
+	}
+	total := 0
+	for total < len(p) && off < size {
+		bi := int(off / blockSize)
+		if bi >= len(blocks) {
+			break
+		}
+		b := blocks[bi]
+		blockOff := off % blockSize
+		n := int64(len(p) - total)
+		if rem := b.size - blockOff; n > rem {
+			n = rem
+		}
+		if n <= 0 {
+			break
+		}
+		var (
+			data []byte
+			err  error
+		)
+		read := false
+		for _, nid := range b.replicas {
+			node := d.nodes[nid]
+			if !node.Alive() {
+				continue
+			}
+			data, err = node.readBlock(b.id, blockOff, int(n))
+			if err == nil {
+				read = true
+				break
+			}
+		}
+		if !read {
+			if err == nil {
+				err = ErrNoDataNodes
+			}
+			return total, fmt.Errorf("dfs: read block %d: %w", b.id, err)
+		}
+		copy(p[total:], data)
+		total += len(data)
+		off += int64(len(data))
+	}
+	if total < len(p) {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// Writer appends to one file. Not safe for concurrent use (one writer
+// per file, matching HDFS's single-writer lease model).
+type Writer struct {
+	d    *DFS
+	path string
+	off  int64
+}
+
+// Write appends p and returns its length.
+func (w *Writer) Write(p []byte) (int, error) {
+	if _, err := w.d.appendAt(w.path, p); err != nil {
+		return 0, err
+	}
+	w.off += int64(len(p))
+	return len(p), nil
+}
+
+// Offset returns the file offset at which the next Write will land.
+func (w *Writer) Offset() int64 { return w.off }
+
+// Sync is a no-op placeholder: replication is already synchronous, so
+// data is durable (in the simulated sense) when Write returns.
+func (w *Writer) Sync() error { return nil }
+
+// Close releases the writer.
+func (w *Writer) Close() error { return nil }
+
+// Reader reads a file at arbitrary offsets. Safe for concurrent use.
+type Reader struct {
+	d    *DFS
+	path string
+}
+
+// ReadAt implements io.ReaderAt over the replicated file.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	return r.d.readAt(r.path, p, off)
+}
+
+// Size returns the file's current logical size.
+func (r *Reader) Size() (int64, error) { return r.d.Size(r.path) }
+
+// Close releases the reader.
+func (r *Reader) Close() error { return nil }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

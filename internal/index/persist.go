@@ -1,0 +1,202 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/dfs"
+	"repro/internal/wal"
+)
+
+// Index files persist a tree snapshot to the DFS so recovery can reload
+// indexes instead of scanning the whole log (paper §3.8). Format:
+//
+//	magic "LBIDX\x01" | u32 count | entries... | u32 crc(entries)
+//	entry: u16 keyLen | key | i64 ts | u32 seg | i64 off | u32 len | u64 lsn
+var idxMagic = []byte{'L', 'B', 'I', 'D', 'X', 1}
+
+// ErrBadIndexFile reports a malformed or corrupt persisted index.
+var ErrBadIndexFile = errors.New("index: bad index file")
+
+// Flush writes a point-in-time snapshot of the tree to path (replacing
+// any existing file) and returns the number of entries written.
+func (t *Tree) Flush(fs *dfs.DFS, path string) (int, error) {
+	var body bytes.Buffer
+	count := 0
+	t.Ascend(func(e Entry) bool {
+		var rec []byte
+		rec = binary.LittleEndian.AppendUint16(rec, uint16(len(e.Key)))
+		rec = append(rec, e.Key...)
+		rec = binary.LittleEndian.AppendUint64(rec, uint64(e.TS))
+		rec = binary.LittleEndian.AppendUint32(rec, e.Ptr.Seg)
+		rec = binary.LittleEndian.AppendUint64(rec, uint64(e.Ptr.Off))
+		rec = binary.LittleEndian.AppendUint32(rec, e.Ptr.Len)
+		rec = binary.LittleEndian.AppendUint64(rec, e.LSN)
+		body.Write(rec)
+		count++
+		return true
+	})
+
+	tmp := path + ".tmp"
+	if fs.Exists(tmp) {
+		if err := fs.Delete(tmp); err != nil {
+			return 0, err
+		}
+	}
+	w, err := fs.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	var hdr []byte
+	hdr = append(hdr, idxMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(count))
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return 0, err
+	}
+	var crc []byte
+	crc = binary.LittleEndian.AppendUint32(crc, crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := w.Write(crc); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	if fs.Exists(path) {
+		if err := fs.Delete(path); err != nil {
+			return 0, err
+		}
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// Load reads a persisted index file and bulk-builds a tree from it.
+func Load(fs *dfs.DFS, path string) (*Tree, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	size, err := r.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(buf) < len(idxMagic)+8 || !bytes.Equal(buf[:len(idxMagic)], idxMagic) {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrBadIndexFile, path)
+	}
+	count := binary.LittleEndian.Uint32(buf[len(idxMagic):])
+	body := buf[len(idxMagic)+4 : len(buf)-4]
+	wantCRC := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: %s: crc mismatch", ErrBadIndexFile, path)
+	}
+
+	entries := make([]Entry, 0, count)
+	off := 0
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated", ErrBadIndexFile, path)
+		}
+		kl := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+kl+32 > len(body) {
+			return nil, fmt.Errorf("%w: %s: truncated entry", ErrBadIndexFile, path)
+		}
+		key := make([]byte, kl)
+		copy(key, body[off:])
+		off += kl
+		ts := int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		seg := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		poff := int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		plen := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		lsn := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		entries = append(entries, Entry{Key: key, TS: ts, Ptr: wal.Ptr{Seg: seg, Off: poff, Len: plen}, LSN: lsn})
+	}
+	return Bulk(entries), nil
+}
+
+// Bulk builds a tree from entries already sorted by composite key
+// (Flush writes them in order, so Load can rebuild bottom-up).
+func Bulk(entries []Entry) *Tree {
+	t := New()
+	if len(entries) == 0 {
+		return t
+	}
+	// Build leaves at ~2/3 fill.
+	per := fanout * 2 / 3
+	var leaves []*node
+	var mem int64
+	for i := 0; i < len(entries); i += per {
+		j := i + per
+		if j > len(entries) {
+			j = len(entries)
+		}
+		chunk := make([]Entry, j-i)
+		copy(chunk, entries[i:j])
+		leaves = append(leaves, &node{leaf: true, entries: chunk})
+		for _, e := range chunk {
+			mem += entryMem(e)
+		}
+	}
+	level := linkLevel(leaves)
+	for len(level) > 1 {
+		var parents []*node
+		for i := 0; i < len(level); i += per {
+			j := i + per
+			if j > len(level) {
+				j = len(level)
+			}
+			p := &node{}
+			for _, c := range level[i:j] {
+				var hk Entry
+				if c.high != nil {
+					hk = *c.high
+				}
+				p.keys = append(p.keys, hk)
+				p.children = append(p.children, c)
+			}
+			parents = append(parents, p)
+		}
+		level = linkLevel(parents)
+	}
+	t.root = level[0]
+	t.n = len(entries)
+	t.mem = mem
+	return t
+}
+
+// linkLevel sets right links and high keys across one level.
+func linkLevel(nodes []*node) []*node {
+	for i, n := range nodes {
+		if i+1 < len(nodes) {
+			n.right = nodes[i+1]
+			var hk Entry
+			if n.leaf {
+				last := n.entries[len(n.entries)-1]
+				hk = Entry{Key: last.Key, TS: last.TS}
+			} else {
+				hk = n.keys[len(n.keys)-1]
+			}
+			n.high = &hk
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,474 @@
+// Package index implements LogBase's in-memory multiversion index
+// (paper §3.5): a B-tree keyed by the composite (primary key, timestamp)
+// whose entries point at record locations in the log.
+//
+// Historical versions of a key are adjacent (ordered by ascending
+// timestamp), so "current version" and "latest version at time t"
+// lookups are a prefix descent plus a bounded walk, and the multiversion
+// concurrency control layer can read record versions straight from the
+// index during validation.
+//
+// The node layout follows the B-link tree the paper cites (right-sibling
+// links and high keys on every node, enabling range scans that walk the
+// leaf chain). Latching is deliberately coarse — one RWMutex for the
+// tree — which preserves the properties the paper exercises (ordered
+// range search, concurrent readers, version adjacency) while keeping
+// the structure easy to verify; writers are serialised upstream by the
+// log append mutex in any case. Deletions are lazy (no rebalancing), as
+// compaction rebuilds indexes wholesale.
+package index
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Entry is one index entry: composite key (Key, TS) mapping to the
+// record's location and the LSN that produced it. The LSN drives the
+// recovery redo rule (paper §3.8): an index entry is only overwritten by
+// a log record with a greater LSN.
+type Entry struct {
+	Key []byte
+	TS  int64
+	Ptr wal.Ptr
+	LSN uint64
+}
+
+// compare orders composite keys: primary key lexicographic, then
+// timestamp ascending.
+func compare(aKey []byte, aTS int64, bKey []byte, bTS int64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aTS < bTS:
+		return -1
+	case aTS > bTS:
+		return 1
+	default:
+		return 0
+	}
+}
+
+const fanout = 64 // max entries per leaf / children per internal node
+
+type node struct {
+	leaf bool
+
+	// Leaf: entries, sorted by composite key.
+	entries []Entry
+
+	// Internal: keys[i] is the high key of children[i]; len(children) ==
+	// len(keys). A descent picks the first child whose key bounds the
+	// target.
+	keys     []Entry // only Key+TS used
+	children []*node
+
+	// right links nodes at the same level (B-link layout); the leaf
+	// chain drives range scans.
+	right *node
+	// high is the node's high key (inclusive upper bound). Nil for the
+	// rightmost node of a level.
+	high *Entry
+}
+
+// Tree is a multiversion index for one column group of one tablet.
+// Safe for concurrent use.
+type Tree struct {
+	mu   sync.RWMutex
+	root *node
+	n    int
+	mem  int64
+}
+
+// New returns an empty index.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// MemBytes estimates resident memory: the paper budgets ~24 bytes per
+// entry (8B key + 8B ts + 8B ptr) plus key material.
+func (t *Tree) MemBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mem
+}
+
+func entryMem(e Entry) int64 { return int64(len(e.Key)) + 8 + 16 + 8 }
+
+// findLeaf descends to the leaf that should contain (key, ts),
+// following right links where the high key is exceeded.
+func (t *Tree) findLeaf(key []byte, ts int64) *node {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		for i < len(n.keys)-1 && compare(key, ts, n.keys[i].Key, n.keys[i].TS) > 0 {
+			i++
+		}
+		n = n.children[i]
+		for n.high != nil && compare(key, ts, n.high.Key, n.high.TS) > 0 && n.right != nil {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// search returns the index of the first entry >= (key, ts) in the leaf.
+func searchLeaf(n *node, key []byte, ts int64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compare(n.entries[mid].Key, n.entries[mid].TS, key, ts) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put inserts or overwrites the entry for (e.Key, e.TS). An existing
+// entry is only replaced when e.LSN is greater or equal (the redo rule).
+// It reports whether the tree changed.
+func (t *Tree) Put(e Entry) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.findLeaf(e.Key, e.TS)
+	i := searchLeaf(leaf, e.Key, e.TS)
+	if i < len(leaf.entries) && compare(leaf.entries[i].Key, leaf.entries[i].TS, e.Key, e.TS) == 0 {
+		if e.LSN < leaf.entries[i].LSN {
+			return false
+		}
+		t.mem += entryMem(e) - entryMem(leaf.entries[i])
+		leaf.entries[i] = e
+		return true
+	}
+	leaf.entries = append(leaf.entries, Entry{})
+	copy(leaf.entries[i+1:], leaf.entries[i:])
+	leaf.entries[i] = e
+	t.n++
+	t.mem += entryMem(e)
+	if len(leaf.entries) > fanout {
+		t.splitLeaf(leaf)
+	}
+	return true
+}
+
+// splitLeaf splits an overfull leaf and propagates upward.
+func (t *Tree) splitLeaf(leaf *node) {
+	mid := len(leaf.entries) / 2
+	rightEntries := make([]Entry, len(leaf.entries)-mid)
+	copy(rightEntries, leaf.entries[mid:])
+	r := &node{leaf: true, entries: rightEntries, right: leaf.right, high: leaf.high}
+	leaf.entries = leaf.entries[:mid]
+	hk := leaf.entries[mid-1]
+	leaf.high = &Entry{Key: hk.Key, TS: hk.TS}
+	leaf.right = r
+	t.insertParent(leaf, r)
+}
+
+// insertParent threads a freshly split (left,right) pair into the
+// parent, splitting internal nodes as needed. With the coarse latch we
+// can simply re-descend from the root to find each parent.
+func (t *Tree) insertParent(left, right *node) {
+	if t.root == left {
+		t.root = &node{
+			keys:     []Entry{*left.high, {}},
+			children: []*node{left, right},
+		}
+		// The rightmost child is unbounded; keys[last] is a sentinel
+		// never compared (descend stops at len(keys)-1).
+		return
+	}
+	parent := t.findParent(t.root, left)
+	// Replace left's slot high key and splice right in after it.
+	for i, c := range parent.children {
+		if c == left {
+			parent.keys = append(parent.keys, Entry{})
+			parent.children = append(parent.children, nil)
+			copy(parent.keys[i+1:], parent.keys[i:])
+			copy(parent.children[i+1:], parent.children[i:])
+			parent.keys[i] = *left.high
+			parent.children[i+1] = right
+			// right inherits left's previous upper bound slot (already
+			// shifted into position i+1).
+			break
+		}
+	}
+	if len(parent.children) > fanout {
+		t.splitInternal(parent)
+	}
+}
+
+func (t *Tree) splitInternal(n *node) {
+	mid := len(n.children) / 2
+	rKeys := make([]Entry, len(n.keys)-mid)
+	copy(rKeys, n.keys[mid:])
+	rChildren := make([]*node, len(n.children)-mid)
+	copy(rChildren, n.children[mid:])
+	r := &node{keys: rKeys, children: rChildren, right: n.right, high: n.high}
+	sep := n.keys[mid-1]
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid]
+	n.high = &Entry{Key: sep.Key, TS: sep.TS}
+	n.right = r
+	t.insertParent(n, r)
+}
+
+// findParent locates the parent of target by structural descent.
+func (t *Tree) findParent(from, target *node) *node {
+	if from.leaf {
+		return nil
+	}
+	for _, c := range from.children {
+		if c == target {
+			return from
+		}
+	}
+	// Descend toward target's high key (or +inf for rightmost chains).
+	var n *node
+	if target.high != nil {
+		i := 0
+		for i < len(from.keys)-1 && compare(target.high.Key, target.high.TS, from.keys[i].Key, from.keys[i].TS) > 0 {
+			i++
+		}
+		n = from.children[i]
+	} else {
+		n = from.children[len(from.children)-1]
+	}
+	for n != nil {
+		if p := t.findParent(n, target); p != nil {
+			return p
+		}
+		n = n.right
+	}
+	return nil
+}
+
+// Get returns the entry with exactly (key, ts).
+func (t *Tree) Get(key []byte, ts int64) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key, ts)
+	i := searchLeaf(leaf, key, ts)
+	if i < len(leaf.entries) && compare(leaf.entries[i].Key, leaf.entries[i].TS, key, ts) == 0 {
+		return leaf.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Latest returns the entry with the greatest timestamp for key.
+func (t *Tree) Latest(key []byte) (Entry, bool) {
+	return t.LatestAt(key, int64(^uint64(0)>>1))
+}
+
+// LatestAt returns the entry for key with the greatest timestamp <= ts
+// — the read path for snapshot reads and historical queries (Get with
+// an attached timestamp, paper §3.6.2).
+func (t *Tree) LatestAt(key []byte, ts int64) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key, ts)
+	i := searchLeaf(leaf, key, ts)
+	// The candidate is the entry just before the first entry > (key,ts).
+	if i < len(leaf.entries) && compare(leaf.entries[i].Key, leaf.entries[i].TS, key, ts) == 0 {
+		return leaf.entries[i], true
+	}
+	prev := func(n *node, i int) (Entry, bool) {
+		if i > 0 {
+			e := n.entries[i-1]
+			if bytes.Equal(e.Key, key) {
+				return e, true
+			}
+		}
+		return Entry{}, false
+	}
+	if e, ok := prev(leaf, i); ok {
+		return e, ok
+	}
+	// (key, ts) may sort to the start of a leaf whose left sibling holds
+	// the versions; since leaves have no left links, re-descend with
+	// ts = -inf and walk the chain.
+	first := t.findLeaf(key, -1<<62)
+	j := searchLeaf(first, key, -1<<62)
+	var best Entry
+	found := false
+	for n := first; n != nil; n = n.right {
+		for ; j < len(n.entries); j++ {
+			e := n.entries[j]
+			if !bytes.Equal(e.Key, key) {
+				if found {
+					return best, true
+				}
+				if bytes.Compare(e.Key, key) > 0 {
+					return Entry{}, false
+				}
+				continue
+			}
+			if e.TS > ts {
+				if found {
+					return best, true
+				}
+				return Entry{}, false
+			}
+			best, found = e, true
+		}
+		j = 0
+	}
+	return best, found
+}
+
+// Versions appends all entries for key (ascending timestamp) to dst.
+func (t *Tree) Versions(key []byte, dst []Entry) []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key, -1<<62)
+	i := searchLeaf(leaf, key, -1<<62)
+	for n := leaf; n != nil; n = n.right {
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			c := bytes.Compare(e.Key, key)
+			if c > 0 {
+				return dst
+			}
+			if c == 0 {
+				dst = append(dst, e)
+			}
+		}
+		i = 0
+	}
+	return dst
+}
+
+// DeleteKey removes every version of key, returning how many entries
+// were removed (paper §3.6.3 step one of Delete).
+func (t *Tree) DeleteKey(key []byte) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for {
+		leaf := t.findLeaf(key, -1<<62)
+		i := searchLeaf(leaf, key, -1<<62)
+		found := false
+		for n := leaf; n != nil && !found; n = n.right {
+			for ; i < len(n.entries); i++ {
+				c := bytes.Compare(n.entries[i].Key, key)
+				if c > 0 {
+					return removed
+				}
+				if c == 0 {
+					t.mem -= entryMem(n.entries[i])
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+					t.n--
+					removed++
+					found = true // restart: slices shifted
+					break
+				}
+			}
+			i = 0
+		}
+		if !found {
+			return removed
+		}
+	}
+}
+
+// DeleteVersion removes the exact (key, ts) entry.
+func (t *Tree) DeleteVersion(key []byte, ts int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.findLeaf(key, ts)
+	i := searchLeaf(leaf, key, ts)
+	if i < len(leaf.entries) && compare(leaf.entries[i].Key, leaf.entries[i].TS, key, ts) == 0 {
+		t.mem -= entryMem(leaf.entries[i])
+		leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+		t.n--
+		return true
+	}
+	return false
+}
+
+// Ascend calls fn for every entry in composite-key order, stopping if fn
+// returns false. It runs under the read latch: fn must not call back
+// into the tree.
+func (t *Tree) Ascend(fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.right {
+		for _, e := range n.entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange calls fn for entries with start <= Key < end (all
+// versions), in order. A nil end means "to the end of the keyspace".
+func (t *Tree) AscendRange(start, end []byte, fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(start, -1<<62)
+	i := searchLeaf(leaf, start, -1<<62)
+	for n := leaf; n != nil; n = n.right {
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if end != nil && bytes.Compare(e.Key, end) >= 0 {
+				return
+			}
+			if !fn(e) {
+				return
+			}
+		}
+		i = 0
+	}
+}
+
+// RangeLatest iterates the range [start, end) and reports, per key, the
+// latest version visible at snapshot ts. This is the range-scan read
+// path (paper §3.6.4).
+func (t *Tree) RangeLatest(start, end []byte, ts int64, fn func(Entry) bool) {
+	var cur Entry
+	have := false
+	t.AscendRange(start, end, func(e Entry) bool {
+		if have && !bytes.Equal(cur.Key, e.Key) {
+			if !fn(cur) {
+				have = false
+				return false
+			}
+			have = false
+		}
+		if e.TS <= ts {
+			cur = e
+			have = true
+		}
+		return true
+	})
+	if have {
+		fn(cur)
+	}
+}
+
+// depth returns the tree height (for tests).
+func (t *Tree) depth() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}

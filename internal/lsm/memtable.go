@@ -1,0 +1,140 @@
+// Package lsm implements a LevelDB-flavoured log-structured merge tree
+// over SSTables in the DFS. The paper's LRS baseline (§4.6) keeps its
+// record index in exactly such a structure ("we use LevelDB ... with all
+// settings kept as default"), and the paper names LSM-trees as the way
+// to scale LogBase's in-memory indexes beyond RAM (§3.5).
+package lsm
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/sstable"
+)
+
+const maxHeight = 12
+
+// Memtable is a concurrent skiplist ordered by sstable.Compare
+// (key ascending, timestamp descending).
+type Memtable struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	height int
+	rng    *rand.Rand
+	n      int
+	bytes  int64
+}
+
+type skipNode struct {
+	e    sstable.Entry
+	next []*skipNode
+}
+
+func NewMemtable() *Memtable {
+	return &Memtable{
+		head:   &skipNode{next: make([]*skipNode, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(0x5eed)),
+	}
+}
+
+func (m *Memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node >= (key, ts) and fills prev.
+func (m *Memtable) findGreaterOrEqual(key []byte, ts int64, prev []*skipNode) *skipNode {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil &&
+			sstable.Compare(x.next[level].e.Key, x.next[level].e.TS, key, ts) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// put inserts or replaces (e.Key, e.TS).
+func (m *Memtable) Put(e sstable.Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := make([]*skipNode, maxHeight)
+	for i := range prev {
+		prev[i] = m.head
+	}
+	found := m.findGreaterOrEqual(e.Key, e.TS, prev)
+	if found != nil && sstable.Compare(found.e.Key, found.e.TS, e.Key, e.TS) == 0 {
+		m.bytes += int64(len(e.Value)) - int64(len(found.e.Value))
+		found.e = e
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		m.height = h
+	}
+	node := &skipNode{e: e, next: make([]*skipNode, h)}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	m.n++
+	m.bytes += int64(len(e.Key)) + int64(len(e.Value)) + 24
+}
+
+// get returns the newest version of key with TS <= ts.
+func (m *Memtable) Get(key []byte, ts int64) (sstable.Entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	// (key, ts) with ts-descending order: the first node >= (key, ts)
+	// is the newest version not newer than ts.
+	n := m.findGreaterOrEqual(key, ts, nil)
+	if n != nil && string(n.e.Key) == string(key) {
+		return n.e, true
+	}
+	return sstable.Entry{}, false
+}
+
+func (m *Memtable) Len() int { m.mu.RLock(); defer m.mu.RUnlock(); return m.n }
+
+func (m *Memtable) ApproxBytes() int64 { m.mu.RLock(); defer m.mu.RUnlock(); return m.bytes }
+
+// iterator yields the memtable in Compare order from start (nil = all).
+// It snapshots nothing: the caller must hold off concurrent writes or
+// accept fuzziness (flushes swap the memtable out under lock first).
+type memIterator struct {
+	m     *Memtable
+	cur   *skipNode
+	init  bool
+	start []byte
+}
+
+func (m *Memtable) Iterator(start []byte) *memIterator {
+	return &memIterator{m: m, start: start}
+}
+
+func (it *memIterator) Next() bool {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	if !it.init {
+		it.init = true
+		if it.start == nil {
+			it.cur = it.m.head.next[0]
+		} else {
+			it.cur = it.m.findGreaterOrEqual(it.start, int64(^uint64(0)>>1), nil)
+		}
+	} else if it.cur != nil {
+		it.cur = it.cur.next[0]
+	}
+	return it.cur != nil
+}
+
+func (it *memIterator) Entry() sstable.Entry { return it.cur.e }
+
+func (it *memIterator) Err() error { return nil }

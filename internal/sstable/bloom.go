@@ -1,0 +1,83 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// bloom is a standard double-hashing Bloom filter (Kirsch–Mitzenmacher):
+// h_i(k) = h1(k) + i*h2(k). The paper cites bLSM's use of Bloom filters
+// to improve LSM read performance; the HBase baseline and the LRS
+// index runs both use it.
+type bloom struct {
+	bits   []byte
+	nbits  uint64
+	hashes int
+}
+
+func newBloom(nkeys, bitsPerKey int) *bloom {
+	nbits := uint64(nkeys * bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := int(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloom{bits: make([]byte, (nbits+7)/8), nbits: nbits, hashes: k}
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31 // derived second hash
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < b.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bloom) marshal() []byte {
+	out := make([]byte, 0, 12+len(b.bits))
+	out = binary.LittleEndian.AppendUint64(out, b.nbits)
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.hashes))
+	return append(out, b.bits...)
+}
+
+func unmarshalBloom(raw []byte) (*bloom, error) {
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("%w: bloom truncated", ErrBadTable)
+	}
+	nbits := binary.LittleEndian.Uint64(raw)
+	hashes := int(binary.LittleEndian.Uint32(raw[8:]))
+	bits := raw[12:]
+	if uint64(len(bits))*8 < nbits {
+		return nil, fmt.Errorf("%w: bloom bits truncated", ErrBadTable)
+	}
+	return &bloom{bits: bits, nbits: nbits, hashes: hashes}, nil
+}

@@ -1,0 +1,147 @@
+// Package textproto implements the line-oriented protocol spoken by
+// cmd/logbase-server and cmd/logbase-cli: one command per line, one or
+// more response lines ("OK ...", "VAL <ts> <value>", "ROW <key> <ts>
+// <value>", "END <n>", "ERR <msg>"). It exists as a package so the
+// protocol is unit-testable without sockets.
+package textproto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Store is the engine surface the protocol drives; *logbase.DB
+// satisfies it.
+type Store interface {
+	CreateTable(name string, groups ...string) error
+	Put(table, group string, key, value []byte) error
+	Get(table, group string, key []byte) (Row, error)
+	GetAt(table, group string, key []byte, ts int64) (Row, error)
+	Versions(table, group string, key []byte) ([]Row, error)
+	Delete(table, group string, key []byte) error
+	Scan(table, group string, start, end []byte, fn func(Row) bool) error
+	Checkpoint() error
+}
+
+// Row mirrors logbase.Row without importing the root package (which
+// would create a cycle through tests).
+type Row struct {
+	Key   []byte
+	TS    int64
+	Value []byte
+}
+
+// Serve reads commands from r and writes responses to w until EOF or
+// QUIT. Errors writing to w abort the session.
+func Serve(rw io.ReadWriter, db Store) error {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(rw)
+	reply := func(format string, args ...interface{}) error {
+		if _, err := fmt.Fprintf(out, format+"\n", args...); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 6)
+		cmd := strings.ToUpper(fields[0])
+		var err error
+		switch {
+		case cmd == "QUIT":
+			return reply("OK bye")
+		case cmd == "CREATE" && len(fields) >= 3:
+			if cerr := db.CreateTable(fields[1], fields[2:]...); cerr != nil {
+				err = reply("ERR %v", cerr)
+			} else {
+				err = reply("OK table %s", fields[1])
+			}
+		case cmd == "PUT" && len(fields) >= 5:
+			if perr := db.Put(fields[1], fields[2], []byte(fields[3]), []byte(strings.Join(fields[4:], " "))); perr != nil {
+				err = reply("ERR %v", perr)
+			} else {
+				err = reply("OK")
+			}
+		case cmd == "GET" && len(fields) >= 4:
+			row, gerr := db.Get(fields[1], fields[2], []byte(fields[3]))
+			if gerr != nil {
+				err = reply("ERR %v", gerr)
+			} else {
+				err = reply("VAL %d %s", row.TS, row.Value)
+			}
+		case cmd == "GETAT" && len(fields) >= 5:
+			ts, perr := strconv.ParseInt(fields[4], 10, 64)
+			if perr != nil {
+				err = reply("ERR bad timestamp %q", fields[4])
+				break
+			}
+			row, gerr := db.GetAt(fields[1], fields[2], []byte(fields[3]), ts)
+			if gerr != nil {
+				err = reply("ERR %v", gerr)
+			} else {
+				err = reply("VAL %d %s", row.TS, row.Value)
+			}
+		case cmd == "VERSIONS" && len(fields) >= 4:
+			rows, verr := db.Versions(fields[1], fields[2], []byte(fields[3]))
+			if verr != nil {
+				err = reply("ERR %v", verr)
+				break
+			}
+			for _, r := range rows {
+				if err = reply("ROW %s %d %s", r.Key, r.TS, r.Value); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = reply("END %d", len(rows))
+			}
+		case cmd == "DEL" && len(fields) >= 4:
+			if derr := db.Delete(fields[1], fields[2], []byte(fields[3])); derr != nil {
+				err = reply("ERR %v", derr)
+			} else {
+				err = reply("OK")
+			}
+		case cmd == "SCAN" && len(fields) >= 5:
+			limit := 100
+			if len(fields) >= 6 {
+				if n, aerr := strconv.Atoi(fields[5]); aerr == nil {
+					limit = n
+				}
+			}
+			n := 0
+			serr := db.Scan(fields[1], fields[2], []byte(fields[3]), []byte(fields[4]), func(r Row) bool {
+				if err = reply("ROW %s %d %s", r.Key, r.TS, r.Value); err != nil {
+					return false
+				}
+				n++
+				return n < limit
+			})
+			if err == nil {
+				if serr != nil {
+					err = reply("ERR %v", serr)
+				} else {
+					err = reply("END %d", n)
+				}
+			}
+		case cmd == "CHECKPOINT":
+			if cerr := db.Checkpoint(); cerr != nil {
+				err = reply("ERR %v", cerr)
+			} else {
+				err = reply("OK checkpoint")
+			}
+		default:
+			err = reply("ERR unknown or malformed command %q", line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,242 @@
+package textproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fakeStore is an in-memory Store for protocol tests.
+type fakeStore struct {
+	tables map[string]map[string]map[string][]versioned // table -> group -> key
+	clock  int64
+}
+
+type versioned struct {
+	ts  int64
+	val []byte
+}
+
+func newFake() *fakeStore {
+	return &fakeStore{tables: map[string]map[string]map[string][]versioned{}}
+}
+
+func (f *fakeStore) CreateTable(name string, groups ...string) error {
+	if len(groups) == 0 {
+		return errors.New("need groups")
+	}
+	if _, ok := f.tables[name]; !ok {
+		f.tables[name] = map[string]map[string][]versioned{}
+		for _, g := range groups {
+			f.tables[name][g] = map[string][]versioned{}
+		}
+	}
+	return nil
+}
+
+func (f *fakeStore) groupMap(table, group string) (map[string][]versioned, error) {
+	t, ok := f.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("no table %s", table)
+	}
+	g, ok := t[group]
+	if !ok {
+		return nil, fmt.Errorf("no group %s", group)
+	}
+	return g, nil
+}
+
+func (f *fakeStore) Put(table, group string, key, value []byte) error {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return err
+	}
+	f.clock++
+	g[string(key)] = append(g[string(key)], versioned{f.clock, append([]byte(nil), value...)})
+	return nil
+}
+
+func (f *fakeStore) Get(table, group string, key []byte) (Row, error) {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return Row{}, err
+	}
+	vs := g[string(key)]
+	if len(vs) == 0 {
+		return Row{}, errors.New("not found")
+	}
+	last := vs[len(vs)-1]
+	return Row{Key: key, TS: last.ts, Value: last.val}, nil
+}
+
+func (f *fakeStore) GetAt(table, group string, key []byte, ts int64) (Row, error) {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return Row{}, err
+	}
+	var best *versioned
+	for i := range g[string(key)] {
+		v := &g[string(key)][i]
+		if v.ts <= ts && (best == nil || v.ts > best.ts) {
+			best = v
+		}
+	}
+	if best == nil {
+		return Row{}, errors.New("not found")
+	}
+	return Row{Key: key, TS: best.ts, Value: best.val}, nil
+}
+
+func (f *fakeStore) Versions(table, group string, key []byte) ([]Row, error) {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, v := range g[string(key)] {
+		out = append(out, Row{Key: key, TS: v.ts, Value: v.val})
+	}
+	return out, nil
+}
+
+func (f *fakeStore) Delete(table, group string, key []byte) error {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return err
+	}
+	delete(g, string(key))
+	return nil
+}
+
+func (f *fakeStore) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return err
+	}
+	var keys []string
+	for k := range g {
+		if k >= string(start) && k < string(end) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row, _ := f.Get(table, group, []byte(k))
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (f *fakeStore) Checkpoint() error { return nil }
+
+// session runs a script through Serve and returns response lines.
+func session(t *testing.T, db Store, script ...string) []string {
+	t.Helper()
+	var out bytes.Buffer
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{strings.NewReader(strings.Join(script, "\n") + "\n"), &out}
+	if err := Serve(rw, db); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	return lines
+}
+
+func TestBasicSession(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE users profile",
+		"PUT users profile alice hello world",
+		"GET users profile alice",
+		"DEL users profile alice",
+		"GET users profile alice",
+		"QUIT",
+	)
+	want := []string{"OK table users", "OK", "VAL 1 hello world", "OK", "ERR not found", "OK bye"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestVersionsAndGetAt(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE t g",
+		"PUT t g k v1",
+		"PUT t g k v2",
+		"VERSIONS t g k",
+		"GETAT t g k 1",
+		"GETAT t g k nonsense",
+	)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "ROW k 1 v1") || !strings.Contains(joined, "ROW k 2 v2") {
+		t.Errorf("versions missing: %v", lines)
+	}
+	if !strings.Contains(joined, "END 2") {
+		t.Errorf("no END marker: %v", lines)
+	}
+	if !strings.Contains(joined, "VAL 1 v1") {
+		t.Errorf("GETAT failed: %v", lines)
+	}
+	if !strings.Contains(joined, `ERR bad timestamp`) {
+		t.Errorf("bad ts not rejected: %v", lines)
+	}
+}
+
+func TestScanWithLimit(t *testing.T) {
+	db := newFake()
+	script := []string{"CREATE t g"}
+	for i := 0; i < 10; i++ {
+		script = append(script, fmt.Sprintf("PUT t g k%d v%d", i, i))
+	}
+	script = append(script, "SCAN t g k0 k9 3")
+	lines := session(t, db, script...)
+	rows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ROW ") {
+			rows++
+		}
+	}
+	if rows != 3 {
+		t.Errorf("limit ignored: %d rows", rows)
+	}
+	if lines[len(lines)-1] != "END 3" {
+		t.Errorf("last line = %q", lines[len(lines)-1])
+	}
+}
+
+func TestMalformedCommands(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"BOGUS",
+		"PUT onlytwo args",
+		"GET t",
+		"",
+		"CHECKPOINT",
+	)
+	errCount := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ERR ") {
+			errCount++
+		}
+	}
+	if errCount != 3 {
+		t.Errorf("%d ERR lines, want 3: %v", errCount, lines)
+	}
+	if lines[len(lines)-1] != "OK checkpoint" {
+		t.Errorf("checkpoint reply = %q", lines[len(lines)-1])
+	}
+}

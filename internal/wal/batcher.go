@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Batcher implements group commit (paper §3.7.2): concurrent appenders
+// are coalesced into one log write to amortise the persistence cost.
+// Every Append call still blocks until its records are durable.
+type Batcher struct {
+	log *Log
+	// MaxBatch is the largest number of records coalesced into one log
+	// write.
+	maxBatch int
+	// MaxDelay bounds how long the leader waits for followers.
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending []batchEntry
+	leader  bool
+	// full is closed by the follower that fills the batch, releasing
+	// the leader before its delay expires.
+	full chan struct{}
+}
+
+type batchEntry struct {
+	recs []*Record
+	done chan batchResult
+}
+
+type batchResult struct {
+	ptrs []Ptr
+	err  error
+}
+
+// NewBatcher wraps log with group commit. maxBatch <= 1 degenerates to
+// direct appends; maxDelay zero means 200µs.
+func NewBatcher(log *Log, maxBatch int, maxDelay time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if maxDelay <= 0 {
+		maxDelay = 200 * time.Microsecond
+	}
+	return &Batcher{log: log, maxBatch: maxBatch, maxDelay: maxDelay}
+}
+
+// Append durably appends recs (as one atomic group within the batch)
+// and returns their pointers.
+func (b *Batcher) Append(recs ...*Record) ([]Ptr, error) {
+	if b.maxBatch == 1 {
+		return b.log.Append(recs...)
+	}
+	entry := batchEntry{recs: recs, done: make(chan batchResult, 1)}
+
+	b.mu.Lock()
+	b.pending = append(b.pending, entry)
+	if b.leader {
+		// A leader is already collecting; wait for it to flush us. If we
+		// just filled the batch, release the leader immediately.
+		if len(b.pending) >= b.maxBatch && b.full != nil {
+			close(b.full)
+			b.full = nil
+		}
+		b.mu.Unlock()
+		res := <-entry.done
+		return res.ptrs, res.err
+	}
+	b.leader = true
+	full := make(chan struct{})
+	b.full = full
+	b.mu.Unlock()
+
+	// Leader: give followers a short window to pile on.
+	deadline := time.NewTimer(b.maxDelay)
+	select {
+	case <-deadline.C:
+	case <-full:
+	}
+	deadline.Stop()
+
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.leader = false
+	b.full = nil
+	b.mu.Unlock()
+
+	var all []*Record
+	for _, e := range batch {
+		all = append(all, e.recs...)
+	}
+	ptrs, err := b.log.Append(all...)
+	off := 0
+	for _, e := range batch {
+		var res batchResult
+		if err != nil {
+			res.err = err
+		} else {
+			res.ptrs = ptrs[off : off+len(e.recs)]
+		}
+		off += len(e.recs)
+		e.done <- res
+	}
+
+	// Our own entry is somewhere in the batch we just flushed.
+	res := <-entry.done
+	return res.ptrs, res.err
+}

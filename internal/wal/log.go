@@ -1,0 +1,538 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes. Zero means 64 MB
+	// (the paper's default, matching HDFS chunk size).
+	SegmentSize int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 64 << 20
+	}
+	return o
+}
+
+// Segment header: magic (6) + flags (1) + reserved (1).
+var segMagic = []byte{'L', 'B', 'S', 'E', 'G', 1}
+
+const (
+	segHeaderSize  = 8
+	segFlagSorted  = 1 << 0 // segment produced by compaction; clustered by (table, group, key, ts)
+	segFlagCompact = 1 << 1 // reserved for per-segment table/group defaults
+)
+
+// SegmentInfo describes one live segment.
+type SegmentInfo struct {
+	Num    uint32
+	Size   int64
+	Sorted bool
+}
+
+// Log is a single tablet server's log instance (one per server, shared
+// by all its tablets, per the paper's single-log design choice). It is
+// safe for concurrent use; appends are serialised internally.
+type Log struct {
+	fs   *dfs.DFS
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	segs    map[uint32]*segState
+	order   []uint32 // live segments in append order
+	cur     uint32   // segment currently open for append (0 = none)
+	curW    *dfs.Writer
+	nextSeg uint32
+	nextLSN uint64
+	readers map[uint32]*dfs.Reader
+}
+
+type segState struct {
+	size   int64
+	sorted bool
+}
+
+// Open opens (or creates) the log stored under dir in fs. Existing
+// segments are discovered and kept; the next append goes to a fresh
+// segment (matching restart behaviour: a recovering server never
+// rewrites an old tail in place).
+func Open(fs *dfs.DFS, dir string, opts Options) (*Log, error) {
+	l := &Log{
+		fs:      fs,
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		segs:    make(map[uint32]*segState),
+		readers: make(map[uint32]*dfs.Reader),
+		nextSeg: 1,
+		nextLSN: 1,
+	}
+	for _, path := range fs.List(dir + "/seg-") {
+		var num uint32
+		if _, err := fmt.Sscanf(path[len(dir)+1:], "seg-%08d", &num); err != nil {
+			continue
+		}
+		size, err := fs.Size(path)
+		if err != nil {
+			return nil, err
+		}
+		sorted, err := l.readSegFlags(path)
+		if err != nil {
+			return nil, err
+		}
+		l.segs[num] = &segState{size: size, sorted: sorted}
+		l.order = append(l.order, num)
+		if num >= l.nextSeg {
+			l.nextSeg = num + 1
+		}
+	}
+	sort.Slice(l.order, func(i, j int) bool { return l.order[i] < l.order[j] })
+	return l, nil
+}
+
+func (l *Log) readSegFlags(path string) (sorted bool, err error) {
+	r, err := l.fs.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer r.Close()
+	hdr := make([]byte, segHeaderSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil && err != io.EOF {
+		return false, err
+	}
+	for i, m := range segMagic {
+		if hdr[i] != m {
+			return false, fmt.Errorf("wal: %s: bad segment magic", path)
+		}
+	}
+	return hdr[6]&segFlagSorted != 0, nil
+}
+
+// SegmentPath returns the DFS path of segment num.
+func (l *Log) SegmentPath(num uint32) string {
+	return fmt.Sprintf("%s/seg-%08d", l.dir, num)
+}
+
+// Dir returns the log's DFS directory.
+func (l *Log) Dir() string { return l.dir }
+
+// newSegmentLocked creates a fresh segment file and writes its header.
+func (l *Log) newSegmentLocked(sorted bool) (uint32, *dfs.Writer, error) {
+	num := l.nextSeg
+	l.nextSeg++
+	w, err := l.fs.Create(l.SegmentPath(num))
+	if err != nil {
+		return 0, nil, err
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	if sorted {
+		hdr[6] |= segFlagSorted
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return 0, nil, err
+	}
+	l.segs[num] = &segState{size: segHeaderSize, sorted: sorted}
+	l.order = append(l.order, num)
+	return num, w, nil
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// SetNextLSN bumps the LSN counter; recovery calls this after replaying
+// the tail so new writes continue the sequence.
+func (l *Log) SetNextLSN(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.nextLSN {
+		l.nextLSN = lsn
+	}
+}
+
+// Append durably appends the records in order, assigning consecutive
+// LSNs, and returns one Ptr per record. The records' LSN fields are
+// updated in place. Records never span segment files. Consecutive
+// frames destined for the same segment are coalesced into one DFS
+// write, which is what makes group commit amortise the persistence
+// cost (paper §3.7.2).
+func (l *Log) Append(recs ...*Record) ([]Ptr, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ptrs := make([]Ptr, 0, len(recs))
+	var batch []byte
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := l.curW.Write(batch); err != nil {
+			return fmt.Errorf("wal: append seg %d: %w", l.cur, err)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, r := range recs {
+		r.LSN = l.nextLSN
+		l.nextLSN++
+		frame := Encode(r)
+		if l.curW == nil || l.segs[l.cur].size+int64(len(frame)) > l.opts.SegmentSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			num, w, err := l.newSegmentLocked(false)
+			if err != nil {
+				return nil, err
+			}
+			l.cur, l.curW = num, w
+		}
+		st := l.segs[l.cur]
+		off := st.size
+		batch = append(batch, frame...)
+		st.size += int64(len(frame))
+		ptrs = append(ptrs, Ptr{Seg: l.cur, Off: off, Len: uint32(len(frame))})
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return ptrs, nil
+}
+
+// Rotate forces the next append into a new segment.
+func (l *Log) Rotate() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.curW != nil {
+		l.curW.Close()
+		l.curW = nil
+		l.cur = 0
+	}
+}
+
+func (l *Log) reader(num uint32) (*dfs.Reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.readers[num]; ok {
+		return r, nil
+	}
+	if _, ok := l.segs[num]; !ok {
+		return nil, fmt.Errorf("wal: segment %d not live", num)
+	}
+	r, err := l.fs.Open(l.SegmentPath(num))
+	if err != nil {
+		return nil, err
+	}
+	l.readers[num] = r
+	return r, nil
+}
+
+// Read fetches the record at ptr. This is the single-seek read path the
+// in-memory index enables (paper §3.5).
+func (l *Log) Read(ptr Ptr) (Record, error) {
+	r, err := l.reader(ptr.Seg)
+	if err != nil {
+		return Record{}, err
+	}
+	buf := make([]byte, ptr.Len)
+	if _, err := r.ReadAt(buf, ptr.Off); err != nil && err != io.EOF {
+		return Record{}, fmt.Errorf("wal: read %v: %w", ptr, err)
+	}
+	rec, _, err := Decode(buf)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: decode %v: %w", ptr, err)
+	}
+	return rec, nil
+}
+
+// Segments lists live segments in append order.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(l.order))
+	for _, num := range l.order {
+		st := l.segs[num]
+		out = append(out, SegmentInfo{Num: num, Size: st.size, Sorted: st.sorted})
+	}
+	return out
+}
+
+// Size returns the total live log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, st := range l.segs {
+		n += st.size
+	}
+	return n
+}
+
+// End returns the position one past the last durable byte.
+func (l *Log) End() Position {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == 0 {
+		if len(l.order) == 0 {
+			return Position{}
+		}
+		last := l.order[len(l.order)-1]
+		return Position{Seg: last, Off: l.segs[last].size}
+	}
+	return Position{Seg: l.cur, Off: l.segs[l.cur].size}
+}
+
+// SegmentWriter writes records (with pre-assigned LSNs) into brand-new
+// segments, used by compaction to lay down sorted runs while the main
+// log keeps serving appends.
+type SegmentWriter struct {
+	l      *Log
+	sorted bool
+	cur    uint32
+	w      *dfs.Writer
+	size   int64
+	nums   []uint32
+}
+
+// NewSegmentWriter starts a writer for fresh (not yet installed)
+// segments. The segments are live for reads as soon as written but only
+// become part of the scan order; InstallCompaction swaps them in as the
+// canonical set.
+func (l *Log) NewSegmentWriter(sorted bool) *SegmentWriter {
+	return &SegmentWriter{l: l, sorted: sorted}
+}
+
+// Append writes rec (keeping its existing LSN) and returns its pointer.
+func (s *SegmentWriter) Append(rec *Record) (Ptr, error) {
+	frame := Encode(rec)
+	if s.w == nil || s.size+int64(len(frame)) > s.l.opts.SegmentSize {
+		s.l.mu.Lock()
+		num, w, err := s.l.newSegmentLocked(s.sorted)
+		s.l.mu.Unlock()
+		if err != nil {
+			return Ptr{}, err
+		}
+		if s.w != nil {
+			s.w.Close()
+		}
+		s.cur, s.w, s.size = num, w, segHeaderSize
+		s.nums = append(s.nums, num)
+	}
+	off := s.size
+	if _, err := s.w.Write(frame); err != nil {
+		return Ptr{}, fmt.Errorf("wal: compaction append seg %d: %w", s.cur, err)
+	}
+	s.size += int64(len(frame))
+	s.l.mu.Lock()
+	s.l.segs[s.cur].size = s.size
+	s.l.mu.Unlock()
+	return Ptr{Seg: s.cur, Off: off, Len: uint32(len(frame))}, nil
+}
+
+// Segments returns the segment numbers written so far.
+func (s *SegmentWriter) Segments() []uint32 { return append([]uint32(nil), s.nums...) }
+
+// Close finishes the writer.
+func (s *SegmentWriter) Close() error {
+	if s.w != nil {
+		return s.w.Close()
+	}
+	return nil
+}
+
+// RemoveSegments drops the given segments from the live set and deletes
+// their files; compaction calls this to discard superseded segments
+// after the new sorted segments and rebuilt indexes are ready.
+func (l *Log) RemoveSegments(nums ...uint32) error {
+	l.mu.Lock()
+	remove := make(map[uint32]bool, len(nums))
+	for _, n := range nums {
+		remove[n] = true
+	}
+	var kept []uint32
+	for _, n := range l.order {
+		if !remove[n] {
+			kept = append(kept, n)
+		}
+	}
+	l.order = kept
+	var errs []error
+	for _, n := range nums {
+		if _, ok := l.segs[n]; !ok {
+			continue
+		}
+		delete(l.segs, n)
+		if r, ok := l.readers[n]; ok {
+			r.Close()
+			delete(l.readers, n)
+		}
+		if l.cur == n {
+			l.curW.Close()
+			l.cur, l.curW = 0, nil
+		}
+		path := l.SegmentPath(n)
+		l.mu.Unlock()
+		if err := l.fs.Delete(path); err != nil {
+			errs = append(errs, err)
+		}
+		l.mu.Lock()
+	}
+	l.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Scanner iterates records in log order starting at a position. The
+// recovery redo pass and compaction both use it. Reads are buffered in
+// large chunks so scanning is sequential I/O, not one access per
+// record.
+type Scanner struct {
+	l    *Log
+	segs []uint32
+	idx  int
+	r    *dfs.Reader
+	size int64
+	off  int64
+
+	buf      []byte
+	bufStart int64
+
+	rec Record
+	ptr Ptr
+	err error
+}
+
+// scanChunkSize is the scanner's read-ahead unit.
+const scanChunkSize = 256 << 10
+
+// NewScanner returns a scanner positioned at from (zero value = start of
+// log). Only segments >= from.Seg are visited.
+func (l *Log) NewScanner(from Position) *Scanner {
+	l.mu.Lock()
+	var segs []uint32
+	for _, n := range l.order {
+		if n >= from.Seg {
+			segs = append(segs, n)
+		}
+	}
+	l.mu.Unlock()
+	s := &Scanner{l: l, segs: segs}
+	if len(segs) > 0 && segs[0] == from.Seg && from.Off > segHeaderSize {
+		s.off = from.Off
+	}
+	return s
+}
+
+// window returns the bytes at the current offset, refilling the
+// read-ahead buffer so at least want bytes are available (or everything
+// up to end of segment).
+func (s *Scanner) window(want int) ([]byte, error) {
+	have := func() []byte {
+		rel := s.off - s.bufStart
+		if s.buf == nil || rel < 0 || rel >= int64(len(s.buf)) {
+			return nil
+		}
+		return s.buf[rel:]
+	}
+	if w := have(); len(w) >= want {
+		return w, nil
+	}
+	n := int64(scanChunkSize)
+	if int64(want) > n {
+		n = int64(want)
+	}
+	if rem := s.size - s.off; n > rem {
+		n = rem
+	}
+	buf := make([]byte, n)
+	m, err := s.r.ReadAt(buf, s.off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	s.buf = buf[:m]
+	s.bufStart = s.off
+	return have(), nil
+}
+
+// Next advances to the next record, returning false at end of log or on
+// error (check Err).
+func (s *Scanner) Next() bool {
+	for {
+		if s.r == nil {
+			if s.idx >= len(s.segs) {
+				return false
+			}
+			num := s.segs[s.idx]
+			r, err := s.l.reader(num)
+			if err != nil {
+				s.err = err
+				return false
+			}
+			s.l.mu.Lock()
+			size := s.l.segs[num].size
+			s.l.mu.Unlock()
+			s.r = r
+			s.size = size
+			if s.off < segHeaderSize {
+				s.off = segHeaderSize
+			}
+		}
+		if s.off >= s.size {
+			s.r = nil
+			s.idx++
+			s.off = 0
+			s.buf = nil
+			continue
+		}
+		frame, err := s.window(frameHeaderSize)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		if len(frame) >= frameHeaderSize {
+			n := int(uint32(frame[0]) | uint32(frame[1])<<8 | uint32(frame[2])<<16 | uint32(frame[3])<<24)
+			if len(frame) < frameHeaderSize+n {
+				if frame, err = s.window(frameHeaderSize + n); err != nil {
+					s.err = err
+					return false
+				}
+			}
+		}
+		rec, consumed, derr := Decode(frame)
+		if derr != nil {
+			if errors.Is(derr, ErrTorn) && s.idx == len(s.segs)-1 {
+				// Torn tail write: recovery truncates here.
+				return false
+			}
+			s.err = fmt.Errorf("wal: seg %d @%d: %w", s.segs[s.idx], s.off, derr)
+			return false
+		}
+		s.rec = rec
+		s.ptr = Ptr{Seg: s.segs[s.idx], Off: s.off, Len: uint32(consumed)}
+		s.off += int64(consumed)
+		return true
+	}
+}
+
+// Record returns the current record.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Ptr returns the current record's location.
+func (s *Scanner) Ptr() Ptr { return s.ptr }
+
+// Err returns the first error encountered.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,280 @@
+// Package wal implements LogBase's log repository (paper §3.4): the
+// write-ahead log that doubles as the system's only data store.
+//
+// The log is an infinite sequential repository made of contiguous
+// segments, each an append-only file in the DFS. A log record is a
+// <LogKey, Data> pair: LogKey carries the log sequence number (LSN),
+// table name and tablet; Data carries the RowKey (primary key + column
+// group + write timestamp) and the value. Delete operations persist an
+// "invalidated" record whose value is null; transaction commits persist
+// a commit record. Records are length-prefixed and CRC-framed so a torn
+// tail write is detected and truncated during recovery scans.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Kind discriminates log record types.
+type Kind uint8
+
+const (
+	// KindWrite is an insert or update of one row/column-group version.
+	KindWrite Kind = iota + 1
+	// KindDelete is an invalidated entry: a delete persisted with a null
+	// value so the deletion survives recovery (paper §3.6.3).
+	KindDelete
+	// KindCommit marks a transaction as committed; writes of a
+	// transaction are visible only if their commit record exists
+	// (paper §3.7.2).
+	KindCommit
+	// KindCheckpoint records a consistent checkpoint: the index files it
+	// refers to cover the log up to this record's position (paper §3.8).
+	KindCheckpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWrite:
+		return "write"
+	case KindDelete:
+		return "delete"
+	case KindCommit:
+		return "commit"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one log entry.
+type Record struct {
+	Kind Kind
+	// LSN is assigned by the log at append time.
+	LSN uint64
+	// Table and Tablet identify the partition the write belongs to.
+	Table  string
+	Tablet string
+	// Group is the column group the write updates.
+	Group string
+	// Key is the row's primary key.
+	Key []byte
+	// TS is the version timestamp (the writing transaction's commit
+	// timestamp, or the write's wall timestamp for auto-commit writes).
+	TS int64
+	// Value is the written content; nil for KindDelete.
+	Value []byte
+	// TxnID links writes to their commit record; zero for auto-commit.
+	TxnID uint64
+}
+
+// Ptr locates a record in the log: segment file number, byte offset in
+// that segment, and total framed length (paper §3.5: "file number, the
+// offset in the file, the record's size").
+type Ptr struct {
+	Seg uint32
+	Off int64
+	Len uint32
+}
+
+// Zero reports whether the pointer is the zero value.
+func (p Ptr) Zero() bool { return p == Ptr{} }
+
+func (p Ptr) String() string { return fmt.Sprintf("seg%d@%d+%d", p.Seg, p.Off, p.Len) }
+
+// Position is a scan cursor: everything at or after it is "the tail".
+type Position struct {
+	Seg uint32
+	Off int64
+}
+
+// Less orders positions by (segment, offset).
+func (p Position) Less(q Position) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// Framing: u32 payloadLen | u32 crc32(payload) | payload.
+const frameHeaderSize = 8
+
+var (
+	// ErrCorrupt reports a CRC mismatch or malformed payload.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrTorn reports a truncated record at the log tail.
+	ErrTorn = errors.New("wal: torn record at tail")
+)
+
+func putString(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		panic("wal: string field too long")
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func putBytes(buf []byte, b []byte, present bool) []byte {
+	if !present {
+		return binary.LittleEndian.AppendUint32(buf, math.MaxUint32)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// encodePayload serialises the record body (without framing).
+func encodePayload(r *Record) []byte {
+	buf := make([]byte, 0, 64+len(r.Key)+len(r.Value))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN)
+	buf = binary.LittleEndian.AppendUint64(buf, r.TxnID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.TS))
+	buf = putString(buf, r.Table)
+	buf = putString(buf, r.Tablet)
+	buf = putString(buf, r.Group)
+	buf = putBytes(buf, r.Key, r.Key != nil)
+	buf = putBytes(buf, r.Value, r.Value != nil && r.Kind != KindDelete)
+	return buf
+}
+
+// Encode frames the record for appending: header + payload.
+func Encode(r *Record) []byte {
+	payload := encodePayload(r)
+	out := make([]byte, 0, frameHeaderSize+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) u8() uint8 {
+	if p.err != nil || p.off+1 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *payloadReader) u16() uint16 {
+	if p.err != nil || p.off+2 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(p.b[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *payloadReader) u32() uint32 {
+	if p.err != nil || p.off+4 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *payloadReader) u64() uint64 {
+	if p.err != nil || p.off+8 > len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+func (p *payloadReader) str() string {
+	n := int(p.u16())
+	if p.err != nil || p.off+n > len(p.b) {
+		p.fail()
+		return ""
+	}
+	s := string(p.b[p.off : p.off+n])
+	p.off += n
+	return s
+}
+
+func (p *payloadReader) bytes() []byte {
+	n := p.u32()
+	if n == math.MaxUint32 {
+		return nil
+	}
+	if p.err != nil || p.off+int(n) > len(p.b) {
+		p.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p.b[p.off:])
+	p.off += int(n)
+	return out
+}
+
+func (p *payloadReader) fail() {
+	if p.err == nil {
+		p.err = ErrCorrupt
+	}
+}
+
+// decodePayload parses a record body.
+func decodePayload(payload []byte) (Record, error) {
+	pr := &payloadReader{b: payload}
+	var r Record
+	r.Kind = Kind(pr.u8())
+	r.LSN = pr.u64()
+	r.TxnID = pr.u64()
+	r.TS = int64(pr.u64())
+	r.Table = pr.str()
+	r.Tablet = pr.str()
+	r.Group = pr.str()
+	r.Key = pr.bytes()
+	r.Value = pr.bytes()
+	if pr.err != nil {
+		return Record{}, pr.err
+	}
+	if pr.off != len(payload) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload)-pr.off)
+	}
+	switch r.Kind {
+	case KindWrite, KindDelete, KindCommit, KindCheckpoint:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, r.Kind)
+	}
+	return r, nil
+}
+
+// Decode parses one framed record from b, returning the record and the
+// total number of bytes consumed. A short buffer returns ErrTorn; a CRC
+// mismatch returns ErrCorrupt.
+func Decode(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, ErrTorn
+	}
+	n := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if len(b) < frameHeaderSize+int(n) {
+		return Record{}, 0, ErrTorn
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, ErrCorrupt
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderSize + int(n), nil
+}

@@ -1,0 +1,366 @@
+// Package logbase is a Go reproduction of "LogBase: A Scalable
+// Log-structured Database System in the Cloud" (Vo, Wang, Agrawal,
+// Chen, Ooi — PVLDB 5(10), 2012).
+//
+// LogBase is a log-only database engine: the write-ahead log is the
+// only data repository. Writes are a single sequential append; reads go
+// through dense in-memory multiversion indexes pointing into the log;
+// deletes persist invalidation records; periodic compaction re-clusters
+// the log; checkpoints bound recovery to an index reload plus a short
+// redo of the log tail. Transactions spanning records and servers get
+// snapshot isolation through multiversion optimistic concurrency
+// control with write locks acquired at validation.
+//
+// Two entry points:
+//
+//   - Open returns an embedded single-server DB — the quickest way to
+//     use the engine as a library.
+//   - NewCluster starts a simulated multi-server deployment (tablet
+//     servers over a replicated DFS with a master and failover), the
+//     configuration the paper evaluates at 3–24 nodes.
+//
+// The underlying substrates (DFS, log repository, B-link multiversion
+// index, LSM-tree, coordination service) live in internal/ packages;
+// this package is the supported surface.
+package logbase
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/txn"
+)
+
+// ErrNotFound is returned when a key or version does not exist.
+var ErrNotFound = core.ErrNotFound
+
+// ErrConflict is returned when a transaction loses first-committer-wins
+// validation; retry the transaction (or use RunTxn).
+var ErrConflict = txn.ErrConflict
+
+// Row is one record version.
+type Row = core.Row
+
+// Options configures an embedded DB.
+type Options struct {
+	// SegmentSize is the log segment rotation size (default 64 MB).
+	SegmentSize int64
+	// ReadCacheBytes bounds the optional read buffer; 0 disables it.
+	ReadCacheBytes int64
+	// GroupCommit batches concurrent log appends.
+	GroupCommit bool
+	// CompactKeepVersions bounds versions kept per key at compaction;
+	// 0 keeps all committed versions.
+	CompactKeepVersions int
+	// IndexFlushUpdates triggers an index-file merge after this many
+	// updates per column group (0 = only explicit checkpoints).
+	IndexFlushUpdates int64
+	// Replication is the DFS replication factor (default 3, clamped to
+	// DataNodes).
+	Replication int
+	// DataNodes is the simulated DFS size (default 3).
+	DataNodes int
+}
+
+// DB is an embedded single-server LogBase instance.
+type DB struct {
+	fs     *dfs.DFS
+	svc    *coord.Service
+	server *core.Server
+	txns   *txn.Manager
+	tables map[string]tableMeta
+	opts   Options
+	dir    string
+}
+
+type tableMeta struct {
+	tablet string
+	groups map[string]bool
+}
+
+// Open creates (or reopens) an embedded DB rooted at dir. Reopening a
+// directory with existing data requires declaring the same tables with
+// CreateTable and then calling Recover.
+func Open(dir string, opts Options) (*DB, error) {
+	nodes := opts.DataNodes
+	if nodes <= 0 {
+		nodes = 3
+	}
+	fs, err := dfs.New(dir, dfs.Config{
+		NumDataNodes:      nodes,
+		ReplicationFactor: opts.Replication,
+		BlockSize:         4 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return openOn(fs, dir, opts)
+}
+
+func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
+	server, err := core.NewServer(fs, "embedded", core.Config{
+		SegmentSize:         opts.SegmentSize,
+		ReadCacheBytes:      opts.ReadCacheBytes,
+		GroupCommit:         opts.GroupCommit,
+		CompactKeepVersions: opts.CompactKeepVersions,
+		IndexFlushUpdates:   opts.IndexFlushUpdates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		fs:     fs,
+		svc:    coord.New(),
+		server: server,
+		tables: make(map[string]tableMeta),
+		opts:   opts,
+		dir:    dir,
+	}
+	db.txns = txn.NewManager(db.svc, txn.ResolverFunc(func(string) (*core.Server, error) {
+		return db.server, nil
+	}))
+	return db, nil
+}
+
+// Reopen simulates a crash-restart over the same storage: in-memory
+// state is discarded; call CreateTable for the schema and Recover to
+// rebuild the indexes.
+func (db *DB) Reopen() (*DB, error) { return openOn(db.fs, db.dir, db.opts) }
+
+// CreateTable declares a table with its column groups. Idempotent.
+func (db *DB) CreateTable(name string, groups ...string) error {
+	if len(groups) == 0 {
+		return errors.New("logbase: a table needs at least one column group")
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil
+	}
+	tablet := name + "/0000"
+	db.server.AddTablet(tabletSpec(name, tablet), groups)
+	gm := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		gm[g] = true
+	}
+	db.tables[name] = tableMeta{tablet: tablet, groups: gm}
+	return nil
+}
+
+func (db *DB) table(name, group string) (tableMeta, error) {
+	tm, ok := db.tables[name]
+	if !ok {
+		return tableMeta{}, errors.New("logbase: unknown table " + name)
+	}
+	if !tm.groups[group] {
+		return tableMeta{}, errors.New("logbase: table " + name + " has no column group " + group)
+	}
+	return tm, nil
+}
+
+// Put writes a row version into a column group (auto-commit, durable on
+// return).
+func (db *DB) Put(table, group string, key, value []byte) error {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return db.server.Write(tm.tablet, group, key, db.svc.NextTimestamp(), value)
+}
+
+// Get returns the latest version of a row.
+func (db *DB) Get(table, group string, key []byte) (Row, error) {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return Row{}, err
+	}
+	return db.server.Get(tm.tablet, group, key)
+}
+
+// GetAt returns the version visible at snapshot ts (multiversion
+// access; timestamps come from committed writes' Row.TS).
+func (db *DB) GetAt(table, group string, key []byte, ts int64) (Row, error) {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return Row{}, err
+	}
+	return db.server.GetAt(tm.tablet, group, key, ts)
+}
+
+// Versions returns all stored versions of a row, oldest first.
+func (db *DB) Versions(table, group string, key []byte) ([]Row, error) {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return nil, err
+	}
+	return db.server.Versions(tm.tablet, group, key)
+}
+
+// Delete removes a row (persisting an invalidation record).
+func (db *DB) Delete(table, group string, key []byte) error {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return db.server.Delete(tm.tablet, group, key, db.svc.NextTimestamp())
+}
+
+// Scan streams the latest version of each key in [start, end) in key
+// order; nil bounds are open.
+func (db *DB) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return db.server.Scan(tm.tablet, group, start, end, db.svc.LastTimestamp(), fn)
+}
+
+// FullScan streams every live row in log order (the batch-analytics
+// path).
+func (db *DB) FullScan(table, group string, fn func(Row) bool) error {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return db.server.FullScan(tm.tablet, group, fn)
+}
+
+// Txn is a snapshot-isolation transaction over the embedded DB.
+type Txn struct {
+	db *DB
+	t  *txn.Txn
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn { return &Txn{db: db, t: db.txns.Begin()} }
+
+// Get reads a row at the transaction snapshot.
+func (tx *Txn) Get(table, group string, key []byte) ([]byte, error) {
+	tm, err := tx.db.table(table, group)
+	if err != nil {
+		return nil, err
+	}
+	return tx.t.Get(tm.tablet, group, key)
+}
+
+// Put buffers a transactional write.
+func (tx *Txn) Put(table, group string, key, value []byte) error {
+	tm, err := tx.db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return tx.t.Put(tm.tablet, group, key, value)
+}
+
+// Delete buffers a transactional delete.
+func (tx *Txn) Delete(table, group string, key []byte) error {
+	tm, err := tx.db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return tx.t.Delete(tm.tablet, group, key)
+}
+
+// Scan streams snapshot-visible rows in [start, end).
+func (tx *Txn) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+	tm, err := tx.db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return tx.t.Scan(tm.tablet, group, start, end, fn)
+}
+
+// Commit validates and commits; ErrConflict means retry.
+func (tx *Txn) Commit() error { return tx.t.Commit() }
+
+// Abort discards the transaction.
+func (tx *Txn) Abort() { tx.t.Abort() }
+
+// RunTxn runs fn in a transaction, retrying validation conflicts.
+func (db *DB) RunTxn(fn func(*Txn) error) error {
+	return db.txns.RunTxn(20, func(t *txn.Txn) error {
+		return fn(&Txn{db: db, t: t})
+	})
+}
+
+// Extractor derives a secondary-index key from a row's value; nil means
+// "don't index this row".
+type Extractor = core.Extractor
+
+// RegisterSecondaryIndex creates a secondary index over a column group
+// (the paper's §5 future-work extension): rows become findable by an
+// extracted attribute at the cost of one extra in-memory index, with
+// lookups costing an index descent plus one log seek per match.
+// Existing rows are backfilled.
+func (db *DB) RegisterSecondaryIndex(name, table, group string, extract Extractor) error {
+	tm, err := db.table(table, group)
+	if err != nil {
+		return err
+	}
+	return db.server.RegisterSecondaryIndex(name, tm.tablet, group, extract)
+}
+
+// LookupSecondary returns rows whose extracted attribute equals secKey,
+// in primary-key order.
+func (db *DB) LookupSecondary(name string, secKey []byte) ([]Row, error) {
+	return db.server.LookupSecondary(name, secKey)
+}
+
+// ScanSecondaryRange streams rows whose extracted attribute falls in
+// [start, end), ordered by (attribute, primary key).
+func (db *DB) ScanSecondaryRange(name string, start, end []byte, fn func(secKey []byte, r Row) bool) error {
+	return db.server.ScanSecondaryRange(name, start, end, fn)
+}
+
+// Checkpoint flushes the in-memory indexes and writes a recovery
+// manifest.
+func (db *DB) Checkpoint() error { return db.server.Checkpoint() }
+
+// Compact vacuums the log: obsolete versions, deleted rows and
+// uncommitted transactional writes are dropped, survivors re-clustered
+// by (table, group, key, timestamp).
+func (db *DB) Compact() (core.CompactionStats, error) { return db.server.Compact() }
+
+// Recover rebuilds in-memory state after Reopen: index files from the
+// last checkpoint plus a redo of the log tail.
+func (db *DB) Recover() (core.RecoveryStats, error) { return db.server.Recover() }
+
+// Stats exposes engine counters.
+func (db *DB) Stats() *core.ServerStats { return db.server.Stats() }
+
+// IndexMemBytes estimates in-memory index size (the paper budgets ~24
+// bytes per entry).
+func (db *DB) IndexMemBytes() int64 { return db.server.IndexMemBytes() }
+
+// LogSize returns the live log size in bytes.
+func (db *DB) LogSize() int64 { return db.server.Log().Size() }
+
+// Server exposes the underlying tablet server for advanced use.
+func (db *DB) Server() *core.Server { return db.server }
+
+// Close releases the DB. Data is already durable (appends are
+// synchronous); an explicit Checkpoint before Close speeds up the next
+// Recover.
+func (db *DB) Close() error { return nil }
+
+// Cluster re-exports the simulated multi-server deployment.
+type Cluster = cluster.Cluster
+
+// ClusterConfig configures a simulated cluster.
+type ClusterConfig = cluster.Config
+
+// TableSpec declares a table for a cluster.
+type TableSpec = cluster.TableSpec
+
+// Client is a cluster routing client.
+type Client = cluster.Client
+
+// NewCluster starts a simulated multi-server LogBase deployment.
+func NewCluster(dir string, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(dir, cfg)
+}
+
+// Elapsed is a tiny helper used by examples to report wall times.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

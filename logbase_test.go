@@ -1,0 +1,179 @@
+package logbase
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := db.CreateTable("events", "payload", "meta"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return db
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := openDB(t, Options{ReadCacheBytes: 1 << 20})
+	if err := db.Put("events", "payload", []byte("e1"), []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	row, err := db.Get("events", "payload", []byte("e1"))
+	if err != nil || string(row.Value) != "hello" {
+		t.Fatalf("Get = %+v err=%v", row, err)
+	}
+	if _, err := db.Get("events", "payload", []byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key err = %v", err)
+	}
+	if err := db.Delete("events", "payload", []byte("e1")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := db.Get("events", "payload", []byte("e1")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key err = %v", err)
+	}
+}
+
+func TestPublicAPIMultiversion(t *testing.T) {
+	db := openDB(t, Options{})
+	key := []byte("doc")
+	for i := 1; i <= 3; i++ {
+		db.Put("events", "payload", key, []byte(fmt.Sprintf("rev%d", i)))
+	}
+	rows, err := db.Versions("events", "payload", key)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("Versions = %d err=%v", len(rows), err)
+	}
+	// Historical read at the first version's timestamp.
+	old, err := db.GetAt("events", "payload", key, rows[0].TS)
+	if err != nil || string(old.Value) != "rev1" {
+		t.Errorf("GetAt = %+v err=%v", old, err)
+	}
+}
+
+func TestPublicAPIScan(t *testing.T) {
+	db := openDB(t, Options{})
+	for i := 0; i < 20; i++ {
+		db.Put("events", "meta", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+	}
+	var got []string
+	db.Scan("events", "meta", []byte("k05"), []byte("k10"), func(r Row) bool {
+		got = append(got, string(r.Key))
+		return true
+	})
+	if len(got) != 5 || got[0] != "k05" {
+		t.Errorf("scan = %v", got)
+	}
+	n := 0
+	db.FullScan("events", "meta", func(Row) bool { n++; return true })
+	if n != 20 {
+		t.Errorf("full scan = %d", n)
+	}
+}
+
+func TestPublicAPITxn(t *testing.T) {
+	db := openDB(t, Options{})
+	db.Put("events", "payload", []byte("acct/a"), []byte("100"))
+	db.Put("events", "payload", []byte("acct/b"), []byte("0"))
+	err := db.RunTxn(func(tx *Txn) error {
+		a, err := tx.Get("events", "payload", []byte("acct/a"))
+		if err != nil {
+			return err
+		}
+		if err := tx.Put("events", "payload", []byte("acct/a"), []byte("0")); err != nil {
+			return err
+		}
+		return tx.Put("events", "payload", []byte("acct/b"), a)
+	})
+	if err != nil {
+		t.Fatalf("RunTxn: %v", err)
+	}
+	b, _ := db.Get("events", "payload", []byte("acct/b"))
+	if string(b.Value) != "100" {
+		t.Errorf("transfer lost: b = %q", b.Value)
+	}
+}
+
+func TestPublicAPICrashRecovery(t *testing.T) {
+	db := openDB(t, Options{})
+	for i := 0; i < 50; i++ {
+		db.Put("events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+	}
+	db.Checkpoint()
+	db.Put("events", "payload", []byte("tail"), []byte("t"))
+
+	db2, err := db.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	db2.CreateTable("events", "payload", "meta")
+	st, err := db2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !st.UsedCheckpoint {
+		t.Error("checkpoint not used")
+	}
+	if _, err := db2.Get("events", "payload", []byte("tail")); err != nil {
+		t.Errorf("tail write lost: %v", err)
+	}
+}
+
+func TestPublicAPICompact(t *testing.T) {
+	db := openDB(t, Options{CompactKeepVersions: 1, SegmentSize: 1 << 14})
+	for i := 0; i < 30; i++ {
+		for v := 0; v < 4; v++ {
+			db.Put("events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", v)))
+		}
+	}
+	before := db.LogSize()
+	st, err := db.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st.Dropped == 0 || db.LogSize() >= before {
+		t.Errorf("compaction reclaimed nothing: %+v", st)
+	}
+	row, err := db.Get("events", "payload", []byte("k00"))
+	if err != nil || string(row.Value) != "v3" {
+		t.Errorf("post-compaction read = %+v err=%v", row, err)
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	c, err := NewCluster(t.TempDir(), ClusterConfig{
+		NumServers: 3,
+		Tables:     []TableSpec{{Name: "t", Groups: []string{"g"}}},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl := c.NewClient()
+	if err := cl.Put("t", "g", []byte{0x42}, []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	row, err := cl.Get("t", "g", []byte{0x42})
+	if err != nil || string(row.Value) != "v" {
+		t.Errorf("Get = %+v err=%v", row, err)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	db := openDB(t, Options{})
+	if err := db.Put("nope", "g", []byte("k"), nil); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := db.Put("events", "nope", []byte("k"), nil); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if err := db.CreateTable("bad"); err == nil {
+		t.Error("table without groups accepted")
+	}
+	if err := db.CreateTable("events", "payload", "meta"); err != nil {
+		t.Errorf("idempotent CreateTable failed: %v", err)
+	}
+}

@@ -1,0 +1,9 @@
+package logbase
+
+import "repro/internal/partition"
+
+// tabletSpec builds a whole-keyspace tablet for the embedded DB (one
+// tablet per table; the cluster path does real range partitioning).
+func tabletSpec(table, id string) partition.Tablet {
+	return partition.Tablet{ID: id, Table: table, Range: partition.Range{}}
+}
