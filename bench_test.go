@@ -10,6 +10,8 @@ package logbase
 
 import (
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -157,3 +159,121 @@ func BenchmarkOpScan100(b *testing.B) {
 		}
 	}
 }
+
+// Analytic-scan benchmarks: the query subsystem's acceptance check. A
+// 100k-row table is scanned once per iteration, serially through
+// FullScan (log order, every record decoded) and through the
+// snapshot-parallel aggregation pipeline (sharded index scan, batched
+// log reads). Compare ns/op directly: same table, same aggregate.
+
+const analyticRows = 100_000
+
+var (
+	analyticOnce sync.Once
+	analyticDB   *DB
+	analyticErr  error
+)
+
+func analyticFixture(b *testing.B) *DB {
+	b.Helper()
+	analyticOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "logbase-analytic-")
+		if err != nil {
+			analyticErr = err
+			return
+		}
+		db, err := Open(dir, Options{ReadCacheBytes: 64 << 20, SegmentSize: 64 << 20})
+		if err != nil {
+			analyticErr = err
+			return
+		}
+		if err := db.CreateTable("t", "g"); err != nil {
+			analyticErr = err
+			return
+		}
+		// 15-digit values stay inside strconv's fast float path, so the
+		// benchmark measures the scan, not decimal conversion.
+		val := func(i int) []byte { return []byte(fmt.Sprintf("%015d", i%1000)) }
+		for i := 0; i < analyticRows; i++ {
+			if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
+				analyticErr = err
+				return
+			}
+		}
+		// Update a third of the rows (same value, so the expected sum
+		// stays closed-form): the log now carries stale versions that
+		// FullScan must decode and discard, while the index-driven
+		// snapshot scan fetches live data only.
+		for i := 0; i < analyticRows; i += 3 {
+			if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
+				analyticErr = err
+				return
+			}
+		}
+		analyticDB = db
+	})
+	if analyticErr != nil {
+		b.Fatalf("analytic fixture: %v", analyticErr)
+	}
+	return analyticDB
+}
+
+const analyticWantSum = float64(analyticRows/1000) * (999 * 1000 / 2) // sum of i%1000
+
+func BenchmarkAnalyticFullScan100k(b *testing.B) {
+	db := analyticFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		var rows int64
+		err := db.FullScan("t", "g", func(r Row) bool {
+			rows++
+			if v, ok := FloatValue(r); ok {
+				sum += v
+			}
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != analyticRows || sum != analyticWantSum {
+			b.Fatalf("rows=%d sum=%g, want %d/%g", rows, sum, analyticRows, analyticWantSum)
+		}
+	}
+}
+
+func BenchmarkAnalyticParallelQuery100k(b *testing.B) {
+	db := analyticFixture(b)
+	q := Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("t", "g", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != analyticRows || res.Value(0, Sum) != analyticWantSum {
+			b.Fatalf("rows=%d sum=%g, want %d/%g", res.Rows, res.Value(0, Sum), analyticRows, analyticWantSum)
+		}
+	}
+}
+
+func BenchmarkAnalyticGroupBy100k(b *testing.B) {
+	db := analyticFixture(b)
+	q := Query{
+		GroupBy: func(r Row) string { return string(r.Key[:len("user00000001")]) },
+		Aggs:    []Agg{{Kind: Count}, {Kind: Avg, Extract: FloatValue}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("t", "g", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != analyticRows {
+			b.Fatalf("rows = %d", res.Rows)
+		}
+	}
+}
+
+func BenchmarkAnalyticScanFigure(b *testing.B)    { runFigure(b, "analytic-scan") }
+func BenchmarkAnalyticScanMixFigure(b *testing.B) { runFigure(b, "analytic-mix") }

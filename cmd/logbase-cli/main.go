@@ -26,7 +26,8 @@ func main() {
 	server.Buffer(make([]byte, 1<<20), 1<<20)
 	stdin := bufio.NewScanner(os.Stdin)
 
-	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN CHECKPOINT COMPACT STATS QUIT")
+	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY CHECKPOINT COMPACT STATS QUIT")
+	fmt.Println("  QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]")
 	for {
 		fmt.Print("> ")
 		if !stdin.Scan() {
@@ -41,7 +42,7 @@ func main() {
 		}
 		streaming := false
 		switch strings.ToUpper(strings.Fields(line)[0]) {
-		case "SCAN", "VERSIONS":
+		case "SCAN", "VERSIONS", "QUERY":
 			streaming = true
 		}
 		for server.Scan() {

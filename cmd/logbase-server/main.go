@@ -9,6 +9,7 @@
 //	VERSIONS <table> <group> <key>
 //	DEL <table> <group> <key>
 //	SCAN <table> <group> <start> <end> [limit]
+//	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
 //	CHECKPOINT | QUIT
 package main
 
@@ -55,6 +56,45 @@ func (a dbAdapter) Scan(table, group string, start, end []byte, fn func(textprot
 		return fn(textproto.Row(r))
 	})
 }
+func (a dbAdapter) Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (textproto.QueryReply, error) {
+	kind, err := logbase.ParseAggKind(agg)
+	if err != nil {
+		return textproto.QueryReply{}, err
+	}
+	q := logbase.Query{
+		Filter: logbase.QueryFilter{Start: start, End: end},
+		Aggs:   []logbase.Agg{{Kind: kind, Extract: extractFor(kind)}},
+	}
+	if groupPrefix > 0 {
+		q.GroupBy = func(r logbase.Row) string {
+			if len(r.Key) <= groupPrefix {
+				return string(r.Key)
+			}
+			return string(r.Key[:groupPrefix])
+		}
+	}
+	res, err := a.db.QueryAt(table, group, ts, q)
+	if err != nil {
+		return textproto.QueryReply{}, err
+	}
+	rep := textproto.QueryReply{TS: res.TS}
+	for _, g := range res.Groups {
+		rep.Groups = append(rep.Groups, textproto.QueryGroup{
+			Key: g.Key, Rows: g.Rows, Value: g.Aggs[0].Value(kind),
+		})
+	}
+	return rep, nil
+}
+
+// extractFor picks the value projection: COUNT counts every row, the
+// numeric aggregates parse the row value as a decimal number.
+func extractFor(kind logbase.AggKind) func(logbase.Row) (float64, bool) {
+	if kind == logbase.Count {
+		return nil
+	}
+	return logbase.FloatValue
+}
+
 func (a dbAdapter) Checkpoint() error { return a.db.Checkpoint() }
 
 func main() {

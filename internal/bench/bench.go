@@ -130,6 +130,8 @@ func All() []Experiment {
 		{"abl-group-commit", "Ablation: group commit batch size", AblationGroupCommit},
 		{"abl-bloom", "Ablation: bloom filters on baseline store files", AblationBloomFilter},
 		{"abl-vertical", "Ablation: workload-driven vertical partitioning", AblationVerticalPartition},
+		{"analytic-scan", "Analytic scan: serial FullScan vs snapshot-parallel aggregate", AnalyticScan},
+		{"analytic-mix", "YCSB-style scan-heavy mix on serial vs parallel scan path", AnalyticScanMix},
 	}
 }
 

@@ -60,8 +60,15 @@ func newYCSBCluster(n int) (*cluster.Cluster, string, error) {
 	c, err := cluster.New(dir, cluster.Config{
 		NumServers: n,
 		Tables:     []cluster.TableSpec{{Name: "usertable", Groups: []string{"f0"}}},
-		Server:     core.Config{SegmentSize: 16 << 20},
-		DFS:        dfs.Config{BlockSize: 4 << 20, DiskModel: benchDiskModel(), Clock: &simdisk.Clock{}},
+		// Group commit on: the YCSB runs drive each server from many
+		// concurrent clients, exactly the workload §3.7.2 batches.
+		Server: core.Config{
+			SegmentSize:      16 << 20,
+			GroupCommit:      true,
+			GroupCommitBatch: 64,
+			GroupCommitDelay: 100 * time.Microsecond,
+		},
+		DFS: dfs.Config{BlockSize: 4 << 20, DiskModel: benchDiskModel(), Clock: &simdisk.Clock{}},
 	})
 	return c, dir, err
 }

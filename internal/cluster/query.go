@@ -1,0 +1,117 @@
+package cluster
+
+// Scatter-gather analytics (the HTAP path over the distributed
+// deployment): one query fans out to every tablet server owning a
+// piece of the table, each server executes it against its own
+// multiversion indexes and log at the SAME pinned global timestamp, and
+// the mergeable partial aggregates are gathered into one exact answer.
+// No data is copied out of the transactional store, and the OLTP write
+// path is never blocked — writes that commit during the query are
+// simply newer than the snapshot and invisible to it.
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Query executes an analytical query over a table's column group at
+// the latest globally issued timestamp (a consistent cluster-wide
+// snapshot: the timestamp authority is the single source of commit
+// timestamps).
+func (c *Cluster) Query(table, group string, q query.Query) (query.Result, error) {
+	return c.QueryAt(table, group, c.svc.LastTimestamp(), q)
+}
+
+// ClusterQuery is Query under its architectural name (the scatter-
+// gather operator the evaluation refers to).
+func (c *Cluster) ClusterQuery(table, group string, q query.Query) (query.Result, error) {
+	return c.Query(table, group, q)
+}
+
+// QueryAt executes q pinned at snapshot ts: time travel over the whole
+// cluster, as cheap as a current-time query because the log keeps every
+// version.
+func (c *Cluster) QueryAt(table, group string, ts int64, q query.Query) (query.Result, error) {
+	router, err := c.Router(table)
+	if err != nil {
+		return query.Result{}, err
+	}
+	// Only tablets intersecting the key range participate (the router is
+	// the first push-down: whole servers can drop out of the scatter).
+	tabs := router.Overlapping(q.Filter.Start, q.Filter.End)
+
+	type shard struct {
+		server  *core.Server
+		targets []query.Target
+	}
+	plan := make(map[string]*shard)
+	for _, tab := range tabs {
+		srv, err := c.ServerFor(tab.ID)
+		if err != nil {
+			return query.Result{}, err
+		}
+		sh, ok := plan[srv.ID()]
+		if !ok {
+			sh = &shard{server: srv}
+			plan[srv.ID()] = sh
+		}
+		sh.targets = append(sh.targets, query.Target{Source: srv, Tablet: tab.ID})
+	}
+
+	// Scatter: one executor per server over its local tablets.
+	partials := make([]query.Result, 0, len(plan))
+	errs := make([]error, 0, len(plan))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range plan {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			snap := query.NewSnapshot(ts, sh.targets...)
+			res, err := snap.Run(group, q)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			partials = append(partials, res)
+		}(sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return query.Result{}, err
+	}
+
+	// Gather: merge the mergeable partials.
+	res := query.Result{TS: ts}
+	for _, p := range partials {
+		res.Merge(p)
+	}
+	return res, nil
+}
+
+// SnapshotAt pins a cluster-wide snapshot at ts (0 = now) covering
+// every tablet of the table; the returned handle can run repeated
+// queries and ordered scans against the exact same version set.
+func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
+	if ts == 0 {
+		ts = c.svc.LastTimestamp()
+	}
+	router, err := c.Router(table)
+	if err != nil {
+		return nil, err
+	}
+	var targets []query.Target
+	for _, tab := range router.Tablets() {
+		srv, err := c.ServerFor(tab.ID)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, query.Target{Source: srv, Tablet: tab.ID})
+	}
+	return query.NewSnapshot(ts, targets...), nil
+}

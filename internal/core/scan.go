@@ -1,0 +1,248 @@
+package core
+
+// This file is the snapshot-parallel scan path: the analytical read
+// primitive driven by internal/query. A scan pins a snapshot timestamp,
+// shards the index keyspace across worker goroutines, pushes key/time
+// predicates down to the index entries (skipping the log fetch entirely
+// for filtered-out rows), and resolves the surviving entries through
+// the read buffer plus batched log reads (wal.Log.ReadBatch) so a scan
+// costs a few sequential sweeps per segment instead of one seek per
+// row.
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/wal"
+)
+
+// ScanOptions configures a snapshot scan. The zero value scans the
+// whole keyspace at timestamp 0 (i.e. sees nothing); callers must pin
+// TS to a real snapshot (coord.Service.LastTimestamp, or a historical
+// timestamp for time travel).
+type ScanOptions struct {
+	// Start and End bound the key range [Start, End); nil = open.
+	Start, End []byte
+	// TS is the pinned snapshot timestamp: only versions with commit
+	// timestamp <= TS are visible.
+	TS int64
+	// MinTS / MaxTS, when non-zero, restrict results to rows whose
+	// visible version was committed inside [MinTS, MaxTS] — the "what
+	// changed in this window" time-range predicate. Evaluated on index
+	// entries, before any log fetch.
+	MinTS, MaxTS int64
+	// KeyFilter, when non-nil, is evaluated against (key, version
+	// timestamp) before the log fetch — a push-down that skips the I/O
+	// for rows the query cannot use.
+	KeyFilter func(key []byte, ts int64) bool
+	// RowFilter, when non-nil, drops fetched rows (value predicates run
+	// after the log read, but still inside the scan workers).
+	RowFilter func(Row) bool
+	// Workers caps scan parallelism; <= 1 means a serial scan.
+	Workers int
+	// Batch is the fetch/emit granularity in rows (0 = 256).
+	Batch int
+	// UseCache lets the scan consult the point-read buffer before the
+	// log. Off by default: the buffer is guarded by one mutex (a scan
+	// would serialise on it and evict the OLTP working set's recency),
+	// and batched log reads are already sequential — scans are
+	// cache-resistant unless the caller knows its range is hot.
+	UseCache bool
+}
+
+const defaultScanBatch = 1024
+
+// ParallelScan streams the snapshot-visible version of every key in
+// [opt.Start, opt.End) to emit, sharding the keyspace across
+// opt.Workers goroutines. emit receives batches of rows; calls are
+// serialised (no caller-side locking needed) but batch order across
+// shards is unspecified — aggregation does not need key order, and
+// ordered consumers should use Scan. A non-nil error from emit cancels
+// the whole scan and is returned.
+//
+// Layering note: the multi-worker path here serves streaming consumers
+// that want one serialised emit. The query executor (internal/query)
+// instead does its own fan-out over SplitRange and calls this with
+// Workers<=1 per shard, because it aggregates shard-locally and a
+// serialised emit would be its bottleneck.
+func (s *Server) ParallelScan(tabletID, group string, opt ScanOptions, emit func([]Row) error) error {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return err
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = defaultScanBatch
+	}
+	workers := opt.Workers
+	if workers <= 1 {
+		return s.scanShard(t, g, group, opt, opt.Start, opt.End, emit)
+	}
+
+	// Shard the keyspace on sampled index leaf boundaries; splits are a
+	// point-in-time sample, which is fine — every shard still scans its
+	// whole sub-range at the pinned snapshot.
+	splits := g.tree().SplitKeys(opt.Start, opt.End, workers)
+	bounds := make([][]byte, 0, len(splits)+2)
+	bounds = append(bounds, opt.Start)
+	bounds = append(bounds, splits...)
+	bounds = append(bounds, opt.End)
+
+	var (
+		emitMu  sync.Mutex
+		stop    sync.Once
+		scanErr error
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	fail := func(err error) {
+		stop.Do(func() {
+			scanErr = err
+			close(done)
+		})
+	}
+	serialEmit := func(rows []Row) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		select {
+		case <-done:
+			return errScanCanceled
+		default:
+		}
+		if err := emit(rows); err != nil {
+			fail(err)
+			return err
+		}
+		return nil
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		start, end := bounds[i], bounds[i+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.scanShard(t, g, group, opt, start, end, serialEmit); err != nil && !errors.Is(err, errScanCanceled) {
+				fail(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return scanErr
+}
+
+var errScanCanceled = errors.New("core: scan canceled")
+
+// scanShard scans one contiguous key sub-range in pages of opt.Batch
+// entries: each page is collected from the index (with predicates
+// pushed down), the tree latch is released, the page is fetched and
+// emitted, and the scan re-descends at the successor of the last key.
+// Memory stays O(Batch) regardless of range size, and the log I/O
+// never happens under the index latch.
+func (s *Server) scanShard(t *Tablet, g *columnGroup, group string, opt ScanOptions, start, end []byte, emit func([]Row) error) error {
+	flush := func(chunk []index.Entry) error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		rows, err := s.fetchRows(t, group, chunk, opt.UseCache)
+		if err != nil {
+			return err
+		}
+		if opt.RowFilter != nil {
+			kept := rows[:0]
+			for _, r := range rows {
+				if opt.RowFilter(r) {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		return emit(rows)
+	}
+	entries := make([]index.Entry, 0, opt.Batch)
+	cursor := start
+	for {
+		entries = entries[:0]
+		g.tree().RangeLatest(cursor, end, opt.TS, func(e index.Entry) bool {
+			// Push-down predicates: decided from the index entry alone, so
+			// a rejected row costs zero log I/O (and no page slot).
+			if opt.MinTS != 0 && e.TS < opt.MinTS {
+				return true
+			}
+			if opt.MaxTS != 0 && e.TS > opt.MaxTS {
+				return true
+			}
+			if opt.KeyFilter != nil && !opt.KeyFilter(e.Key, e.TS) {
+				return true
+			}
+			entries = append(entries, e)
+			return len(entries) < opt.Batch
+		})
+		if err := flush(entries); err != nil {
+			return err
+		}
+		if len(entries) < opt.Batch {
+			return nil // range exhausted
+		}
+		// Page full: resume just past the last delivered key (RangeLatest
+		// reports one entry per key, so the successor cannot skip data).
+		last := entries[len(entries)-1].Key
+		cursor = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+}
+
+// fetchRows resolves index entries to rows through one batched log
+// read: wal.ReadBatch sorts the pointers by log offset and coalesces
+// near-adjacent frames, turning random per-row seeks into sequential
+// sweeps. With useCache the read buffer is consulted first (worth it
+// only for small scans over hot ranges; see ScanOptions.UseCache).
+func (s *Server) fetchRows(t *Tablet, group string, entries []index.Entry, useCache bool) ([]Row, error) {
+	rows := make([]Row, len(entries))
+	var missIdx []int
+	var missPtrs []wal.Ptr
+	for i, e := range entries {
+		if useCache {
+			if b, ok := s.readCache.Get(cacheKey(t.table, group, e.Key)); ok {
+				if cts, v := decodeCached(b); cts == e.TS {
+					rows[i] = Row{Key: e.Key, TS: cts, Value: append([]byte(nil), v...)}
+					s.stats.CacheHits.Add(1)
+					continue
+				}
+			}
+		}
+		missIdx = append(missIdx, i)
+		missPtrs = append(missPtrs, e.Ptr)
+	}
+	if len(missPtrs) > 0 {
+		recs, err := s.log.ReadBatch(missPtrs)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.LogReads.Add(int64(len(missPtrs)))
+		for j, i := range missIdx {
+			e := entries[i]
+			rows[i] = Row{Key: e.Key, TS: e.TS, Value: recs[j].Value}
+		}
+	}
+	return rows, nil
+}
+
+// SplitRange exposes the index's keyspace sharding for a column group:
+// up to n-1 strictly increasing split keys inside (start, end). The
+// query layer uses it to size scan fan-out.
+func (s *Server) SplitRange(tabletID, group string, start, end []byte, n int) ([][]byte, error) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return nil, err
+	}
+	g, err := t.group(group)
+	if err != nil {
+		return nil, err
+	}
+	return g.tree().SplitKeys(start, end, n), nil
+}

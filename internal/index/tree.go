@@ -437,6 +437,54 @@ func (t *Tree) AscendRange(start, end []byte, fn func(Entry) bool) {
 	}
 }
 
+// SplitKeys returns up to n-1 keys that partition [start, end) into
+// roughly equal-population shards, by sampling the first key of each
+// leaf intersecting the range (leaves hold bounded entry counts, so
+// leaf boundaries are an even-population sample). The returned keys are
+// strictly increasing and strictly inside (start, end); fewer than n-1
+// keys (possibly none) come back when the range spans few leaves.
+func (t *Tree) SplitKeys(start, end []byte, n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var bounds [][]byte
+	leaf := t.findLeaf(start, -1<<62)
+	// Sample from the second intersecting leaf on: the first leaf's first
+	// key may sit at (or before) start, which would make an empty shard.
+	for nd := leaf.right; nd != nil; nd = nd.right {
+		if len(nd.entries) == 0 {
+			continue
+		}
+		first := nd.entries[0].Key
+		if end != nil && bytes.Compare(first, end) >= 0 {
+			break
+		}
+		if bytes.Compare(first, start) <= 0 {
+			continue
+		}
+		// Versions of one key can span a leaf boundary; skip duplicates so
+		// every shard is non-empty.
+		if len(bounds) > 0 && bytes.Equal(bounds[len(bounds)-1], first) {
+			continue
+		}
+		bounds = append(bounds, append([]byte(nil), first...))
+	}
+	if len(bounds) <= n-1 {
+		return bounds
+	}
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		k := bounds[i*len(bounds)/n]
+		if len(out) > 0 && bytes.Equal(out[len(out)-1], k) {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 // RangeLatest iterates the range [start, end) and reports, per key, the
 // latest version visible at snapshot ts. This is the range-scan read
 // path (paper §3.6.4).

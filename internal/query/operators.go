@@ -1,0 +1,187 @@
+package query
+
+// The executor is a small pull-based operator pipeline over row
+// batches: scan (parallel shard scan feeding a channel) → filter
+// (residual predicate) → aggregate (terminal). Batches, not rows, flow
+// between operators so the pipeline overhead stays far below the
+// per-row storage cost.
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Operator is a pull-based batch iterator: Next returns the next batch
+// of rows, a nil batch at end of stream, or an error. Close releases
+// the operator's resources (safe to call more than once) and must be
+// called when abandoning a pipeline early.
+type Operator interface {
+	Next() ([]core.Row, error)
+	Close()
+}
+
+// errScanDone is the sentinel a closed scan returns into the producing
+// ParallelScan to stop it; it never escapes the operator.
+var errScanDone = errors.New("query: scan consumer closed")
+
+// scanOp adapts a push-based ParallelScan into the pull model: the scan
+// runs in one goroutine, emitting batches into a channel the pipeline
+// drains.
+type scanOp struct {
+	batches chan []core.Row
+	done    chan struct{}
+	err     error
+	fin     chan struct{}
+	closed  bool
+}
+
+// newScanOp starts the scan for q over one tablet of src at the pinned
+// snapshot ts.
+func newScanOp(src Source, tablet, group string, ts int64, q Query) *scanOp {
+	op := &scanOp{
+		batches: make(chan []core.Row, 4),
+		done:    make(chan struct{}),
+		fin:     make(chan struct{}),
+	}
+	workers := q.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	opt := core.ScanOptions{
+		Start:   q.Filter.Start,
+		End:     q.Filter.End,
+		TS:      ts,
+		MinTS:   q.Filter.MinTS,
+		MaxTS:   q.Filter.MaxTS,
+		Workers: workers,
+	}
+	go func() {
+		defer close(op.fin)
+		err := src.ParallelScan(tablet, group, opt, func(rows []core.Row) error {
+			// ParallelScan serialises emit calls; hand the batch over,
+			// unless the consumer has gone away.
+			select {
+			case op.batches <- rows:
+				return nil
+			case <-op.done:
+				return errScanDone
+			}
+		})
+		if err != nil && !errors.Is(err, errScanDone) {
+			op.err = err
+		}
+		close(op.batches)
+	}()
+	return op
+}
+
+func (op *scanOp) Next() ([]core.Row, error) {
+	rows, ok := <-op.batches
+	if !ok {
+		<-op.fin
+		return nil, op.err
+	}
+	return rows, nil
+}
+
+func (op *scanOp) Close() {
+	if !op.closed {
+		op.closed = true
+		close(op.done)
+		// Drain so the producer goroutine can exit.
+		for range op.batches {
+		}
+		<-op.fin
+	}
+}
+
+// filterOp applies the residual value predicate.
+type filterOp struct {
+	in   Operator
+	pred func(core.Row) bool
+}
+
+func newFilterOp(in Operator, pred func(core.Row) bool) Operator {
+	if pred == nil {
+		return in
+	}
+	return &filterOp{in: in, pred: pred}
+}
+
+func (op *filterOp) Next() ([]core.Row, error) {
+	for {
+		rows, err := op.in.Next()
+		if rows == nil || err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			if op.pred(r) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) > 0 {
+			return kept, nil
+		}
+	}
+}
+
+func (op *filterOp) Close() { op.in.Close() }
+
+// aggregate is the terminal operator: it drains in and folds every row
+// into per-group partial aggregates.
+func aggregate(in Operator, ts int64, q Query) (Result, error) {
+	defer in.Close()
+	res := Result{TS: ts}
+	var groups map[string]*GroupResult
+	// Without GroupBy every row lands in the "" group; skip the map.
+	single := &GroupResult{Aggs: make([]AggState, len(q.Aggs))}
+	if q.GroupBy != nil {
+		groups = make(map[string]*GroupResult)
+	}
+	for {
+		rows, err := in.Next()
+		if err != nil {
+			return Result{TS: ts}, err
+		}
+		if rows == nil {
+			break
+		}
+		for _, r := range rows {
+			g := single
+			if q.GroupBy != nil {
+				key := q.GroupBy(r)
+				var ok bool
+				if g, ok = groups[key]; !ok {
+					g = &GroupResult{Key: key, Aggs: make([]AggState, len(q.Aggs))}
+					groups[key] = g
+				}
+			}
+			g.Rows++
+			res.Rows++
+			for i, a := range q.Aggs {
+				v, ok := 0.0, true
+				if a.Extract != nil {
+					v, ok = a.Extract(r)
+				}
+				if ok {
+					g.Aggs[i].Add(v)
+				}
+			}
+		}
+	}
+	if q.GroupBy == nil {
+		if single.Rows > 0 {
+			res.Groups = []GroupResult{*single}
+		}
+		return res, nil
+	}
+	res.Groups = make([]GroupResult, 0, len(groups))
+	for _, g := range groups {
+		res.Groups = append(res.Groups, *g)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	return res, nil
+}

@@ -1,0 +1,294 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/partition"
+)
+
+const (
+	testTablet = "t/0000"
+	testGroup  = "g"
+)
+
+func newServer(t *testing.T) *core.Server {
+	t.Helper()
+	fs, err := dfs.New(t.TempDir(), dfs.Config{NumDataNodes: 1, BlockSize: 1 << 16})
+	if err != nil {
+		t.Fatalf("dfs.New: %v", err)
+	}
+	s, err := core.NewServer(fs, "ts1", core.Config{SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	s.AddTablet(partition.Tablet{ID: testTablet, Table: "t"}, []string{testGroup})
+	return s
+}
+
+// load writes n rows keyed user%06d with the row index as decimal value
+// at timestamps 1..n, returning the snapshot timestamp after the load.
+func load(t *testing.T, s *core.Server, n int) int64 {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("user%06d", i))
+		if err := s.Write(testTablet, testGroup, key, int64(i+1), []byte(strconv.Itoa(i))); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	return int64(n)
+}
+
+func TestAggregates(t *testing.T) {
+	s := newServer(t)
+	const n = 1000
+	ts := load(t, s, n)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+	res, err := snap.Run(testGroup, Query{
+		Aggs: []Agg{
+			{Kind: Count},
+			{Kind: Sum, Extract: FloatValue},
+			{Kind: Min, Extract: FloatValue},
+			{Kind: Max, Extract: FloatValue},
+			{Kind: Avg, Extract: FloatValue},
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TS != ts || res.Rows != n {
+		t.Fatalf("res.TS=%d rows=%d, want %d/%d", res.TS, res.Rows, ts, n)
+	}
+	wantSum := float64(n*(n-1)) / 2
+	checks := []struct {
+		i    int
+		kind AggKind
+		want float64
+	}{
+		{0, Count, n},
+		{1, Sum, wantSum},
+		{2, Min, 0},
+		{3, Max, n - 1},
+		{4, Avg, wantSum / n},
+	}
+	for _, c := range checks {
+		if got := res.Value(c.i, c.kind); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%v = %g, want %g", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotIgnoresLaterWrites(t *testing.T) {
+	s := newServer(t)
+	const n = 400
+	ts := load(t, s, n)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+
+	q := Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}, Workers: 4}
+	before, err := snap.Run(testGroup, q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Commit new rows AND overwrite existing ones after the snapshot.
+	for i := 0; i < 100; i++ {
+		if err := s.Write(testTablet, testGroup, []byte(fmt.Sprintf("user%06d", i)), int64(n+i+1), []byte("999999")); err != nil {
+			t.Fatalf("overwrite: %v", err)
+		}
+		if err := s.Write(testTablet, testGroup, []byte(fmt.Sprintf("zuser%06d", i)), int64(n+200+i), []byte("1")); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+
+	after, err := snap.Run(testGroup, q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after.Rows != before.Rows || after.Value(0, Sum) != before.Value(0, Sum) {
+		t.Fatalf("snapshot drifted: before rows=%d sum=%g, after rows=%d sum=%g",
+			before.Rows, before.Value(0, Sum), after.Rows, after.Value(0, Sum))
+	}
+	// And an unpinned (current) snapshot must see the new state.
+	now := NewSnapshot(int64(1<<40), Target{Source: s, Tablet: testTablet})
+	cur, err := now.Run(testGroup, q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if cur.Rows != n+100 || cur.Value(0, Sum) == before.Value(0, Sum) {
+		t.Fatalf("current snapshot rows=%d sum=%g, want %d rows and a different sum", cur.Rows, cur.Value(0, Sum), n+100)
+	}
+}
+
+func TestGroupByAndFilters(t *testing.T) {
+	s := newServer(t)
+	const n = 900
+	ts := load(t, s, n)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+
+	res, err := snap.Run(testGroup, Query{
+		Filter: Filter{
+			Start: []byte("user000100"),
+			End:   []byte("user000700"),
+			Pred: func(r core.Row) bool {
+				v, _ := strconv.Atoi(string(r.Value))
+				return v%3 == 0
+			},
+		},
+		// Group on the hundreds digit of the key.
+		GroupBy: func(r core.Row) string { return string(r.Key[:len("user0001")]) },
+		Aggs:    []Agg{{Kind: Count}, {Kind: Sum, Extract: FloatValue}},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Groups) != 6 {
+		t.Fatalf("got %d groups, want 6: %+v", len(res.Groups), res.Groups)
+	}
+	var totalRows int64
+	for i, g := range res.Groups {
+		want := fmt.Sprintf("user000%d", i+1)
+		if g.Key != want {
+			t.Errorf("group %d key = %q, want %q (sorted)", i, g.Key, want)
+		}
+		if g.Rows < 33 || g.Rows > 34 {
+			t.Errorf("group %q rows = %d, want 33..34", g.Key, g.Rows)
+		}
+		totalRows += g.Rows
+	}
+	if totalRows != res.Rows || res.Rows != 200 {
+		t.Fatalf("rows = %d (groups sum %d), want 200", res.Rows, totalRows)
+	}
+}
+
+func TestTimeRangeFilter(t *testing.T) {
+	s := newServer(t)
+	const n = 500
+	ts := load(t, s, n)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+	// "What changed in the last 50 ticks" — classic log-as-database
+	// incremental query.
+	res, err := snap.Run(testGroup, Query{
+		Filter:  Filter{MinTS: ts - 49},
+		Aggs:    []Agg{{Kind: Count}},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rows != 50 {
+		t.Fatalf("rows = %d, want 50", res.Rows)
+	}
+}
+
+func TestSnapshotScanOrderedAndStoppable(t *testing.T) {
+	s := newServer(t)
+	ts := load(t, s, 300)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+	var keys [][]byte
+	err := snap.Scan(testGroup, Filter{}, func(r core.Row) bool {
+		keys = append(keys, append([]byte(nil), r.Key...))
+		return len(keys) < 100
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(keys) != 100 {
+		t.Fatalf("scan returned %d keys, want 100 (early stop)", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestMultiTargetMerge(t *testing.T) {
+	// Two tablets on one server: Run must scatter across both and merge.
+	fs, err := dfs.New(t.TempDir(), dfs.Config{NumDataNodes: 1, BlockSize: 1 << 16})
+	if err != nil {
+		t.Fatalf("dfs.New: %v", err)
+	}
+	s, err := core.NewServer(fs, "ts1", core.Config{SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	s.AddTablet(partition.Tablet{ID: "t/a", Table: "t"}, []string{testGroup})
+	s.AddTablet(partition.Tablet{ID: "t/b", Table: "t"}, []string{testGroup})
+	for i := 0; i < 100; i++ {
+		tab := "t/a"
+		if i%2 == 1 {
+			tab = "t/b"
+		}
+		if err := s.Write(tab, testGroup, []byte(fmt.Sprintf("k%04d", i)), int64(i+1), []byte("1")); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	snap := NewSnapshot(200, Target{Source: s, Tablet: "t/a"}, Target{Source: s, Tablet: "t/b"})
+	res, err := snap.Run(testGroup, Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rows != 100 || res.Value(0, Sum) != 100 {
+		t.Fatalf("merged rows=%d sum=%g, want 100/100", res.Rows, res.Value(0, Sum))
+	}
+}
+
+func TestResultMerge(t *testing.T) {
+	a := Result{TS: 9, Rows: 3, Groups: []GroupResult{
+		{Key: "a", Rows: 2, Aggs: []AggState{{Count: 2, Sum: 10, Min: 4, Max: 6}}},
+		{Key: "b", Rows: 1, Aggs: []AggState{{Count: 1, Sum: 7, Min: 7, Max: 7}}},
+	}}
+	b := Result{TS: 9, Rows: 2, Groups: []GroupResult{
+		{Key: "b", Rows: 1, Aggs: []AggState{{Count: 1, Sum: 1, Min: 1, Max: 1}}},
+		{Key: "c", Rows: 1, Aggs: []AggState{{Count: 1, Sum: 5, Min: 5, Max: 5}}},
+	}}
+	a.Merge(b)
+	if a.Rows != 5 || len(a.Groups) != 3 {
+		t.Fatalf("merged rows=%d groups=%d", a.Rows, len(a.Groups))
+	}
+	gb, ok := a.Group("b")
+	if !ok || gb.Rows != 2 || gb.Aggs[0].Sum != 8 || gb.Aggs[0].Min != 1 || gb.Aggs[0].Max != 7 {
+		t.Fatalf("group b merged wrong: %+v", gb)
+	}
+	if avg := gb.Aggs[0].Value(Avg); avg != 4 {
+		t.Fatalf("avg = %g, want 4", avg)
+	}
+}
+
+// errSource fails its scan; the pipeline must surface the error.
+type errSource struct{}
+
+func (errSource) ParallelScan(string, string, core.ScanOptions, func([]core.Row) error) error {
+	return errors.New("disk on fire")
+}
+
+func (errSource) SplitRange(string, string, []byte, []byte, int) ([][]byte, error) {
+	return nil, nil
+}
+
+func TestScanErrorPropagates(t *testing.T) {
+	snap := NewSnapshot(1, Target{Source: errSource{}, Tablet: "x"})
+	if _, err := snap.Run(testGroup, Query{Aggs: []Agg{{Kind: Count}}}); err == nil || err.Error() != "disk on fire" {
+		t.Fatalf("err = %v, want disk on fire", err)
+	}
+}
+
+func TestParseAggKind(t *testing.T) {
+	for _, k := range []AggKind{Count, Sum, Min, Max, Avg} {
+		got, err := ParseAggKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseAggKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseAggKind("MEDIAN"); err == nil {
+		t.Error("ParseAggKind(MEDIAN) succeeded")
+	}
+}

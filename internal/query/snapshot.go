@@ -1,0 +1,165 @@
+package query
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Source is the storage surface a snapshot reads. *core.Server
+// implements it; tests use fakes.
+type Source interface {
+	ParallelScan(tabletID, group string, opt core.ScanOptions, emit func([]core.Row) error) error
+	// SplitRange returns up to n-1 strictly increasing keys partitioning
+	// [start, end) into roughly equal-population shards.
+	SplitRange(tabletID, group string, start, end []byte, n int) ([][]byte, error)
+}
+
+// Target is one tablet (on one server) covered by a snapshot.
+type Target struct {
+	Source Source
+	Tablet string
+}
+
+// Snapshot pins a read timestamp over a set of tablets. Every query it
+// runs sees exactly the versions committed at or before TS — writes
+// that commit after the snapshot was taken are invisible, no matter how
+// long the query runs. Snapshots are free: the log keeps every
+// committed version, so pinning is just remembering a number.
+type Snapshot struct {
+	ts      int64
+	targets []Target
+}
+
+// NewSnapshot pins ts over targets.
+func NewSnapshot(ts int64, targets ...Target) *Snapshot {
+	return &Snapshot{ts: ts, targets: targets}
+}
+
+// TS returns the pinned snapshot timestamp.
+func (s *Snapshot) TS() int64 { return s.ts }
+
+// Run executes q against column group `group` of every target and
+// merges the per-target partials. Targets execute concurrently (the
+// scatter half of scatter-gather); within each target the scan itself
+// fans out over keyspace shards per q.Workers.
+func (s *Snapshot) Run(group string, q Query) (Result, error) {
+	if len(s.targets) == 0 {
+		return Result{TS: s.ts}, nil
+	}
+	if len(s.targets) == 1 {
+		return s.runTarget(s.targets[0], group, q)
+	}
+	partials := make([]Result, len(s.targets))
+	errs := make([]error, len(s.targets))
+	var wg sync.WaitGroup
+	for i, tgt := range s.targets {
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			partials[i], errs[i] = s.runTarget(tgt, group, q)
+		}(i, tgt)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return Result{TS: s.ts}, err
+	}
+	res := Result{TS: s.ts}
+	for _, p := range partials {
+		res.Merge(p)
+	}
+	return res, nil
+}
+
+// runTarget executes q over one tablet: the keyspace is split into
+// shards on index leaf boundaries and each shard runs its own operator
+// pipeline (scan → filter → aggregate) in parallel, folding rows into
+// shard-local partial aggregates that merge at the end. Aggregation
+// happening inside the shards — not behind a single consumer — is what
+// lets the executor scale with workers instead of serialising on a
+// merge point.
+func (s *Snapshot) runTarget(tgt Target, group string, q Query) (Result, error) {
+	workers := q.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	bounds := [][]byte{q.Filter.Start}
+	if workers > 1 {
+		splits, err := tgt.Source.SplitRange(tgt.Tablet, group, q.Filter.Start, q.Filter.End, workers)
+		if err != nil {
+			return Result{TS: s.ts}, err
+		}
+		bounds = append(bounds, splits...)
+	}
+	bounds = append(bounds, q.Filter.End)
+
+	runShard := func(start, end []byte) (Result, error) {
+		shardQ := q
+		shardQ.Filter.Start, shardQ.Filter.End = start, end
+		shardQ.Workers = 1 // the shard IS the unit of parallelism
+		var op Operator = newScanOp(tgt.Source, tgt.Tablet, group, s.ts, shardQ)
+		op = newFilterOp(op, q.Filter.Pred)
+		return aggregate(op, s.ts, shardQ)
+	}
+	if len(bounds) == 2 {
+		return runShard(bounds[0], bounds[1])
+	}
+	partials := make([]Result, len(bounds)-1)
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for i := 0; i+1 < len(bounds); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partials[i], errs[i] = runShard(bounds[i], bounds[i+1])
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return Result{TS: s.ts}, err
+	}
+	res := Result{TS: s.ts}
+	for _, p := range partials {
+		res.Merge(p)
+	}
+	return res, nil
+}
+
+// Scan streams the snapshot-visible rows matching f, in key order
+// within each target (targets are visited sequentially, in order).
+// This is the non-aggregating surface: time-travel reads, exports,
+// verification against the OLTP path. fn returning false stops the
+// scan.
+func (s *Snapshot) Scan(group string, f Filter, fn func(core.Row) bool) error {
+	stopped := errors.New("stop")
+	for _, tgt := range s.targets {
+		opt := core.ScanOptions{
+			Start: f.Start,
+			End:   f.End,
+			TS:    s.ts,
+			MinTS: f.MinTS,
+			MaxTS: f.MaxTS,
+			// Workers deliberately 1: key order inside the target.
+			Workers: 1,
+		}
+		err := tgt.Source.ParallelScan(tgt.Tablet, group, opt, func(rows []core.Row) error {
+			for _, r := range rows {
+				if f.Pred != nil && !f.Pred(r) {
+					continue
+				}
+				if !fn(r) {
+					return stopped
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, stopped) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

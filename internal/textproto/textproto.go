@@ -1,8 +1,9 @@
 // Package textproto implements the line-oriented protocol spoken by
 // cmd/logbase-server and cmd/logbase-cli: one command per line, one or
 // more response lines ("OK ...", "VAL <ts> <value>", "ROW <key> <ts>
-// <value>", "END <n>", "ERR <msg>"). It exists as a package so the
-// protocol is unit-testable without sockets.
+// <value>", "AGG <group> <op> <value> rows=<n>", "END <n>", "ERR
+// <msg>"). It exists as a package so the protocol is unit-testable
+// without sockets.
 package textproto
 
 import (
@@ -13,8 +14,8 @@ import (
 	"strings"
 )
 
-// Store is the engine surface the protocol drives; *logbase.DB
-// satisfies it.
+// Store is the engine surface the protocol drives; cmd/logbase-server
+// adapts *logbase.DB onto it.
 type Store interface {
 	CreateTable(name string, groups ...string) error
 	Put(table, group string, key, value []byte) error
@@ -23,7 +24,27 @@ type Store interface {
 	Versions(table, group string, key []byte) ([]Row, error)
 	Delete(table, group string, key []byte) error
 	Scan(table, group string, start, end []byte, fn func(Row) bool) error
+	// Query runs a snapshot-consistent aggregate (COUNT/SUM/MIN/MAX/AVG;
+	// values parsed as decimal numbers) over [start, end); nil bounds
+	// are open. ts 0 means "latest"; groupPrefix > 0 groups rows by that
+	// many leading key bytes.
+	Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error)
 	Checkpoint() error
+}
+
+// QueryReply is the result of a Store.Query: the pinned snapshot
+// timestamp and one line per group (a single group keyed "" when no
+// grouping was requested).
+type QueryReply struct {
+	TS     int64
+	Groups []QueryGroup
+}
+
+// QueryGroup is one aggregated group.
+type QueryGroup struct {
+	Key   string
+	Rows  int64
+	Value float64
 }
 
 // Row mirrors logbase.Row without importing the root package (which
@@ -129,6 +150,81 @@ func Serve(rw io.ReadWriter, db Store) error {
 				} else {
 					err = reply("END %d", n)
 				}
+			}
+		case cmd == "QUERY" && len(fields) >= 4:
+			// QUERY <table> <group> <agg> [start|*] [end|*] [AT ts] [BY n]
+			// runs a snapshot aggregate; AT pins a historical timestamp,
+			// BY groups on an n-byte key prefix. Re-split the full line:
+			// QUERY takes more operands than the common commands.
+			args := strings.Fields(line)
+			agg := strings.ToUpper(args[3])
+			var start, end []byte
+			var ts int64
+			prefix := 0
+			rest := args[4:]
+			bad := ""
+			// Positional bounds first ("*" = open); the AT/BY keywords end
+			// the positional section so a dangling keyword can never be
+			// swallowed as a key bound.
+			for pos := 0; pos < 2 && len(rest) > 0; pos++ {
+				kw := strings.ToUpper(rest[0])
+				if kw == "AT" || kw == "BY" {
+					break
+				}
+				if rest[0] != "*" {
+					if pos == 0 {
+						start = []byte(rest[0])
+					} else {
+						end = []byte(rest[0])
+					}
+				}
+				rest = rest[1:]
+			}
+			for len(rest) > 0 && bad == "" {
+				switch kw := strings.ToUpper(rest[0]); kw {
+				case "AT", "BY":
+					if len(rest) < 2 {
+						bad = kw + " needs a value"
+						break
+					}
+					if kw == "AT" {
+						v, aerr := strconv.ParseInt(rest[1], 10, 64)
+						if aerr != nil {
+							bad = "bad timestamp " + rest[1]
+						}
+						ts = v
+					} else {
+						v, aerr := strconv.Atoi(rest[1])
+						if aerr != nil {
+							bad = "bad prefix length " + rest[1]
+						}
+						prefix = v
+					}
+					rest = rest[2:]
+				default:
+					bad = "unexpected operand " + rest[0]
+				}
+			}
+			if bad != "" {
+				err = reply("ERR %s", bad)
+				break
+			}
+			rep, qerr := db.Query(fields[1], fields[2], agg, start, end, ts, prefix)
+			if qerr != nil {
+				err = reply("ERR %v", qerr)
+				break
+			}
+			for _, g := range rep.Groups {
+				key := g.Key
+				if key == "" {
+					key = "-"
+				}
+				if err = reply("AGG %s %s %g rows=%d", key, agg, g.Value, g.Rows); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = reply("END %d %d", len(rep.Groups), rep.TS)
 			}
 		case cmd == "CHECKPOINT":
 			if cerr := db.Checkpoint(); cerr != nil {

@@ -133,6 +133,61 @@ func (f *fakeStore) Scan(table, group string, start, end []byte, fn func(Row) bo
 	return nil
 }
 
+func (f *fakeStore) Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error) {
+	g, err := f.groupMap(table, group)
+	if err != nil {
+		return QueryReply{}, err
+	}
+	if ts == 0 {
+		ts = f.clock
+	}
+	groups := map[string]*QueryGroup{}
+	for k := range g {
+		if len(start) > 0 && k < string(start) {
+			continue
+		}
+		if len(end) > 0 && k >= string(end) {
+			continue
+		}
+		row, rerr := f.GetAt(table, group, []byte(k), ts)
+		if rerr != nil {
+			continue
+		}
+		gk := ""
+		if groupPrefix > 0 && len(k) > groupPrefix {
+			gk = k[:groupPrefix]
+		} else if groupPrefix > 0 {
+			gk = k
+		}
+		qg, ok := groups[gk]
+		if !ok {
+			qg = &QueryGroup{Key: gk}
+			groups[gk] = qg
+		}
+		qg.Rows++
+		switch agg {
+		case "COUNT":
+			qg.Value++
+		case "SUM":
+			var v float64
+			fmt.Sscanf(string(row.Value), "%g", &v)
+			qg.Value += v
+		default:
+			return QueryReply{}, fmt.Errorf("fake store supports COUNT/SUM, not %s", agg)
+		}
+	}
+	rep := QueryReply{TS: ts}
+	var keys []string
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Groups = append(rep.Groups, *groups[k])
+	}
+	return rep, nil
+}
+
 func (f *fakeStore) Checkpoint() error { return nil }
 
 // session runs a script through Serve and returns response lines.
@@ -238,5 +293,68 @@ func TestMalformedCommands(t *testing.T) {
 	}
 	if lines[len(lines)-1] != "OK checkpoint" {
 		t.Errorf("checkpoint reply = %q", lines[len(lines)-1])
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE m v",
+		"PUT m v a1 10",
+		"PUT m v a2 20",
+		"PUT m v b1 5",
+		"QUERY m v COUNT",
+		"QUERY m v SUM a *",
+		"QUERY m v SUM a b",
+		"QUERY m v COUNT * * BY 1",
+		"QUERY m v MEDIAN",
+		"QUERY m v SUM AT",
+		"QUERY m v SUM AT 2 b1",
+		"QUERY m v SUM a b c",
+		"QUIT",
+	)
+	want := []string{
+		"OK table m",
+		"OK", "OK", "OK",
+		"AGG - COUNT 3 rows=3", "END 1 3",
+		"AGG - SUM 35 rows=3", "END 1 3",
+		"AGG - SUM 30 rows=2", "END 1 3",
+		"AGG a COUNT 2 rows=2", "AGG b COUNT 1 rows=1", "END 2 3",
+		"ERR fake store supports COUNT/SUM, not MEDIAN",
+		"ERR AT needs a value",
+		"ERR unexpected operand b1",
+		"ERR unexpected operand c",
+		"OK bye",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), strings.Join(lines, "\n"))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestQueryCommandHistorical(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE m v",
+		"PUT m v k 1",
+		"PUT m v k 100",
+		"QUERY m v SUM * * AT 1",
+		"QUERY m v SUM",
+		"QUIT",
+	)
+	want := []string{
+		"OK table m", "OK", "OK",
+		"AGG - SUM 1 rows=1", "END 1 1",
+		"AGG - SUM 100 rows=1", "END 1 2",
+		"OK bye",
+	}
+	for i := range want {
+		if i >= len(lines) || lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q (all: %v)", i, lines[i], want[i], lines)
+		}
 	}
 }

@@ -19,6 +19,17 @@
 //     servers over a replicated DFS with a master and failover), the
 //     configuration the paper evaluates at 3–24 nodes.
 //
+// Both expose the analytical query path on top of the same log: because
+// every committed version stays addressable, DB.Query / Cluster.Query
+// run snapshot-consistent scans and aggregations (COUNT/SUM/MIN/MAX/AVG
+// with GROUP BY) pinned at one timestamp, sharded across worker
+// goroutines with key- and time-range predicates pushed below the log
+// fetch. DB.QueryAt / Cluster.QueryAt pin a historical timestamp (time
+// travel), DB.SnapshotAt / Cluster.SnapshotAt return a reusable pinned
+// handle, and the cluster variants scatter the query to every tablet
+// server and gather mergeable partial aggregates. See logbase_query.go
+// for the types and internal/query for the executor.
+//
 // The underlying substrates (DFS, log repository, B-link multiversion
 // index, LSM-tree, coordination service) live in internal/ packages;
 // this package is the supported surface.
@@ -53,6 +64,10 @@ type Options struct {
 	ReadCacheBytes int64
 	// GroupCommit batches concurrent log appends.
 	GroupCommit bool
+	// GroupCommitBatch and GroupCommitDelay tune the batcher (0 = 64
+	// records / 200µs).
+	GroupCommitBatch int
+	GroupCommitDelay time.Duration
 	// CompactKeepVersions bounds versions kept per key at compaction;
 	// 0 keeps all committed versions.
 	CompactKeepVersions int
@@ -106,6 +121,8 @@ func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
 		SegmentSize:         opts.SegmentSize,
 		ReadCacheBytes:      opts.ReadCacheBytes,
 		GroupCommit:         opts.GroupCommit,
+		GroupCommitBatch:    opts.GroupCommitBatch,
+		GroupCommitDelay:    opts.GroupCommitDelay,
 		CompactKeepVersions: opts.CompactKeepVersions,
 		IndexFlushUpdates:   opts.IndexFlushUpdates,
 	})

@@ -1,0 +1,83 @@
+package logbase
+
+// Analytical query surface (the HTAP read path): snapshot-consistent
+// scans and aggregations executed directly over the multiversion log —
+// no copy of the data, no interference with the write path. See
+// internal/query for the executor.
+
+import (
+	"errors"
+
+	"repro/internal/query"
+)
+
+// Query is a declarative analytical query: push-down Filter, optional
+// GroupBy extractor, and a list of aggregates.
+type Query = query.Query
+
+// QueryFilter is the predicate set of a Query (key range and version
+// time range are pushed below the log fetch; Pred runs after it).
+type QueryFilter = query.Filter
+
+// Agg is one aggregate (COUNT/SUM/MIN/MAX/AVG) over a numeric
+// projection of the row.
+type Agg = query.Agg
+
+// AggKind enumerates the aggregate operators.
+type AggKind = query.AggKind
+
+// Aggregate operator kinds.
+const (
+	Count = query.Count
+	Sum   = query.Sum
+	Min   = query.Min
+	Max   = query.Max
+	Avg   = query.Avg
+)
+
+// FloatValue extracts a row value encoded as decimal ASCII.
+var FloatValue = query.FloatValue
+
+// ParseAggKind maps an operator name ("COUNT", "SUM", ...) to its kind.
+var ParseAggKind = query.ParseAggKind
+
+// QueryResult is a completed query: pinned snapshot timestamp, row
+// count, and per-group partial aggregates.
+type QueryResult = query.Result
+
+// GroupResult is one output group of a QueryResult.
+type GroupResult = query.GroupResult
+
+// Snapshot is a pinned-timestamp read handle.
+type Snapshot = query.Snapshot
+
+// Query executes q against a column group at the latest committed
+// timestamp: a consistent snapshot of the table as of now, unaffected
+// by writes that commit while the query runs.
+func (db *DB) Query(table, group string, q Query) (QueryResult, error) {
+	return db.QueryAt(table, group, db.svc.LastTimestamp(), q)
+}
+
+// QueryAt executes q pinned at snapshot ts — time travel: the table
+// exactly as it was when timestamp ts was current.
+func (db *DB) QueryAt(table, group string, ts int64, q Query) (QueryResult, error) {
+	snap, err := db.SnapshotAt(table, ts)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return snap.Run(group, q)
+}
+
+// SnapshotAt pins a snapshot of the table at ts (0 = now). The handle
+// can run any number of queries and ordered scans, all seeing the exact
+// same version set.
+func (db *DB) SnapshotAt(table string, ts int64) (*Snapshot, error) {
+	tm, ok := db.tables[table]
+	if !ok {
+		return nil, errors.New("logbase: unknown table " + table)
+	}
+	if ts == 0 {
+		ts = db.svc.LastTimestamp()
+	}
+	return query.NewSnapshot(ts, query.Target{Source: db.server, Tablet: tm.tablet}), nil
+}

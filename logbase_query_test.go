@@ -1,0 +1,132 @@
+package logbase
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func queryDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{ReadCacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := db.CreateTable("orders", "amount"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("order%06d", i))
+		if err := db.Put("orders", "amount", key, []byte(strconv.Itoa(i%100))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	return db
+}
+
+func TestDBQueryAggregates(t *testing.T) {
+	db := queryDB(t, 1000)
+	res, err := db.Query("orders", "amount", Query{
+		Aggs: []Agg{
+			{Kind: Count},
+			{Kind: Sum, Extract: FloatValue},
+			{Kind: Avg, Extract: FloatValue},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Rows != 1000 {
+		t.Fatalf("rows = %d, want 1000", res.Rows)
+	}
+	if got := res.Value(1, Sum); got != 49500 { // 10 * (0+..+99)
+		t.Fatalf("sum = %g, want 49500", got)
+	}
+	if got := res.Value(2, Avg); got != 49.5 {
+		t.Fatalf("avg = %g, want 49.5", got)
+	}
+}
+
+func TestDBQueryGroupBy(t *testing.T) {
+	db := queryDB(t, 500)
+	res, err := db.Query("orders", "amount", Query{
+		GroupBy: func(r Row) string { return string(r.Key[:len("order0001")]) }, // bucket on the hundreds digit
+		Aggs:    []Agg{{Kind: Count}},
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Groups) != 5 {
+		t.Fatalf("groups = %d, want 5", len(res.Groups))
+	}
+	for _, g := range res.Groups {
+		if g.Rows != 100 {
+			t.Fatalf("group %q rows = %d, want 100", g.Key, g.Rows)
+		}
+	}
+}
+
+// The public-surface half of the snapshot-pinning satellite test: a
+// snapshot taken before new commits keeps answering from the old
+// version set.
+func TestDBSnapshotPinned(t *testing.T) {
+	db := queryDB(t, 300)
+	snap, err := db.SnapshotAt("orders", 0)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	q := Query{Aggs: []Agg{{Kind: Count}}}
+	before, err := snap.Run("amount", q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put("orders", "amount", []byte(fmt.Sprintf("late%04d", i)), []byte("1")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	after, err := snap.Run("amount", q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after.Rows != before.Rows {
+		t.Fatalf("pinned snapshot rows moved: %d -> %d", before.Rows, after.Rows)
+	}
+	cur, err := db.Query("orders", "amount", q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if cur.Rows != before.Rows+50 {
+		t.Fatalf("current rows = %d, want %d", cur.Rows, before.Rows+50)
+	}
+}
+
+func TestDBQueryAtHistorical(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	db.CreateTable("t", "g")
+	db.Put("t", "g", []byte("a"), []byte("1"))
+	row, err := db.Get("t", "g", []byte("a"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	tsV1 := row.TS
+	db.Put("t", "g", []byte("a"), []byte("100"))
+
+	res, err := db.QueryAt("t", "g", tsV1, Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	if err != nil {
+		t.Fatalf("QueryAt: %v", err)
+	}
+	if got := res.Value(0, Sum); got != 1 {
+		t.Fatalf("historical sum = %g, want 1 (version at ts %d)", got, tsV1)
+	}
+	res, err = db.Query("t", "g", Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := res.Value(0, Sum); got != 100 {
+		t.Fatalf("current sum = %g, want 100", got)
+	}
+}
