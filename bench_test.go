@@ -1,4 +1,4 @@
-package logbase
+package logbase_test
 
 // One benchmark per table/figure of the paper's evaluation (§4), each
 // delegating to the experiment registry in internal/bench at SmallScale
@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	logbase "repro"
 	"repro/internal/bench"
 )
 
@@ -65,9 +66,9 @@ func BenchmarkAblationVerticalPartition(b *testing.B) { runFigure(b, "abl-vertic
 // Per-operation microbenchmarks on the public API (real allocations,
 // real file I/O, no disk model).
 
-func benchDB(b *testing.B) *DB {
+func benchDB(b *testing.B) *logbase.DB {
 	b.Helper()
-	db, err := Open(b.TempDir(), Options{ReadCacheBytes: 8 << 20, SegmentSize: 32 << 20})
+	db, err := logbase.Open(b.TempDir(), logbase.Options{ReadCacheBytes: 8 << 20, SegmentSize: 32 << 20})
 	if err != nil {
 		b.Fatalf("Open: %v", err)
 	}
@@ -82,9 +83,31 @@ func BenchmarkOpPut1K(b *testing.B) {
 	val := make([]byte, 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val); err != nil {
+		if err := db.Put(bg, "t", "g", []byte(fmt.Sprintf("user%012d", i)), val); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.SetBytes(1024)
+}
+
+// BenchmarkOpBatchPut1K is BenchmarkOpPut1K through the WriteBatch
+// bulk path: same rows, flushed as one append sweep per 256 records.
+// Compare ns/op directly against BenchmarkOpPut1K.
+func BenchmarkOpBatchPut1K(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 1024)
+	batch := db.Batch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val)
+		if batch.Len() >= 256 {
+			if err := batch.Flush(bg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := batch.Flush(bg); err != nil {
+		b.Fatal(err)
 	}
 	b.SetBytes(1024)
 }
@@ -92,11 +115,11 @@ func BenchmarkOpPut1K(b *testing.B) {
 func BenchmarkOpGetCached(b *testing.B) {
 	db := benchDB(b)
 	key := []byte("hot")
-	db.Put("t", "g", key, make([]byte, 1024))
-	db.Get("t", "g", key)
+	db.Put(bg, "t", "g", key, make([]byte, 1024))
+	db.Get(bg, "t", "g", key)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Get("t", "g", key); err != nil {
+		if _, err := db.Get(bg, "t", "g", key); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +127,7 @@ func BenchmarkOpGetCached(b *testing.B) {
 
 func BenchmarkOpGetLongTail(b *testing.B) {
 	// The paper's long-tail read: dense index + one log read, no cache.
-	db, err := Open(b.TempDir(), Options{SegmentSize: 32 << 20})
+	db, err := logbase.Open(b.TempDir(), logbase.Options{SegmentSize: 32 << 20})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,12 +135,12 @@ func BenchmarkOpGetLongTail(b *testing.B) {
 	const n = 10000
 	val := make([]byte, 1024)
 	for i := 0; i < n; i++ {
-		db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val)
+		db.Put(bg, "t", "g", []byte(fmt.Sprintf("user%012d", i)), val)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := []byte(fmt.Sprintf("user%012d", (i*7919)%n))
-		if _, err := db.Get("t", "g", key); err != nil {
+		if _, err := db.Get(bg, "t", "g", key); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,11 +148,11 @@ func BenchmarkOpGetLongTail(b *testing.B) {
 
 func BenchmarkOpTxnCommit(b *testing.B) {
 	db := benchDB(b)
-	db.Put("t", "g", []byte("a"), []byte("0"))
+	db.Put(bg, "t", "g", []byte("a"), []byte("0"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := db.RunTxn(func(tx *Txn) error {
-			v, err := tx.Get("t", "g", []byte("a"))
+		err := db.RunTxn(bg, func(tx logbase.Tx) error {
+			v, err := tx.Get(bg, "t", "g", []byte("a"))
 			if err != nil {
 				return err
 			}
@@ -144,14 +167,14 @@ func BenchmarkOpTxnCommit(b *testing.B) {
 func BenchmarkOpScan100(b *testing.B) {
 	db := benchDB(b)
 	for i := 0; i < 1000; i++ {
-		db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), make([]byte, 256))
+		db.Put(bg, "t", "g", []byte(fmt.Sprintf("user%012d", i)), make([]byte, 256))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
 		start := []byte(fmt.Sprintf("user%012d", (i*37)%900))
 		end := []byte(fmt.Sprintf("user%012d", (i*37)%900+100))
-		if err := db.Scan("t", "g", start, end, func(Row) bool { n++; return true }); err != nil {
+		if err := db.ScanFunc(bg, "t", "g", start, end, func(logbase.Row) bool { n++; return true }); err != nil {
 			b.Fatal(err)
 		}
 		if n != 100 {
@@ -170,11 +193,11 @@ const analyticRows = 100_000
 
 var (
 	analyticOnce sync.Once
-	analyticDB   *DB
+	analyticDB   *logbase.DB
 	analyticErr  error
 )
 
-func analyticFixture(b *testing.B) *DB {
+func analyticFixture(b *testing.B) *logbase.DB {
 	b.Helper()
 	analyticOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "logbase-analytic-")
@@ -182,7 +205,7 @@ func analyticFixture(b *testing.B) *DB {
 			analyticErr = err
 			return
 		}
-		db, err := Open(dir, Options{ReadCacheBytes: 64 << 20, SegmentSize: 64 << 20})
+		db, err := logbase.Open(dir, logbase.Options{ReadCacheBytes: 64 << 20, SegmentSize: 64 << 20})
 		if err != nil {
 			analyticErr = err
 			return
@@ -195,7 +218,7 @@ func analyticFixture(b *testing.B) *DB {
 		// benchmark measures the scan, not decimal conversion.
 		val := func(i int) []byte { return []byte(fmt.Sprintf("%015d", i%1000)) }
 		for i := 0; i < analyticRows; i++ {
-			if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
+			if err := db.Put(bg, "t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
 				analyticErr = err
 				return
 			}
@@ -205,7 +228,7 @@ func analyticFixture(b *testing.B) *DB {
 		// FullScan must decode and discard, while the index-driven
 		// snapshot scan fetches live data only.
 		for i := 0; i < analyticRows; i += 3 {
-			if err := db.Put("t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
+			if err := db.Put(bg, "t", "g", []byte(fmt.Sprintf("user%012d", i)), val(i)); err != nil {
 				analyticErr = err
 				return
 			}
@@ -226,9 +249,9 @@ func BenchmarkAnalyticFullScan100k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var sum float64
 		var rows int64
-		err := db.FullScan("t", "g", func(r Row) bool {
+		err := db.FullScanFunc(bg, "t", "g", func(r logbase.Row) bool {
 			rows++
-			if v, ok := FloatValue(r); ok {
+			if v, ok := logbase.FloatValue(r); ok {
 				sum += v
 			}
 			return true
@@ -244,28 +267,28 @@ func BenchmarkAnalyticFullScan100k(b *testing.B) {
 
 func BenchmarkAnalyticParallelQuery100k(b *testing.B) {
 	db := analyticFixture(b)
-	q := Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}}
+	q := logbase.Query{Aggs: []logbase.Agg{{Kind: logbase.Sum, Extract: logbase.FloatValue}}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := db.Query("t", "g", q)
+		res, err := db.Query(bg, "t", "g", q)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Rows != analyticRows || res.Value(0, Sum) != analyticWantSum {
-			b.Fatalf("rows=%d sum=%g, want %d/%g", res.Rows, res.Value(0, Sum), analyticRows, analyticWantSum)
+		if res.Rows != analyticRows || res.Value(0, logbase.Sum) != analyticWantSum {
+			b.Fatalf("rows=%d sum=%g, want %d/%g", res.Rows, res.Value(0, logbase.Sum), analyticRows, analyticWantSum)
 		}
 	}
 }
 
 func BenchmarkAnalyticGroupBy100k(b *testing.B) {
 	db := analyticFixture(b)
-	q := Query{
-		GroupBy: func(r Row) string { return string(r.Key[:len("user00000001")]) },
-		Aggs:    []Agg{{Kind: Count}, {Kind: Avg, Extract: FloatValue}},
+	q := logbase.Query{
+		GroupBy: func(r logbase.Row) string { return string(r.Key[:len("user00000001")]) },
+		Aggs:    []logbase.Agg{{Kind: logbase.Count}, {Kind: logbase.Avg, Extract: logbase.FloatValue}},
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := db.Query("t", "g", q)
+		res, err := db.Query(bg, "t", "g", q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,3 +300,4 @@ func BenchmarkAnalyticGroupBy100k(b *testing.B) {
 
 func BenchmarkAnalyticScanFigure(b *testing.B)    { runFigure(b, "analytic-scan") }
 func BenchmarkAnalyticScanMixFigure(b *testing.B) { runFigure(b, "analytic-mix") }
+func BenchmarkBulkLoadFigure(b *testing.B)        { runFigure(b, "bulk-load") }

@@ -1,0 +1,308 @@
+package logbase
+
+// ClusterClient adapts the distributed deployment to the Store
+// interface, so everything written against Store — harnesses, protocol
+// servers, examples — runs unmodified on a cluster. The low-level
+// cluster.Client caches routing metadata and is single-goroutine by
+// design ("create one per benchmark worker"); ClusterClient keeps a
+// pool of them so it is safe for concurrent use like *DB.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+// ClusterClient is the Store implementation over a simulated cluster.
+// Safe for concurrent use.
+type ClusterClient struct {
+	c    *Cluster
+	pool sync.Pool // of *cluster.Client
+}
+
+var _ Store = (*ClusterClient)(nil)
+
+// NewClusterClient wraps a cluster in the unified Store interface.
+func NewClusterClient(c *Cluster) *ClusterClient {
+	cc := &ClusterClient{c: c}
+	cc.pool.New = func() any { return c.NewClient() }
+	return cc
+}
+
+// Cluster returns the underlying deployment (failover controls, stats).
+func (cc *ClusterClient) Cluster() *Cluster { return cc.c }
+
+func (cc *ClusterClient) client() *cluster.Client    { return cc.pool.Get().(*cluster.Client) }
+func (cc *ClusterClient) release(cl *cluster.Client) { cc.pool.Put(cl) }
+
+// CreateTable declares a table with its column groups, one tablet per
+// server (use Cluster.CreateTable for explicit tablet counts).
+// Idempotent, including under concurrent callers (Cluster.CreateTable
+// checks-and-creates under the cluster lock).
+func (cc *ClusterClient) CreateTable(name string, groups ...string) error {
+	return cc.c.CreateTable(cluster.TableSpec{Name: name, Groups: groups})
+}
+
+// Put writes a row version via the owning tablet server (auto-commit).
+func (cc *ClusterClient) Put(ctx context.Context, table, group string, key, value []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.Put(table, group, key, value)
+}
+
+// Get reads the latest version of a row.
+func (cc *ClusterClient) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Row{}, err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.Get(table, group, key)
+}
+
+// GetAt reads the row version visible at snapshot ts.
+func (cc *ClusterClient) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Row{}, err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.GetAt(table, group, key, ts)
+}
+
+// Versions returns all stored versions of a row, oldest first.
+func (cc *ClusterClient) Versions(ctx context.Context, table, group string, key []byte) ([]Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.Versions(table, group, key)
+}
+
+// Delete removes a row from a column group.
+func (cc *ClusterClient) Delete(ctx context.Context, table, group string, key []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.Delete(table, group, key)
+}
+
+// GetRow reconstructs a full tuple across all column groups.
+func (cc *ClusterClient) GetRow(ctx context.Context, table string, key []byte) (map[string]Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.GetRow(table, key)
+}
+
+// Scan iterates the latest version of each key in [start, end) in key
+// order across all tablets the range spans. Always Close the iterator.
+func (cc *ClusterClient) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
+	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		cl := cc.client()
+		defer cc.release(cl)
+		fn, flush, failed := collectEmit(emit)
+		if err := cl.Scan(ictx, table, group, start, end, fn); err != nil {
+			return err
+		}
+		if err := failed(); err != nil {
+			return err
+		}
+		return flush()
+	})
+}
+
+// FullScan iterates every live row of the table's column group, tablet
+// by tablet in tablet order. Always Close the iterator.
+func (cc *ClusterClient) FullScan(ctx context.Context, table, group string) Iterator {
+	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		cl := cc.client()
+		defer cc.release(cl)
+		fn, flush, failed := collectEmit(emit)
+		if err := cl.FullScan(ictx, table, group, fn); err != nil {
+			return err
+		}
+		if err := failed(); err != nil {
+			return err
+		}
+		return flush()
+	})
+}
+
+// ScanFunc is the push-style adapter over Scan.
+func (cc *ClusterClient) ScanFunc(ctx context.Context, table, group string, start, end []byte, fn func(Row) bool) error {
+	return iterate(cc.Scan(ctx, table, group, start, end), fn)
+}
+
+// FullScanFunc is the push-style adapter over FullScan.
+func (cc *ClusterClient) FullScanFunc(ctx context.Context, table, group string, fn func(Row) bool) error {
+	return iterate(cc.FullScan(ctx, table, group), fn)
+}
+
+// Query executes an analytical query at the latest globally issued
+// timestamp, scattered to every tablet server owning a piece of the
+// table and gathered from mergeable partials.
+func (cc *ClusterClient) Query(ctx context.Context, table, group string, q Query) (QueryResult, error) {
+	return cc.c.Query(ctx, table, group, q)
+}
+
+// QueryAt executes q pinned at snapshot ts across the whole cluster.
+func (cc *ClusterClient) QueryAt(ctx context.Context, table, group string, ts int64, q Query) (QueryResult, error) {
+	return cc.c.QueryAt(ctx, table, group, ts, q)
+}
+
+// SnapshotAt pins a cluster-wide snapshot at ts (0 = now).
+func (cc *ClusterClient) SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return cc.c.SnapshotAt(table, ts)
+}
+
+// Batch returns an empty WriteBatch bound to this cluster: flushing
+// routes every mutation to its owning tablet server and applies them
+// as one append sweep per server.
+func (cc *ClusterClient) Batch() *WriteBatch {
+	return &WriteBatch{apply: cc.applyBatch}
+}
+
+// applyBatch persists ops per owning server; on a partial failure the
+// cluster client reports which ops did NOT land, and that subset flows
+// back so Flush retries only those.
+func (cc *ClusterClient) applyBatch(ctx context.Context, ops []batchOp) ([]int, error) {
+	cl := cc.client()
+	defer cc.release(cl)
+	batch := make([]cluster.BatchOp, len(ops))
+	for i, op := range ops {
+		batch[i] = cluster.BatchOp{
+			Table: op.table, Group: op.group,
+			Key: op.key, Value: op.value, Delete: op.delete,
+		}
+	}
+	return cl.ApplyBatch(batch)
+}
+
+// Begin starts a cluster-wide snapshot-isolation transaction.
+func (cc *ClusterClient) Begin(ctx context.Context) Tx {
+	return &clusterTxn{cc: cc, t: cc.c.TxnManager().Begin()}
+}
+
+// RunTxn runs fn in a transaction, retrying validation conflicts. It
+// is the method form of RunTx.
+func (cc *ClusterClient) RunTxn(ctx context.Context, fn func(Tx) error) error {
+	return RunTx(ctx, cc, fn)
+}
+
+// RegisterSecondaryIndex creates a secondary index over a table's
+// column group on every owning tablet server (backfilled); see
+// Cluster.RegisterSecondaryIndex.
+func (cc *ClusterClient) RegisterSecondaryIndex(name, table, group string, extract Extractor) error {
+	return cc.c.RegisterSecondaryIndex(name, table, group, extract)
+}
+
+// LookupSecondary returns rows whose extracted attribute equals
+// secKey, in primary-key order, gathered from all tablet servers.
+func (cc *ClusterClient) LookupSecondary(name string, secKey []byte) ([]Row, error) {
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.LookupSecondary(name, secKey)
+}
+
+// ScanSecondaryRange streams rows whose extracted attribute falls in
+// [start, end), ordered by (attribute, primary key) cluster-wide.
+func (cc *ClusterClient) ScanSecondaryRange(name string, start, end []byte, fn func(secKey []byte, r Row) bool) error {
+	cl := cc.client()
+	defer cc.release(cl)
+	return cl.ScanSecondaryRange(name, start, end, fn)
+}
+
+// Close releases every tablet server's background resources. The
+// cluster is not usable afterwards.
+func (cc *ClusterClient) Close() error { return cc.c.Close() }
+
+// clusterTxn adapts a cluster transaction (tablet-addressed) to the
+// table-addressed Tx interface by routing keys through the cluster
+// metadata.
+type clusterTxn struct {
+	cc *ClusterClient
+	t  *txn.Txn
+}
+
+var _ Tx = (*clusterTxn)(nil)
+
+func (tx *clusterTxn) tabletFor(table string, key []byte) (string, error) {
+	cl := tx.cc.client()
+	defer tx.cc.release(cl)
+	return cl.TabletFor(table, key)
+}
+
+func (tx *clusterTxn) Get(ctx context.Context, table, group string, key []byte) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	tab, err := tx.tabletFor(table, key)
+	if err != nil {
+		return nil, err
+	}
+	return tx.t.Get(tab, group, key)
+}
+
+func (tx *clusterTxn) Put(table, group string, key, value []byte) error {
+	tab, err := tx.tabletFor(table, key)
+	if err != nil {
+		return err
+	}
+	return tx.t.Put(tab, group, key, value)
+}
+
+func (tx *clusterTxn) Delete(table, group string, key []byte) error {
+	tab, err := tx.tabletFor(table, key)
+	if err != nil {
+		return err
+	}
+	return tx.t.Delete(tab, group, key)
+}
+
+func (tx *clusterTxn) Scan(ctx context.Context, table, group string, start, end []byte, fn func(Row) bool) error {
+	router, err := tx.cc.c.Router(table)
+	if err != nil {
+		return err
+	}
+	for _, tab := range router.Overlapping(start, end) {
+		stop := false
+		err := tx.t.Scan(ctx, tab.ID, group, start, end, func(r core.Row) bool {
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (tx *clusterTxn) Commit(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return tx.t.Commit()
+}
+
+func (tx *clusterTxn) Abort() { tx.t.Abort() }

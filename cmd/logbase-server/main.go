@@ -1,6 +1,6 @@
-// Command logbase-server runs an embedded LogBase instance behind the
-// minimal line-oriented TCP protocol in internal/textproto, so the
-// engine can be poked from logbase-cli or netcat:
+// Command logbase-server runs a LogBase deployment behind the minimal
+// line-oriented TCP protocol in internal/textproto, so the engine can
+// be poked from logbase-cli or netcat:
 //
 //	CREATE <table> <group> [group...]
 //	PUT <table> <group> <key> <value>
@@ -11,52 +11,66 @@
 //	SCAN <table> <group> <start> <end> [limit]
 //	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
 //	CHECKPOINT | QUIT
+//
+// The adapter is written once against the unified logbase.Store
+// interface: -servers 0 serves an embedded DB, -servers N>0 serves an
+// in-process N-server cluster through the exact same code path.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 
 	logbase "repro"
+	"repro/internal/core"
 	"repro/internal/textproto"
 )
 
-// dbAdapter maps the textproto.Store surface onto *logbase.DB (the row
-// types differ only nominally).
-type dbAdapter struct{ db *logbase.DB }
+// storeAdapter maps the textproto.Store surface onto any logbase.Store
+// (the Row/Iterator types differ only nominally). One adapter, both
+// backends — that is the point of the unified interface.
+type storeAdapter struct{ st logbase.Store }
 
-func (a dbAdapter) CreateTable(name string, groups ...string) error {
-	return a.db.CreateTable(name, groups...)
+func (a storeAdapter) CreateTable(name string, groups ...string) error {
+	return a.st.CreateTable(name, groups...)
 }
-func (a dbAdapter) Put(table, group string, key, value []byte) error {
-	return a.db.Put(table, group, key, value)
+func (a storeAdapter) Put(ctx context.Context, table, group string, key, value []byte) error {
+	return a.st.Put(ctx, table, group, key, value)
 }
-func (a dbAdapter) Get(table, group string, key []byte) (textproto.Row, error) {
-	r, err := a.db.Get(table, group, key)
+func (a storeAdapter) Get(ctx context.Context, table, group string, key []byte) (textproto.Row, error) {
+	r, err := a.st.Get(ctx, table, group, key)
 	return textproto.Row(r), err
 }
-func (a dbAdapter) GetAt(table, group string, key []byte, ts int64) (textproto.Row, error) {
-	r, err := a.db.GetAt(table, group, key, ts)
+func (a storeAdapter) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (textproto.Row, error) {
+	r, err := a.st.GetAt(ctx, table, group, key, ts)
 	return textproto.Row(r), err
 }
-func (a dbAdapter) Versions(table, group string, key []byte) ([]textproto.Row, error) {
-	rows, err := a.db.Versions(table, group, key)
+func (a storeAdapter) Versions(ctx context.Context, table, group string, key []byte) ([]textproto.Row, error) {
+	rows, err := a.st.Versions(ctx, table, group, key)
 	out := make([]textproto.Row, len(rows))
 	for i, r := range rows {
 		out[i] = textproto.Row(r)
 	}
 	return out, err
 }
-func (a dbAdapter) Delete(table, group string, key []byte) error {
-	return a.db.Delete(table, group, key)
+func (a storeAdapter) Delete(ctx context.Context, table, group string, key []byte) error {
+	return a.st.Delete(ctx, table, group, key)
 }
-func (a dbAdapter) Scan(table, group string, start, end []byte, fn func(textproto.Row) bool) error {
-	return a.db.Scan(table, group, start, end, func(r logbase.Row) bool {
-		return fn(textproto.Row(r))
-	})
+func (a storeAdapter) Scan(ctx context.Context, table, group string, start, end []byte) textproto.Iterator {
+	return iterAdapter{a.st.Scan(ctx, table, group, start, end)}
 }
-func (a dbAdapter) Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (textproto.QueryReply, error) {
+
+// iterAdapter converts logbase.Iterator rows to textproto rows.
+type iterAdapter struct{ it logbase.Iterator }
+
+func (ia iterAdapter) Next() bool         { return ia.it.Next() }
+func (ia iterAdapter) Row() textproto.Row { return textproto.Row(ia.it.Row()) }
+func (ia iterAdapter) Err() error         { return ia.it.Err() }
+func (ia iterAdapter) Close() error       { return ia.it.Close() }
+
+func (a storeAdapter) Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (textproto.QueryReply, error) {
 	kind, err := logbase.ParseAggKind(agg)
 	if err != nil {
 		return textproto.QueryReply{}, err
@@ -73,7 +87,7 @@ func (a dbAdapter) Query(table, group, agg string, start, end []byte, ts int64, 
 			return string(r.Key[:groupPrefix])
 		}
 	}
-	res, err := a.db.QueryAt(table, group, ts, q)
+	res, err := a.st.QueryAt(ctx, table, group, ts, q)
 	if err != nil {
 		return textproto.QueryReply{}, err
 	}
@@ -95,18 +109,46 @@ func extractFor(kind logbase.AggKind) func(logbase.Row) (float64, bool) {
 	return logbase.FloatValue
 }
 
-func (a dbAdapter) Checkpoint() error { return a.db.Checkpoint() }
+func (a storeAdapter) Checkpoint() error {
+	switch st := a.st.(type) {
+	case *logbase.DB:
+		return st.Checkpoint()
+	case *logbase.ClusterClient:
+		return st.Cluster().Checkpoint()
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
 	dir := flag.String("dir", "./logbase-data", "data directory")
 	cache := flag.Int64("cache", 32<<20, "read buffer bytes (0 disables)")
+	servers := flag.Int("servers", 0, "tablet servers; 0 = embedded single-server DB")
 	flag.Parse()
 
-	db, err := logbase.Open(*dir, logbase.Options{ReadCacheBytes: *cache, GroupCommit: true})
-	if err != nil {
-		log.Fatalf("open: %v", err)
+	var st logbase.Store
+	if *servers > 0 {
+		// Same knobs as the embedded path, applied to every tablet
+		// server: the two backends must behave alike behind one flag.
+		c, err := logbase.NewCluster(*dir, logbase.ClusterConfig{
+			NumServers: *servers,
+			Server:     core.Config{ReadCacheBytes: *cache, GroupCommit: true},
+		})
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		st = logbase.NewClusterClient(c)
+		log.Printf("serving a %d-server cluster", *servers)
+	} else {
+		db, err := logbase.Open(*dir, logbase.Options{ReadCacheBytes: *cache, GroupCommit: true})
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		st = db
+		log.Print("serving an embedded DB")
 	}
+	defer st.Close()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -120,7 +162,7 @@ func main() {
 		}
 		go func() {
 			defer conn.Close()
-			if err := textproto.Serve(conn, dbAdapter{db}); err != nil {
+			if err := textproto.Serve(context.Background(), conn, storeAdapter{st}); err != nil {
 				log.Printf("session: %v", err)
 			}
 		}()

@@ -1,12 +1,16 @@
 // Analytics: snapshot-consistent queries over the live store — load a
 // small orders table, aggregate it, group it, pin a snapshot and show
-// it ignores later writes, then time-travel, then run the same query
-// scatter-gathered across a simulated cluster.
+// it ignores later writes, then time-travel. The whole scenario is one
+// function taking the unified logbase.Store interface, run first
+// against an embedded DB and then, unmodified, against a simulated
+// 4-server cluster (where queries scatter-gather across all tablet
+// servers at one global timestamp).
 //
 //	go run ./examples/analytics
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,33 +18,28 @@ import (
 	logbase "repro"
 )
 
-func main() {
-	dir, err := os.MkdirTemp("", "logbase-analytics-")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
+var regions = []string{"eu", "jp", "us", "za"}
 
-	db, err := logbase.Open(dir+"/db", logbase.Options{ReadCacheBytes: 8 << 20})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer db.Close()
-	if err := db.CreateTable("orders", "amount"); err != nil {
+// scenario is written once against Store and knows nothing about which
+// backend it drives.
+func scenario(ctx context.Context, st logbase.Store) {
+	if err := st.CreateTable("orders", "amount"); err != nil {
 		log.Fatal(err)
 	}
 
-	// 1000 orders across 4 regions; amount = order number.
-	regions := []string{"eu", "jp", "us", "za"}
+	// 1000 orders across 4 regions, bulk-loaded through a WriteBatch
+	// (one append sweep per tablet server); amount = order number.
+	batch := st.Batch()
 	for i := 0; i < 1000; i++ {
 		key := fmt.Sprintf("%s/%06d", regions[i%len(regions)], i)
-		if err := db.Put("orders", "amount", []byte(key), []byte(fmt.Sprint(i))); err != nil {
-			log.Fatal(err)
-		}
+		batch.Put("orders", "amount", []byte(key), []byte(fmt.Sprint(i)))
+	}
+	if err := batch.Flush(ctx); err != nil {
+		log.Fatal(err)
 	}
 
 	// Aggregate everything at the current snapshot.
-	res, err := db.Query("orders", "amount", logbase.Query{
+	res, err := st.Query(ctx, "orders", "amount", logbase.Query{
 		Aggs: []logbase.Agg{
 			{Kind: logbase.Count},
 			{Kind: logbase.Sum, Extract: logbase.FloatValue},
@@ -54,7 +53,7 @@ func main() {
 		res.Value(0, logbase.Count), res.Value(1, logbase.Sum), res.Value(2, logbase.Avg), res.TS)
 
 	// GROUP BY region (key prefix before '/').
-	res, err = db.Query("orders", "amount", logbase.Query{
+	res, err = st.Query(ctx, "orders", "amount", logbase.Query{
 		GroupBy: func(r logbase.Row) string { return string(r.Key[:2]) },
 		Aggs:    []logbase.Agg{{Kind: logbase.Count}, {Kind: logbase.Max, Extract: logbase.FloatValue}},
 	})
@@ -66,56 +65,59 @@ func main() {
 	}
 
 	// Pin a snapshot, then keep writing: the snapshot must not move.
-	snap, err := db.SnapshotAt("orders", 0)
+	snap, err := st.SnapshotAt(ctx, "orders", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("us/%06d", 100000+i)
-		if err := db.Put("orders", "amount", []byte(key), []byte("1000000")); err != nil {
+		if err := st.Put(ctx, "orders", "amount", []byte(key), []byte("1000000")); err != nil {
 			log.Fatal(err)
 		}
 	}
 	countQ := logbase.Query{Aggs: []logbase.Agg{{Kind: logbase.Count}}}
-	pinned, err := snap.Run("amount", countQ)
+	pinned, err := snap.Run(ctx, "amount", countQ)
 	if err != nil {
 		log.Fatal(err)
 	}
-	now, err := db.Query("orders", "amount", countQ)
+	now, err := st.Query(ctx, "orders", "amount", countQ)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pinned snapshot still sees %.0f orders; a fresh query sees %.0f\n",
 		pinned.Value(0, logbase.Count), now.Value(0, logbase.Count))
 
-	// Time travel: the same pinned timestamp, straight from Query.
-	back, err := db.QueryAt("orders", "amount", snap.TS(), countQ)
+	// Time travel: the same pinned timestamp, straight from QueryAt.
+	back, err := st.QueryAt(ctx, "orders", "amount", snap.TS(), countQ)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("time travel to ts %d: %.0f orders\n", snap.TS(), back.Value(0, logbase.Count))
+}
 
-	// The same declarative query, scatter-gathered across a cluster.
-	c, err := logbase.NewCluster(dir+"/cluster", logbase.ClusterConfig{
-		NumServers: 4,
-		Tables:     []logbase.TableSpec{{Name: "orders", Groups: []string{"amount"}}},
-	})
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "logbase-analytics-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl := c.NewClient()
-	for i := 0; i < 1000; i++ {
-		key := fmt.Sprintf("%s/%06d", regions[i%len(regions)], i)
-		if err := cl.Put("orders", "amount", []byte(key), []byte(fmt.Sprint(i))); err != nil {
-			log.Fatal(err)
-		}
-	}
-	cres, err := c.Query("orders", "amount", logbase.Query{
-		Aggs: []logbase.Agg{{Kind: logbase.Count}, {Kind: logbase.Sum, Extract: logbase.FloatValue}},
-	})
+	defer os.RemoveAll(dir)
+
+	fmt.Println("=== embedded DB ===")
+	db, err := logbase.Open(dir+"/db", logbase.Options{ReadCacheBytes: 8 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster of 4 servers: count=%.0f sum=%.0f across %d tablets\n",
-		cres.Value(0, logbase.Count), cres.Value(1, logbase.Sum), len(c.LiveServers()))
+	defer db.Close()
+	scenario(ctx, db)
+
+	fmt.Println("\n=== 4-server cluster, same code ===")
+	c, err := logbase.NewCluster(dir+"/cluster", logbase.ClusterConfig{NumServers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := logbase.NewClusterClient(c)
+	defer cc.Close()
+	scenario(ctx, cc)
+	fmt.Printf("cluster ran the identical scenario across %d tablet servers\n", len(c.LiveServers()))
 }

@@ -1,14 +1,18 @@
 // Clickstream: the paper's "logging user activity" workload (§1) on a
-// simulated multi-server cluster. Events are keyed with entity-group
-// prefixes so one user's data stays on one tablet (§3.2), range scans
-// pull a user's session back in order, and a tablet-server failure is
-// healed by the master reassigning and recovering tablets from the
-// shared DFS (§3.8).
+// simulated multi-server cluster. Events are bulk-ingested through a
+// WriteBatch (one append sweep per tablet server), keyed with
+// entity-group prefixes so one user's data stays on one tablet (§3.2);
+// iterator-based range scans pull a user's session back in order (and
+// a cancelled context abandons a full scan mid-flight); a tablet-server
+// failure is healed by the master reassigning and recovering tablets
+// from the shared DFS (§3.8).
 //
 //	go run ./examples/clickstream
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "logbase-clicks-")
 	if err != nil {
 		log.Fatal(err)
@@ -26,7 +31,8 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	// A 4-server cluster; each server also runs a DFS datanode, and the
-	// shared log storage is 3-way replicated.
+	// shared log storage is 3-way replicated. The client implements the
+	// same Store interface as an embedded DB.
 	c, err := logbase.NewCluster(dir, logbase.ClusterConfig{
 		NumServers: 4,
 		Tables: []logbase.TableSpec{
@@ -36,35 +42,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := c.NewClient()
+	client := logbase.NewClusterClient(c)
+	defer client.Close()
 
-	// Ingest: 50 users x 200 events. Keys are "user/<id>/<seq>" so all
-	// of a user's events share a prefix and land on one tablet.
+	// Ingest: 50 users x 200 events, batched 500 at a time. Keys are
+	// "user/<id>/<seq>" so all of a user's events share a prefix and
+	// land on one tablet.
 	pages := []string{"/home", "/search", "/item", "/cart", "/checkout"}
 	rng := rand.New(rand.NewSource(1))
 	start := time.Now()
 	const users, perUser = 50, 200
+	batch := client.Batch()
 	for u := 0; u < users; u++ {
 		for s := 0; s < perUser; s++ {
 			key := []byte(fmt.Sprintf("user/%03d/%06d", u, s))
-			val := []byte(pages[rng.Intn(len(pages))])
-			if err := client.Put("events", "click", key, val); err != nil {
-				log.Fatal(err)
+			batch.Put("events", "click", key, []byte(pages[rng.Intn(len(pages))]))
+			if batch.Len() >= 500 {
+				if err := batch.Flush(ctx); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
+	}
+	if err := batch.Flush(ctx); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("ingested %d events across %d servers in %v\n",
 		users*perUser, len(c.LiveServers()), time.Since(start).Round(time.Millisecond))
 
 	// Session replay: a prefix range scan returns one user's events in
-	// order, all from a single tablet.
+	// order, all from a single tablet. The iterator is closed early
+	// after 5 rows — the underlying scan is released immediately.
 	var session []string
-	err = client.Scan("events", "click", []byte("user/007/"), []byte("user/007/\xff"),
-		func(r logbase.Row) bool {
-			session = append(session, string(r.Value))
-			return len(session) < 5
-		})
-	if err != nil {
+	it := client.Scan(ctx, "events", "click", []byte("user/007/"), []byte("user/007/\xff"))
+	for len(session) < 5 && it.Next() {
+		session = append(session, string(it.Row().Value))
+	}
+	if err := it.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("user 007 session starts: %v\n", session)
@@ -72,13 +86,30 @@ func main() {
 	// Funnel analytics: full scan counting page hits (the MapReduce-ish
 	// batch path, §3.6.4).
 	counts := map[string]int{}
-	if err := client.FullScan("events", "click", func(r logbase.Row) bool {
-		counts[string(r.Value)]++
-		return true
-	}); err != nil {
+	full := client.FullScan(ctx, "events", "click")
+	for full.Next() {
+		counts[string(full.Row().Value)]++
+	}
+	if err := full.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("page hits: %v\n", counts)
+
+	// Cancellation: a deadline abandons the same full scan mid-flight;
+	// the iterator reports the context error and leaks nothing.
+	shortCtx, cancel := context.WithCancel(ctx)
+	aborted := client.FullScan(shortCtx, "events", "click")
+	n := 0
+	for aborted.Next() {
+		if n++; n == 100 {
+			cancel() // e.g. the request handler timed out
+		}
+	}
+	if err := aborted.Err(); !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected context.Canceled, got %v", err)
+	}
+	aborted.Close()
+	fmt.Printf("cancelled full scan stopped after ~%d rows with %v\n", n, context.Canceled)
 
 	// Kill a tablet server: the master reassigns its tablets to the
 	// survivors and recovers the data from the dead server's log in the
@@ -91,7 +122,7 @@ func main() {
 	missing := 0
 	for u := 0; u < users; u++ {
 		key := []byte(fmt.Sprintf("user/%03d/%06d", u, perUser-1))
-		if _, err := client.Get("events", "click", key); err != nil {
+		if _, err := client.Get(ctx, "events", "click", key); err != nil {
 			missing++
 		}
 	}

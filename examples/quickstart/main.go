@@ -1,10 +1,13 @@
 // Quickstart: open an embedded LogBase, write, read, read history,
-// run a transaction, and survive a crash.
+// iterate a range, run a transaction, and survive a crash — all
+// through the unified Store interface (the same code runs against a
+// cluster via logbase.NewClusterClient).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "logbase-quickstart-")
 	if err != nil {
 		log.Fatal(err)
@@ -33,30 +37,49 @@ func main() {
 	}
 
 	// Writes are one durable log append each — no data files, no flush.
-	if err := db.Put("users", "profile", []byte("alice"), []byte(`{"name":"Alice"}`)); err != nil {
+	if err := db.Put(ctx, "users", "profile", []byte("alice"), []byte(`{"name":"Alice"}`)); err != nil {
 		log.Fatal(err)
 	}
-	db.Put("users", "profile", []byte("alice"), []byte(`{"name":"Alice","city":"Istanbul"}`))
-	db.Put("users", "activity", []byte("alice"), []byte("clicked:checkout"))
+	db.Put(ctx, "users", "profile", []byte("alice"), []byte(`{"name":"Alice","city":"Istanbul"}`))
+	db.Put(ctx, "users", "activity", []byte("alice"), []byte("clicked:checkout"))
 
-	row, err := db.Get("users", "profile", []byte("alice"))
+	// Bulk load through a WriteBatch: buffered rows flush as ONE append
+	// sweep through the log instead of one durable append per record.
+	batch := db.Batch()
+	for i := 0; i < 100; i++ {
+		batch.Put("users", "profile", []byte(fmt.Sprintf("user%03d", i)), []byte(`{}`))
+	}
+	if err := batch.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	row, err := db.Get(ctx, "users", "profile", []byte("alice"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("latest profile (version %d): %s\n", row.TS, row.Value)
 
+	// Range reads are pull-based iterators; Close releases the scan.
+	it := db.Scan(ctx, "users", "profile", []byte("user000"), []byte("user005"))
+	for it.Next() {
+		fmt.Printf("  scanned %s\n", it.Row().Key)
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
+
 	// Every version is retained in the log; read them all, or as-of a
 	// timestamp.
-	versions, _ := db.Versions("users", "profile", []byte("alice"))
+	versions, _ := db.Versions(ctx, "users", "profile", []byte("alice"))
 	for _, v := range versions {
 		fmt.Printf("  version %d: %s\n", v.TS, v.Value)
 	}
-	old, _ := db.GetAt("users", "profile", []byte("alice"), versions[0].TS)
+	old, _ := db.GetAt(ctx, "users", "profile", []byte("alice"), versions[0].TS)
 	fmt.Printf("as-of first write: %s\n", old.Value)
 
 	// Snapshot-isolation transaction across column groups.
-	err = db.RunTxn(func(tx *logbase.Txn) error {
-		act, err := tx.Get("users", "activity", []byte("alice"))
+	err = db.RunTxn(ctx, func(tx logbase.Tx) error {
+		act, err := tx.Get(ctx, "users", "activity", []byte("alice"))
 		if err != nil {
 			return err
 		}
@@ -66,7 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	row, _ = db.Get("users", "profile", []byte("alice"))
+	row, _ = db.Get(ctx, "users", "profile", []byte("alice"))
 	fmt.Printf("after txn: %s\n", row.Value)
 
 	// Crash and recover: checkpoint bounds recovery to an index reload
@@ -74,7 +97,7 @@ func main() {
 	if err := db.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
-	db.Put("users", "profile", []byte("bob"), []byte(`{"name":"Bob"}`)) // after checkpoint
+	db.Put(ctx, "users", "profile", []byte("bob"), []byte(`{"name":"Bob"}`)) // after checkpoint
 
 	db2, err := db.Reopen() // simulated restart: memory state gone
 	if err != nil {
@@ -87,7 +110,7 @@ func main() {
 	}
 	fmt.Printf("recovered: checkpoint=%v indexes=%d tailRecords=%d in %v\n",
 		st.UsedCheckpoint, st.IndexesLoaded, st.RecordsScanned, st.Elapsed)
-	bob, err := db2.Get("users", "profile", []byte("bob"))
+	bob, err := db2.Get(ctx, "users", "profile", []byte("bob"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,13 +2,15 @@
 // an extension. A social-network profile store is indexed by city, so
 // "everyone in <city>" becomes an index lookup plus one log seek per
 // match instead of a full scan — and the index stays correct through
-// updates, deletes and transactions.
+// updates, deletes and transactions. The same API exists cluster-wide
+// via ClusterClient.RegisterSecondaryIndex / LookupSecondary.
 //
 //	go run ./examples/secondaryindex
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,6 +36,7 @@ func cityOf(value []byte) []byte {
 }
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "logbase-secondary-")
 	if err != nil {
 		log.Fatal(err)
@@ -44,17 +47,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	db.CreateTable("profiles", "main")
 
-	// Load 10k profiles, then register the index (it backfills).
+	// Bulk-load 10k profiles, then register the index (it backfills).
 	rng := rand.New(rand.NewSource(7))
 	const users = 10000
+	batch := db.Batch()
 	for i := 0; i < users; i++ {
 		key := []byte(fmt.Sprintf("user%06d", i))
 		val := []byte(fmt.Sprintf("name=u%d;city=%s;", i, cities[rng.Intn(len(cities))]))
-		if err := db.Put("profiles", "main", key, val); err != nil {
-			log.Fatal(err)
+		batch.Put("profiles", "main", key, val)
+		if batch.Len() >= 1000 {
+			if err := batch.Flush(ctx); err != nil {
+				log.Fatal(err)
+			}
 		}
+	}
+	if err := batch.Flush(ctx); err != nil {
+		log.Fatal(err)
 	}
 	start := time.Now()
 	if err := db.RegisterSecondaryIndex("by-city", "profiles", "main", cityOf); err != nil {
@@ -62,7 +73,7 @@ func main() {
 	}
 	fmt.Printf("backfilled by-city index over %d profiles in %v\n", users, time.Since(start).Round(time.Millisecond))
 
-	// Indexed lookup vs full scan.
+	// Indexed lookup vs full scan (pull-based iterator).
 	start = time.Now()
 	rows, err := db.LookupSecondary("by-city", []byte("lima"))
 	if err != nil {
@@ -72,12 +83,15 @@ func main() {
 
 	start = time.Now()
 	scanHits := 0
-	db.FullScan("profiles", "main", func(r logbase.Row) bool {
-		if bytes.Equal(cityOf(r.Value), []byte("lima")) {
+	it := db.FullScan(ctx, "profiles", "main")
+	for it.Next() {
+		if bytes.Equal(cityOf(it.Row().Value), []byte("lima")) {
 			scanHits++
 		}
-		return true
-	})
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
 	scanTime := time.Since(start)
 	fmt.Printf("residents of lima: %d via index (%v) vs %d via full scan (%v)\n",
 		len(rows), idxTime.Round(time.Microsecond), scanHits, scanTime.Round(time.Microsecond))
@@ -88,7 +102,7 @@ func main() {
 	// The index follows updates: pick a lima resident and move them.
 	mover := append([]byte(nil), rows[0].Key...)
 	before := len(rows)
-	db.Put("profiles", "main", mover, []byte("name=moved;city=oslo;"))
+	db.Put(ctx, "profiles", "main", mover, []byte("name=moved;city=oslo;"))
 	rows, _ = db.LookupSecondary("by-city", []byte("lima"))
 	osloRows, _ := db.LookupSecondary("by-city", []byte("oslo"))
 	fmt.Printf("after %s moved: lima %d -> %d, oslo has them: %v\n",

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 var tickers = []string{"AAPL", "GOOG", "MSFT", "AMZN", "NVDA"}
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "logbase-stocks-")
 	if err != nil {
 		log.Fatal(err)
@@ -32,6 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close() // stops the group-commit batcher goroutine
 	// Vertical partitioning: the hot "price" group is separate from the
 	// wide, rarely-read "detail" group.
 	if err := db.CreateTable("trades", "price", "detail"); err != nil {
@@ -41,7 +44,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Phase 1 — the write burst: 8 concurrent feeds, 2000 trades each.
+	// Phase 1 — the write burst: 8 concurrent feeds, 2000 trades each
+	// (group commit coalesces the concurrent appends).
 	const feeds, perFeed = 8, 2000
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -53,7 +57,7 @@ func main() {
 			for i := 0; i < perFeed; i++ {
 				sym := tickers[rng.Intn(len(tickers))]
 				price := 100 + rng.Float64()*50
-				if err := db.Put("trades", "price", []byte(sym),
+				if err := db.Put(ctx, "trades", "price", []byte(sym),
 					[]byte(fmt.Sprintf("%.2f", price))); err != nil {
 					log.Fatal(err)
 				}
@@ -69,7 +73,7 @@ func main() {
 
 	// Phase 2 — trend analysis over the multiversion history.
 	for _, sym := range tickers[:2] {
-		versions, err := db.Versions("trades", "price", []byte(sym))
+		versions, err := db.Versions(ctx, "trades", "price", []byte(sym))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,19 +85,19 @@ func main() {
 
 	// Phase 3 — transactional settlement: move funds between accounts;
 	// concurrent transfers against the same account restart and retry.
-	db.Put("accounts", "balance", []byte("acct/buyer"), []byte("10000"))
-	db.Put("accounts", "balance", []byte("acct/seller"), []byte("0"))
+	db.Put(ctx, "accounts", "balance", []byte("acct/buyer"), []byte("10000"))
+	db.Put(ctx, "accounts", "balance", []byte("acct/seller"), []byte("0"))
 	var txWG sync.WaitGroup
 	for i := 0; i < 10; i++ {
 		txWG.Add(1)
 		go func() {
 			defer txWG.Done()
-			err := db.RunTxn(func(tx *logbase.Txn) error {
-				b, err := tx.Get("accounts", "balance", []byte("acct/buyer"))
+			err := db.RunTxn(ctx, func(tx logbase.Tx) error {
+				b, err := tx.Get(ctx, "accounts", "balance", []byte("acct/buyer"))
 				if err != nil {
 					return err
 				}
-				s, err := tx.Get("accounts", "balance", []byte("acct/seller"))
+				s, err := tx.Get(ctx, "accounts", "balance", []byte("acct/seller"))
 				if err != nil {
 					return err
 				}
@@ -112,8 +116,8 @@ func main() {
 		}()
 	}
 	txWG.Wait()
-	buyer, _ := db.Get("accounts", "balance", []byte("acct/buyer"))
-	seller, _ := db.Get("accounts", "balance", []byte("acct/seller"))
+	buyer, _ := db.Get(ctx, "accounts", "balance", []byte("acct/buyer"))
+	seller, _ := db.Get(ctx, "accounts", "balance", []byte("acct/seller"))
 	fmt.Printf("after 10 concurrent transfers: buyer=%s seller=%s (conserved: %v)\n",
 		buyer.Value, seller.Value, string(buyer.Value) == "9000" && string(seller.Value) == "1000")
 

@@ -1,9 +1,11 @@
-package logbase
+package logbase_test
 
 // End-to-end integration tests exercising the full paper story across
 // module boundaries: ingest → mixed traffic → compaction → checkpoint →
 // crash → recovery → verification, plus cluster failover with the DFS
-// losing a datanode at the same time.
+// losing a datanode at the same time. Everything drives the unified
+// Store interface; TestStoreDriverBothBackends runs one workload
+// function against the embedded DB and the cluster client verbatim.
 
 import (
 	"errors"
@@ -12,11 +14,12 @@ import (
 	"sync"
 	"testing"
 
+	logbase "repro"
 	"repro/internal/dfs"
 )
 
 func TestEndToEndLifecycle(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{
+	db, err := logbase.Open(t.TempDir(), logbase.Options{
 		ReadCacheBytes:      1 << 20,
 		SegmentSize:         1 << 16,
 		CompactKeepVersions: 2,
@@ -33,23 +36,23 @@ func TestEndToEndLifecycle(t *testing.T) {
 		key := fmt.Sprintf("k%03d", rng.Intn(300))
 		switch rng.Intn(12) {
 		case 0:
-			if err := db.Delete("events", "payload", []byte(key)); err != nil {
+			if err := db.Delete(bg, "events", "payload", []byte(key)); err != nil {
 				t.Fatalf("Delete: %v", err)
 			}
 			delete(model, key)
 		default:
 			val := fmt.Sprintf("v%d", op)
-			if err := db.Put("events", "payload", []byte(key), []byte(val)); err != nil {
+			if err := db.Put(bg, "events", "payload", []byte(key), []byte(val)); err != nil {
 				t.Fatalf("Put: %v", err)
 			}
 			model[key] = val
 		}
 	}
 
-	verify := func(stage string, d *DB) {
+	verify := func(stage string, d *logbase.DB) {
 		t.Helper()
 		for key, want := range model {
-			row, err := d.Get("events", "payload", []byte(key))
+			row, err := d.Get(bg, "events", "payload", []byte(key))
 			if err != nil || string(row.Value) != want {
 				t.Fatalf("%s: %s = %q err=%v, want %q", stage, key, row.Value, err, want)
 			}
@@ -59,7 +62,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 		for i := 0; i < 300 && misses < 3; i++ {
 			key := fmt.Sprintf("k%03d", i)
 			if _, ok := model[key]; !ok {
-				if _, err := d.Get("events", "payload", []byte(key)); !errors.Is(err, ErrNotFound) {
+				if _, err := d.Get(bg, "events", "payload", []byte(key)); !errors.Is(err, logbase.ErrNotFound) {
 					t.Fatalf("%s: deleted key %s visible (err=%v)", stage, key, err)
 				}
 				misses++
@@ -75,7 +78,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 20; i++ {
-			err := db.RunTxn(func(tx *Txn) error {
+			err := db.RunTxn(bg, func(tx logbase.Tx) error {
 				key := []byte(fmt.Sprintf("txn-key-%02d", i))
 				return tx.Put("events", "payload", key, []byte("txn"))
 			})
@@ -96,7 +99,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	}
 	verify("after compaction", db)
 	for i := 0; i < 20; i++ {
-		if _, err := db.Get("events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
+		if _, err := db.Get(bg, "events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
 			t.Fatalf("txn write %d lost around compaction: %v", i, err)
 		}
 	}
@@ -107,7 +110,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		key := fmt.Sprintf("post-%02d", i)
-		db.Put("events", "payload", []byte(key), []byte("tail"))
+		db.Put(bg, "events", "payload", []byte(key), []byte("tail"))
 		model[key] = "tail"
 	}
 	db2, err := db.Reopen()
@@ -124,26 +127,26 @@ func TestEndToEndLifecycle(t *testing.T) {
 	}
 	verify("after recovery", db2)
 	for i := 0; i < 20; i++ {
-		if _, err := db2.Get("events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
+		if _, err := db2.Get(bg, "events", "payload", []byte(fmt.Sprintf("txn-key-%02d", i))); err != nil {
 			t.Fatalf("txn write %d lost across crash: %v", i, err)
 		}
 	}
 }
 
 func TestClusterSurvivesServerAndDataNodeFailure(t *testing.T) {
-	c, err := NewCluster(t.TempDir(), ClusterConfig{
+	c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{
 		NumServers: 4,
-		Tables:     []TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 8}},
+		Tables:     []logbase.TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 8}},
 		DFS:        dfs.Config{NumDataNodes: 4, ReplicationFactor: 3, BlockSize: 1 << 16},
 	})
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)
 	}
-	cl := c.NewClient()
+	cl := logbase.NewClusterClient(c)
 	const n = 200
 	for i := 0; i < n; i++ {
 		key := []byte{byte(i * 256 / n), byte(i)}
-		if err := cl.Put("t", "g", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := cl.Put(bg, "t", "g", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("Put: %v", err)
 		}
 	}
@@ -157,7 +160,7 @@ func TestClusterSurvivesServerAndDataNodeFailure(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		key := []byte{byte(i * 256 / n), byte(i)}
-		row, err := cl.Get("t", "g", key)
+		row, err := cl.Get(bg, "t", "g", key)
 		if err != nil || string(row.Value) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("Get %d after double failure = %+v err=%v", i, row, err)
 		}
@@ -168,23 +171,24 @@ func TestClusterSurvivesServerAndDataNodeFailure(t *testing.T) {
 	}
 	for i := 0; i < n; i += 7 {
 		key := []byte{byte(i * 256 / n), byte(i)}
-		if _, err := cl.Get("t", "g", key); err != nil {
+		if _, err := cl.Get(bg, "t", "g", key); err != nil {
 			t.Fatalf("Get %d after second failover: %v", i, err)
 		}
 	}
 }
 
 func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{GroupCommit: true, SegmentSize: 1 << 18})
+	db, err := logbase.Open(t.TempDir(), logbase.Options{GroupCommit: true, SegmentSize: 1 << 18})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
+	defer db.Close()
 	db.CreateTable("acct", "bal")
 	// 16 accounts, each seeded with 1000; random transfers preserve the
 	// global sum under snapshot isolation.
 	const accounts, transfers, workers = 16, 40, 8
 	for i := 0; i < accounts; i++ {
-		db.Put("acct", "bal", []byte(fmt.Sprintf("a%02d", i)), []byte("1000"))
+		db.Put(bg, "acct", "bal", []byte(fmt.Sprintf("a%02d", i)), []byte("1000"))
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -198,12 +202,12 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 				if from == to {
 					continue
 				}
-				err := db.RunTxn(func(tx *Txn) error {
-					f, err := tx.Get("acct", "bal", []byte(from))
+				err := db.RunTxn(bg, func(tx logbase.Tx) error {
+					f, err := tx.Get(bg, "acct", "bal", []byte(from))
 					if err != nil {
 						return err
 					}
-					g, err := tx.Get("acct", "bal", []byte(to))
+					g, err := tx.Get(bg, "acct", "bal", []byte(to))
 					if err != nil {
 						return err
 					}
@@ -226,7 +230,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 	wg.Wait()
 	sum := 0
 	for i := 0; i < accounts; i++ {
-		row, err := db.Get("acct", "bal", []byte(fmt.Sprintf("a%02d", i)))
+		row, err := db.Get(bg, "acct", "bal", []byte(fmt.Sprintf("a%02d", i)))
 		if err != nil {
 			t.Fatalf("Get: %v", err)
 		}
@@ -235,6 +239,109 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 	if sum != accounts*1000 {
 		t.Errorf("money not conserved: sum = %d, want %d", sum, accounts*1000)
 	}
+}
+
+// storeWorkload is ONE workload function written purely against the
+// Store interface: batch load, point reads, iterator scans, a
+// transaction, a snapshot query, and a delete.
+func storeWorkload(t *testing.T, st logbase.Store) {
+	t.Helper()
+	if err := st.CreateTable("w", "g"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	batch := st.Batch()
+	for i := 0; i < 200; i++ {
+		batch.Put("w", "g", []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprint(i)))
+	}
+	if err := batch.Flush(bg); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	row, err := st.Get(bg, "w", "g", []byte("k0042"))
+	if err != nil || string(row.Value) != "42" {
+		t.Fatalf("Get = %+v err=%v", row, err)
+	}
+	var keys []string
+	it := st.Scan(bg, "w", "g", []byte("k0010"), []byte("k0015"))
+	for it.Next() {
+		keys = append(keys, string(it.Row().Key))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(keys) != 5 || keys[0] != "k0010" || keys[4] != "k0014" {
+		t.Fatalf("scan keys = %v", keys)
+	}
+	full := st.FullScan(bg, "w", "g")
+	n := 0
+	for full.Next() {
+		n++
+	}
+	if err := full.Close(); err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	if n != 200 {
+		t.Fatalf("full scan rows = %d", n)
+	}
+	err = logbase.RunTx(bg, st, func(tx logbase.Tx) error {
+		v, err := tx.Get(bg, "w", "g", []byte("k0001"))
+		if err != nil {
+			return err
+		}
+		return tx.Put("w", "g", []byte("k0001"), append(v, '!'))
+	})
+	if err != nil {
+		t.Fatalf("RunTx: %v", err)
+	}
+	row, _ = st.Get(bg, "w", "g", []byte("k0001"))
+	if string(row.Value) != "1!" {
+		t.Fatalf("txn result = %q", row.Value)
+	}
+	res, err := st.Query(bg, "w", "g", logbase.Query{
+		Aggs: []logbase.Agg{{Kind: logbase.Count}},
+	})
+	if err != nil || res.Value(0, logbase.Count) != 200 {
+		t.Fatalf("Query count = %v err=%v", res.Value(0, logbase.Count), err)
+	}
+	// ts 0 means "latest" on every backend (regression: the cluster
+	// used to pin a literal 0 and see nothing).
+	res, err = st.QueryAt(bg, "w", "g", 0, logbase.Query{
+		Aggs: []logbase.Agg{{Kind: logbase.Count}},
+	})
+	if err != nil || res.Value(0, logbase.Count) != 200 {
+		t.Fatalf("QueryAt(0) count = %v err=%v", res.Value(0, logbase.Count), err)
+	}
+	if err := st.Delete(bg, "w", "g", []byte("k0000")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := st.Get(bg, "w", "g", []byte("k0000")); !errors.Is(err, logbase.ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+	if _, err := st.Versions(bg, "w", "g", []byte("k0001")); err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+}
+
+// TestStoreDriverBothBackends is the acceptance check for the unified
+// API: the exact same driver function runs against the embedded DB and
+// the cluster client.
+func TestStoreDriverBothBackends(t *testing.T) {
+	t.Run("embedded", func(t *testing.T) {
+		db, err := logbase.Open(t.TempDir(), logbase.Options{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer db.Close()
+		storeWorkload(t, db)
+	})
+	t.Run("cluster", func(t *testing.T) {
+		c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{NumServers: 3})
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		cc := logbase.NewClusterClient(c)
+		defer cc.Close()
+		storeWorkload(t, cc)
+	})
 }
 
 func atoi(b []byte) int {

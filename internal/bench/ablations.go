@@ -172,6 +172,7 @@ func AblationGroupCommit(s Scale) (Table, error) {
 			}(w)
 		}
 		wg.Wait()
+		b.Close() // stop the collector goroutine before the next config
 		close(errCh)
 		for err := range errCh {
 			return t, err

@@ -8,6 +8,7 @@ package bench
 // needs no copy and takes no locks.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -91,7 +92,7 @@ func AnalyticScan(s Scale) (Table, error) {
 	// Serial baseline: the paper's batch-analytics path.
 	var fs measure
 	wall, disk, err := fx.timed(func() error {
-		return srv.FullScan(benchTabletID, benchGroup, func(r core.Row) bool {
+		return srv.FullScan(context.Background(), benchTabletID, benchGroup, func(r core.Row) bool {
 			fs.rows++
 			if v, ok := query.FloatValue(r); ok {
 				fs.sum += v
@@ -113,7 +114,7 @@ func AnalyticScan(s Scale) (Table, error) {
 		var res query.Result
 		wall, disk, err := fx.timed(func() error {
 			var rerr error
-			res, rerr = snap.Run(benchGroup, q)
+			res, rerr = snap.Run(context.Background(), benchGroup, q)
 			return rerr
 		})
 		if err != nil {
@@ -144,7 +145,7 @@ func AnalyticScan(s Scale) (Table, error) {
 	var res query.Result
 	wall, disk, err = fx.timed(func() error {
 		var rerr error
-		res, rerr = snap.Run(benchGroup, q)
+		res, rerr = snap.Run(context.Background(), benchGroup, q)
 		return rerr
 	})
 	close(stop)
@@ -204,7 +205,7 @@ func AnalyticScanMix(s Scale) (Table, error) {
 				lo, hi := key(start), key(start+100)
 				ts := int64(next + 1)
 				if parallel {
-					err := srv.ParallelScan(benchTabletID, benchGroup, core.ScanOptions{
+					err := srv.ParallelScan(context.Background(), benchTabletID, benchGroup, core.ScanOptions{
 						Start: lo, End: hi, TS: ts, Workers: s.Workers,
 					}, func(rows []core.Row) error {
 						scanned += int64(len(rows))
@@ -214,7 +215,7 @@ func AnalyticScanMix(s Scale) (Table, error) {
 						return err
 					}
 				} else {
-					err := srv.Scan(benchTabletID, benchGroup, lo, hi, ts, func(core.Row) bool {
+					err := srv.Scan(context.Background(), benchTabletID, benchGroup, lo, hi, ts, func(core.Row) bool {
 						scanned++
 						return true
 					})

@@ -132,6 +132,7 @@ func All() []Experiment {
 		{"abl-vertical", "Ablation: workload-driven vertical partitioning", AblationVerticalPartition},
 		{"analytic-scan", "Analytic scan: serial FullScan vs snapshot-parallel aggregate", AnalyticScan},
 		{"analytic-mix", "YCSB-style scan-heavy mix on serial vs parallel scan path", AnalyticScanMix},
+		{"bulk-load", "Bulk load: per-record Put vs WriteBatch append sweeps", BulkLoad},
 	}
 }
 

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"runtime"
 	"time"
 
+	logbase "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfs"
@@ -35,17 +37,28 @@ func assessableNodes(nodes []int) []int {
 	return out
 }
 
-// lbClusterDB adapts a LogBase cluster client to ycsb.DB.
-type lbClusterDB struct {
-	cl    *cluster.Client
-	table string
-	group string
+// StoreDB adapts any logbase.Store to ycsb.DB: ONE driver that runs
+// unmodified against the embedded *logbase.DB and the cluster
+// *logbase.ClusterClient — the point of the unified interface.
+type StoreDB struct {
+	St    logbase.Store
+	Table string
+	Group string
 }
 
-func (d *lbClusterDB) Insert(key, value []byte) error { return d.cl.Put(d.table, d.group, key, value) }
-func (d *lbClusterDB) Update(key, value []byte) error { return d.cl.Put(d.table, d.group, key, value) }
-func (d *lbClusterDB) Read(key []byte) error {
-	_, err := d.cl.Get(d.table, d.group, key)
+// Insert implements ycsb.DB.
+func (d *StoreDB) Insert(key, value []byte) error {
+	return d.St.Put(context.Background(), d.Table, d.Group, key, value)
+}
+
+// Update implements ycsb.DB.
+func (d *StoreDB) Update(key, value []byte) error {
+	return d.St.Put(context.Background(), d.Table, d.Group, key, value)
+}
+
+// Read implements ycsb.DB.
+func (d *StoreDB) Read(key []byte) error {
+	_, err := d.St.Get(context.Background(), d.Table, d.Group, key)
 	return err
 }
 
@@ -143,10 +156,11 @@ func Fig11YCSBLoad(s Scale) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		lbDB := &lbClusterDB{cl: c.NewClient(), table: "usertable", group: "f0"}
+		lbDB := &StoreDB{St: logbase.NewClusterClient(c), Table: "usertable", Group: "f0"}
 		c.Clock().Reset()
 		lbTime, err := ycsb.Load(lbDB, rows, s.ValueSize, n, 1)
 		lbDisk := c.Clock().Elapsed()
+		c.Close() // stop per-server group-commit batcher goroutines
 		os.RemoveAll(dir)
 		if err != nil {
 			return t, err
@@ -186,8 +200,9 @@ func ycsbMixedRun(s Scale, n int, updateFrac float64) (ycsb.Result, time.Duratio
 		return ycsb.Result{}, 0, err
 	}
 	defer os.RemoveAll(dir)
+	defer c.Close()
 	rows := int64(n) * int64(s.Rows) / 8
-	db := &lbClusterDB{cl: c.NewClient(), table: "usertable", group: "f0"}
+	db := &StoreDB{St: logbase.NewClusterClient(c), Table: "usertable", Group: "f0"}
 	if _, err := ycsb.Load(db, rows, s.ValueSize, n, 1); err != nil {
 		return ycsb.Result{}, 0, err
 	}
@@ -420,14 +435,16 @@ func tpcwRun(s Scale, n int) ([3]tpcw.Result, error) {
 	if err != nil {
 		return out, err
 	}
+	defer c.Close()
+	st := logbase.NewClusterClient(c)
 	items := int64(n) * int64(s.Rows) / 16
 	customers := items / 2
-	if err := tpcw.Load(c, items, customers, n); err != nil {
+	if err := tpcw.Load(st, items, customers, n); err != nil {
 		return out, err
 	}
 	txns := int64(n) * int64(s.Ops) / 8
 	for i, mix := range tpcw.Mixes {
-		res, err := tpcw.Run(c, mix, items, customers, txns, n, int64(i))
+		res, err := tpcw.Run(st, mix, items, customers, txns, n, int64(i))
 		if err != nil {
 			return out, err
 		}
@@ -456,7 +473,7 @@ func Fig22LRSThroughput(s Scale) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		lbDB := &lbClusterDB{cl: c.NewClient(), table: "usertable", group: "f0"}
+		lbDB := &StoreDB{St: logbase.NewClusterClient(c), Table: "usertable", Group: "f0"}
 		if _, err := ycsb.Load(lbDB, rows, s.ValueSize, n, 1); err != nil {
 			return t, err
 		}
@@ -465,6 +482,7 @@ func Fig22LRSThroughput(s Scale) (Table, error) {
 			return t, err
 		}
 		lbR, err := ycsb.Run(lbDB, ycsb.Workload{Records: rows, UpdateFraction: 0.0, ValueSize: s.ValueSize}, int64(s.Ops), n, 4)
+		c.Close()
 		os.RemoveAll(dir)
 		if err != nil {
 			return t, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -332,7 +333,7 @@ func Fig09SequentialScan(s Scale) (Table, error) {
 		hb.Flush()
 		_, lbDisk, err := fxL.timed(func() error {
 			count := 0
-			err := lb.FullScan(benchTabletID, benchGroup, func(core_Row) bool { count++; return true })
+			err := lb.FullScan(context.Background(), benchTabletID, benchGroup, func(core_Row) bool { count++; return true })
 			if count != n {
 				return fmt.Errorf("logbase scan saw %d of %d", count, n)
 			}
@@ -422,7 +423,7 @@ func Fig10RangeScan(s Scale) (Table, error) {
 		start := rng.Intn(n - rows)
 		_, disk, err := fxL.timed(func() error {
 			count := 0
-			err := lb.Scan(benchTabletID, benchGroup, key(start), key(start+rows), 1<<60, func(core_Row) bool {
+			err := lb.Scan(context.Background(), benchTabletID, benchGroup, key(start), key(start+rows), 1<<60, func(core_Row) bool {
 				count++
 				return true
 			})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -345,7 +346,7 @@ func Fig21LRSScan(s Scale) (Table, error) {
 		}
 		_, lbDisk, err := fxL.timed(func() error {
 			count := 0
-			err := lb.FullScan(benchTabletID, benchGroup, func(core.Row) bool { count++; return true })
+			err := lb.FullScan(context.Background(), benchTabletID, benchGroup, func(core.Row) bool { count++; return true })
 			if err == nil && count != n {
 				return fmt.Errorf("lb scan saw %d of %d", count, n)
 			}

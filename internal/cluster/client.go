@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -153,6 +155,20 @@ func (cl *Client) GetRow(table string, key []byte) (map[string]core.Row, error) 
 	return out, nil
 }
 
+// Versions returns all stored versions of a row, oldest first, from
+// the tablet server owning the key (multiversion access has no
+// embedded-only privilege: the cluster keeps every version too).
+func (cl *Client) Versions(table, group string, key []byte) ([]core.Row, error) {
+	cl.rpc()
+	var rows []core.Row
+	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		r, err := srv.Versions(tablet, group, key)
+		rows = r
+		return err
+	})
+	return rows, err
+}
+
 // Delete removes a row from a column group.
 func (cl *Client) Delete(table, group string, key []byte) error {
 	cl.rpc()
@@ -164,8 +180,9 @@ func (cl *Client) Delete(table, group string, key []byte) error {
 
 // Scan streams the latest version of each key in [start, end) across
 // all tablets the range spans, in key order (sub-ranges execute
-// per-server, paper §3.6.4).
-func (cl *Client) Scan(table, group string, start, end []byte, fn func(core.Row) bool) error {
+// per-server, paper §3.6.4). Cancelling ctx aborts the scan within one
+// batch boundary and returns ctx.Err().
+func (cl *Client) Scan(ctx context.Context, table, group string, start, end []byte, fn func(core.Row) bool) error {
 	cl.rpc()
 	router, err := cl.c.Router(table)
 	if err != nil {
@@ -178,7 +195,7 @@ func (cl *Client) Scan(table, group string, start, end []byte, fn func(core.Row)
 			return err
 		}
 		stop := false
-		if err := srv.Scan(tab.ID, group, start, end, snapshot, func(r core.Row) bool {
+		if err := srv.Scan(ctx, tab.ID, group, start, end, snapshot, func(r core.Row) bool {
 			if !fn(r) {
 				stop = true
 				return false
@@ -196,8 +213,9 @@ func (cl *Client) Scan(table, group string, start, end []byte, fn func(core.Row)
 
 // FullScan streams every live row of a table's column group; tablets
 // are scanned sequentially here, and the bench harness fans out one
-// goroutine per server for the parallel-scan experiments.
-func (cl *Client) FullScan(table, group string, fn func(core.Row) bool) error {
+// goroutine per server for the parallel-scan experiments. Cancelling
+// ctx aborts the scan within one batch boundary.
+func (cl *Client) FullScan(ctx context.Context, table, group string, fn func(core.Row) bool) error {
 	cl.rpc()
 	router, err := cl.c.Router(table)
 	if err != nil {
@@ -211,7 +229,7 @@ func (cl *Client) FullScan(table, group string, fn func(core.Row) bool) error {
 			return err
 		}
 		stop := false
-		if err := srv.FullScan(tab.ID, group, func(r core.Row) bool {
+		if err := srv.FullScan(ctx, tab.ID, group, func(r core.Row) bool {
 			if !fn(r) {
 				stop = true
 				return false
@@ -225,6 +243,172 @@ func (cl *Client) FullScan(table, group string, fn func(core.Row) bool) error {
 		}
 	}
 	return nil
+}
+
+// LookupSecondary returns rows of a cluster-registered secondary index
+// (Cluster.RegisterSecondaryIndex) whose extracted attribute equals
+// secKey, in primary-key order. Each tablet's slice of the index lives
+// on its owning server; Router.Tablets() returns tablets in key order,
+// so concatenating per-tablet results keeps the global order.
+func (cl *Client) LookupSecondary(name string, secKey []byte) ([]core.Row, error) {
+	cl.rpc()
+	reg, err := cl.c.secondaryRegistration(name)
+	if err != nil {
+		return nil, err
+	}
+	router, err := cl.c.Router(reg.table)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Row
+	for _, tab := range router.Tablets() {
+		srv, err := cl.c.ServerFor(tab.ID)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := srv.LookupSecondary(tabletIndexName(name, tab.ID), secKey)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// ScanSecondaryRange streams rows whose extracted attribute falls in
+// [start, end), ordered by (attribute, primary key) across the whole
+// cluster. Per-tablet streams interleave arbitrarily in attribute
+// order, so every match in the range is gathered from every tablet and
+// sorted before fn sees the first row — an early stop saves the
+// remaining callbacks, not the per-tablet scans. Bound the attribute
+// range for large indexes.
+func (cl *Client) ScanSecondaryRange(name string, start, end []byte, fn func(secKey []byte, r core.Row) bool) error {
+	cl.rpc()
+	reg, err := cl.c.secondaryRegistration(name)
+	if err != nil {
+		return err
+	}
+	router, err := cl.c.Router(reg.table)
+	if err != nil {
+		return err
+	}
+	type secRow struct {
+		sec []byte
+		row core.Row
+	}
+	var all []secRow
+	for _, tab := range router.Tablets() {
+		srv, err := cl.c.ServerFor(tab.ID)
+		if err != nil {
+			return err
+		}
+		err = srv.ScanSecondaryRange(tabletIndexName(name, tab.ID), start, end, func(sec []byte, r core.Row) bool {
+			all = append(all, secRow{sec: append([]byte(nil), sec...), row: r})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if c := bytes.Compare(all[i].sec, all[j].sec); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(all[i].row.Key, all[j].row.Key) < 0
+	})
+	for _, sr := range all {
+		if !fn(sr.sec, sr.row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// BatchOp is one mutation of a client-side write batch.
+type BatchOp struct {
+	Table string
+	Group string
+	Key   []byte
+	Value []byte
+	// Delete marks an invalidation instead of a write.
+	Delete bool
+}
+
+// ApplyBatch routes every mutation to its owning tablet server and
+// applies them as ONE append sweep per server (core.Server.ApplyBatch)
+// — the cluster bulk-load path. Each mutation gets its own timestamp
+// from the global authority; there is no cross-server atomicity (use
+// transactions for that). On stale routing only the mutations whose
+// sub-batches failed are re-routed and retried once — sub-batches that
+// already landed are never re-applied (a blanket retry would append
+// duplicate versions). On error, the returned indices identify the
+// ops (positions in the input slice) that were NOT durably applied,
+// so the caller can retry exactly those; nil indices with a nil error
+// means everything applied.
+func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	cl.rpc()
+	remaining := make([]int, len(ops))
+	for i := range ops {
+		remaining[i] = i
+	}
+	for attempt := 0; ; attempt++ {
+		byServer := make(map[*core.Server][]core.BatchWrite)
+		idxOf := make(map[*core.Server][]int)
+		var order []*core.Server
+		var failed []int
+		var lastErr error
+		for _, oi := range remaining {
+			op := ops[oi]
+			srv, tab, err := cl.route(op.Table, op.Key)
+			if err != nil {
+				if errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown) {
+					failed = append(failed, oi)
+					lastErr = err
+					continue
+				}
+				// Non-retryable routing error before anything was applied
+				// this attempt: all of remaining is still pending.
+				return remaining, err
+			}
+			if _, ok := byServer[srv]; !ok {
+				order = append(order, srv)
+			}
+			byServer[srv] = append(byServer[srv], core.BatchWrite{
+				Tablet: tab, Group: op.Group, Key: op.Key, Value: op.Value,
+				TS: cl.c.svc.NextTimestamp(), Delete: op.Delete,
+			})
+			idxOf[srv] = append(idxOf[srv], oi)
+		}
+		for j, srv := range order {
+			if err := srv.ApplyBatch(byServer[srv]); err != nil {
+				if errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown) {
+					failed = append(failed, idxOf[srv]...)
+					lastErr = err
+					continue
+				}
+				// Non-retryable: this server's ops plus every not-yet-
+				// visited server's ops are unapplied.
+				for _, s2 := range order[j:] {
+					failed = append(failed, idxOf[s2]...)
+				}
+				sort.Ints(failed)
+				return failed, err
+			}
+		}
+		if len(failed) == 0 {
+			return nil, nil
+		}
+		if attempt >= 1 {
+			sort.Ints(failed)
+			return failed, lastErr
+		}
+		cl.refresh()
+		sort.Ints(failed)
+		remaining = failed
+	}
 }
 
 // Txn begins a cluster-wide transaction.

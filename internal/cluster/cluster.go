@@ -69,6 +69,17 @@ type Cluster struct {
 
 	master *Master
 	txns   *txn.Manager
+
+	secMu     sync.RWMutex
+	secondary map[string]secondaryReg // index name -> registration
+}
+
+// secondaryReg records a cluster-wide secondary index registration so
+// clients can resolve the table it covers.
+type secondaryReg struct {
+	table   string
+	group   string
+	extract core.Extractor
 }
 
 type serverState struct {
@@ -141,7 +152,11 @@ func (c *Cluster) TxnManager() *txn.Manager { return c.txns }
 func (c *Cluster) Clock() *simdisk.Clock { return c.cfg.DFS.Clock }
 
 // CreateTable declares a table and assigns its tablets round-robin over
-// live servers (the master's metadata duty, §3.3).
+// live servers (the master's metadata duty, §3.3). Idempotent: a table
+// that already exists with the same column groups is a no-op (the
+// check runs under the cluster lock, so concurrent CreateTable races —
+// e.g. two protocol sessions — are safe); declaring it with different
+// groups is an error.
 func (c *Cluster) CreateTable(ts TableSpec) error {
 	n := ts.Tablets
 	if n <= 0 {
@@ -151,8 +166,20 @@ func (c *Cluster) CreateTable(ts TableSpec) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.tableGroups[ts.Name]; ok {
-		return fmt.Errorf("cluster: table %s exists", ts.Name)
+	if existing, ok := c.tableGroups[ts.Name]; ok {
+		if len(existing) == len(ts.Groups) {
+			same := true
+			for i, g := range existing {
+				if ts.Groups[i] != g {
+					same = false
+					break
+				}
+			}
+			if same {
+				return nil
+			}
+		}
+		return fmt.Errorf("cluster: table %s exists with different column groups", ts.Name)
 	}
 	c.tableGroups[ts.Name] = append([]string(nil), ts.Groups...)
 	c.routers[ts.Name] = partition.NewRouter(tablets)
@@ -251,6 +278,50 @@ func (c *Cluster) Assignments() map[string]string {
 	return out
 }
 
+// tabletIndexName is the per-tablet slice of a cluster-wide secondary
+// index: each server indexes only the tablets it serves, under a name
+// derived from the logical index name.
+func tabletIndexName(name, tabletID string) string { return name + "@" + tabletID }
+
+// RegisterSecondaryIndex creates a secondary index over a table's
+// column group on every tablet server owning a piece of the table
+// (backfilling existing rows), closing the embedded-vs-cluster feature
+// gap: clients then use LookupSecondary / ScanSecondaryRange exactly
+// like the embedded DB. Tablets reassigned by a later failover are not
+// re-indexed automatically; re-register after KillServer.
+func (c *Cluster) RegisterSecondaryIndex(name, table, group string, extract core.Extractor) error {
+	router, err := c.Router(table)
+	if err != nil {
+		return err
+	}
+	for _, tab := range router.Tablets() {
+		srv, err := c.ServerFor(tab.ID)
+		if err != nil {
+			return err
+		}
+		if err := srv.RegisterSecondaryIndex(tabletIndexName(name, tab.ID), tab.ID, group, extract); err != nil {
+			return err
+		}
+	}
+	c.secMu.Lock()
+	if c.secondary == nil {
+		c.secondary = make(map[string]secondaryReg)
+	}
+	c.secondary[name] = secondaryReg{table: table, group: group, extract: extract}
+	c.secMu.Unlock()
+	return nil
+}
+
+func (c *Cluster) secondaryRegistration(name string) (secondaryReg, error) {
+	c.secMu.RLock()
+	defer c.secMu.RUnlock()
+	reg, ok := c.secondary[name]
+	if !ok {
+		return secondaryReg{}, fmt.Errorf("cluster: no secondary index %q", name)
+	}
+	return reg, nil
+}
+
 // KillServer simulates a tablet-server machine failure: the server's
 // session expires (its ephemeral node vanishes, waking the master) and
 // the master reassigns and recovers its tablets from the shared DFS.
@@ -268,6 +339,17 @@ func (c *Cluster) KillServer(id string) error {
 	c.mu.Unlock()
 	sess.Close() // fires the master's watch in real deployments
 	return c.master.handleServerFailure(id)
+}
+
+// Close releases every tablet server's background resources (group-
+// commit batcher goroutines). The cluster is not usable afterwards.
+func (c *Cluster) Close() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, st := range c.servers {
+		st.srv.Close()
+	}
+	return nil
 }
 
 // Checkpoint checkpoints every live server.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestScanEarlyStopAcrossTablets(t *testing.T) {
 		cl.Put("users", "profile", []byte{byte(b)}, []byte("v"))
 	}
 	n := 0
-	err := cl.Scan("users", "profile", nil, nil, func(core.Row) bool {
+	err := cl.Scan(context.Background(), "users", "profile", nil, nil, func(core.Row) bool {
 		n++
 		return n < 10
 	})

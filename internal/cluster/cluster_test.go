@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -77,7 +78,7 @@ func TestScanSpansTablets(t *testing.T) {
 		cl.Put("users", "profile", []byte{byte(b)}, []byte("v"))
 	}
 	var keys [][]byte
-	err := cl.Scan("users", "profile", []byte{0x20}, []byte{0xE0}, func(r core.Row) bool {
+	err := cl.Scan(context.Background(), "users", "profile", []byte{0x20}, []byte{0xE0}, func(r core.Row) bool {
 		keys = append(keys, r.Key)
 		return true
 	})
@@ -102,7 +103,7 @@ func TestFullScan(t *testing.T) {
 		cl.Put("users", "profile", []byte{byte(i * 256 / 90), byte(i)}, []byte("v"))
 	}
 	n := 0
-	if err := cl.FullScan("users", "profile", func(core.Row) bool { n++; return true }); err != nil {
+	if err := cl.FullScan(context.Background(), "users", "profile", func(core.Row) bool { n++; return true }); err != nil {
 		t.Fatalf("FullScan: %v", err)
 	}
 	if n != 90 {

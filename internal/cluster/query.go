@@ -8,9 +8,15 @@ package cluster
 // No data is copied out of the transactional store, and the OLTP write
 // path is never blocked — writes that commit during the query are
 // simply newer than the snapshot and invisible to it.
+//
+// Every fan-out takes a context.Context: cancelling it propagates
+// through each per-server executor into the shard scan loops, so an
+// abandoned cluster query stops doing I/O within one batch boundary on
+// every server and leaves no goroutine behind (the gather always joins
+// its scatter goroutines before returning).
 
 import (
-	"errors"
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -21,20 +27,28 @@ import (
 // the latest globally issued timestamp (a consistent cluster-wide
 // snapshot: the timestamp authority is the single source of commit
 // timestamps).
-func (c *Cluster) Query(table, group string, q query.Query) (query.Result, error) {
-	return c.QueryAt(table, group, c.svc.LastTimestamp(), q)
+func (c *Cluster) Query(ctx context.Context, table, group string, q query.Query) (query.Result, error) {
+	return c.QueryAt(ctx, table, group, c.svc.LastTimestamp(), q)
 }
 
 // ClusterQuery is Query under its architectural name (the scatter-
 // gather operator the evaluation refers to).
-func (c *Cluster) ClusterQuery(table, group string, q query.Query) (query.Result, error) {
-	return c.Query(table, group, q)
+func (c *Cluster) ClusterQuery(ctx context.Context, table, group string, q query.Query) (query.Result, error) {
+	return c.Query(ctx, table, group, q)
 }
 
 // QueryAt executes q pinned at snapshot ts: time travel over the whole
 // cluster, as cheap as a current-time query because the log keeps every
 // version.
-func (c *Cluster) QueryAt(table, group string, ts int64, q query.Query) (query.Result, error) {
+func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q query.Query) (query.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ts == 0 {
+		// ts 0 means "latest" on every query surface (a snapshot at
+		// literal timestamp 0 sees nothing).
+		ts = c.svc.LastTimestamp()
+	}
 	router, err := c.Router(table)
 	if err != nil {
 		return query.Result{}, err
@@ -61,7 +75,12 @@ func (c *Cluster) QueryAt(table, group string, ts int64, q query.Query) (query.R
 		sh.targets = append(sh.targets, query.Target{Source: srv, Tablet: tab.ID})
 	}
 
-	// Scatter: one executor per server over its local tablets.
+	// Scatter: one executor per server over its local tablets. All
+	// goroutines are joined before returning — cancellation makes them
+	// finish fast (each shard loop checks ctx per batch), not leak.
+	// The first failing server cancels its siblings the same way.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	partials := make([]query.Result, 0, len(plan))
 	errs := make([]error, 0, len(plan))
 	var mu sync.Mutex
@@ -71,18 +90,22 @@ func (c *Cluster) QueryAt(table, group string, ts int64, q query.Query) (query.R
 		go func(sh *shard) {
 			defer wg.Done()
 			snap := query.NewSnapshot(ts, sh.targets...)
-			res, err := snap.Run(group, q)
+			res, err := snap.Run(cctx, group, q)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				errs = append(errs, err)
+				cancel()
 				return
 			}
 			partials = append(partials, res)
 		}(sh)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	if err := ctx.Err(); err != nil {
+		return query.Result{}, err
+	}
+	if err := query.JoinFanoutErrs(errs); err != nil {
 		return query.Result{}, err
 	}
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -48,7 +49,7 @@ func TestClusterQueryMatchesSerialScan(t *testing.T) {
 	var refRows int64
 	var refSum float64
 	cl := c.NewClient()
-	if err := cl.Scan("metrics", "v", nil, nil, func(r core.Row) bool {
+	if err := cl.Scan(context.Background(), "metrics", "v", nil, nil, func(r core.Row) bool {
 		refRows++
 		v, _ := strconv.ParseFloat(string(r.Value), 64)
 		refSum += v
@@ -60,7 +61,7 @@ func TestClusterQueryMatchesSerialScan(t *testing.T) {
 		t.Fatalf("reference scan saw %d rows, want %d", refRows, n)
 	}
 
-	res, err := c.ClusterQuery("metrics", "v", query.Query{
+	res, err := c.ClusterQuery(context.Background(), "metrics", "v", query.Query{
 		Aggs:    []query.Agg{{Kind: query.Count}, {Kind: query.Sum, Extract: query.FloatValue}},
 		Workers: 4,
 	})
@@ -82,7 +83,7 @@ func TestClusterQueryAtTimeTravel(t *testing.T) {
 	ts := c.Coord().LastTimestamp()
 
 	q := query.Query{Aggs: []query.Agg{{Kind: query.Sum, Extract: query.FloatValue}}}
-	before, err := c.QueryAt("metrics", "v", ts, q)
+	before, err := c.QueryAt(context.Background(), "metrics", "v", ts, q)
 	if err != nil {
 		t.Fatalf("QueryAt: %v", err)
 	}
@@ -94,14 +95,14 @@ func TestClusterQueryAtTimeTravel(t *testing.T) {
 			t.Fatalf("Put: %v", err)
 		}
 	}
-	again, err := c.QueryAt("metrics", "v", ts, q)
+	again, err := c.QueryAt(context.Background(), "metrics", "v", ts, q)
 	if err != nil {
 		t.Fatalf("QueryAt: %v", err)
 	}
 	if again.Rows != before.Rows || again.Value(0, query.Sum) != before.Value(0, query.Sum) {
 		t.Fatalf("time travel drifted: %v vs %v", again, before)
 	}
-	now, err := c.Query("metrics", "v", q)
+	now, err := c.Query(context.Background(), "metrics", "v", q)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestClusterQueryGroupByAcrossServers(t *testing.T) {
 	c := newQueryCluster(t, 3)
 	const n = 900
 	loadMetrics(t, c, n)
-	res, err := c.Query("metrics", "v", query.Query{
+	res, err := c.Query(context.Background(), "metrics", "v", query.Query{
 		GroupBy: func(r core.Row) string { return string(r.Key[:2]) }, // "m0".."m8" bucket by leading digit
 		Aggs:    []query.Agg{{Kind: query.Count}},
 	})
@@ -139,7 +140,7 @@ func TestClusterQueryKeyRangeRouting(t *testing.T) {
 	c := newQueryCluster(t, 4)
 	const n = 1000
 	loadMetrics(t, c, n)
-	res, err := c.Query("metrics", "v", query.Query{
+	res, err := c.Query(context.Background(), "metrics", "v", query.Query{
 		Filter: query.Filter{Start: []byte("m000100"), End: []byte("m000200")},
 		Aggs:   []query.Agg{{Kind: query.Count}},
 	})
@@ -159,7 +160,7 @@ func TestClusterSnapshotScan(t *testing.T) {
 		t.Fatalf("SnapshotAt: %v", err)
 	}
 	seen := 0
-	if err := snap.Scan("v", query.Filter{}, func(core.Row) bool { seen++; return true }); err != nil {
+	if err := snap.Scan(context.Background(), "v", query.Filter{}, func(core.Row) bool { seen++; return true }); err != nil {
 		t.Fatalf("snap.Scan: %v", err)
 	}
 	if seen != 300 {
@@ -214,7 +215,7 @@ func TestClusterGroupCommitPath(t *testing.T) {
 			t.Fatalf("Get %s: %v", key, err)
 		}
 	}
-	res, err := c.Query("metrics", "v", query.Query{Aggs: []query.Agg{{Kind: query.Count}}})
+	res, err := c.Query(context.Background(), "metrics", "v", query.Query{Aggs: []query.Agg{{Kind: query.Count}}})
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}

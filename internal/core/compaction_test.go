@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -178,7 +179,7 @@ func TestWritesDuringCompactionSurvive(t *testing.T) {
 	}
 	missed := 0
 	checked := 0
-	err := s.Scan(testTablet, testGroup, []byte("mid-"), []byte("mid-\xff"), 1<<60, func(r Row) bool {
+	err := s.Scan(context.Background(), testTablet, testGroup, []byte("mid-"), []byte("mid-\xff"), 1<<60, func(r Row) bool {
 		checked++
 		return true
 	})
@@ -202,7 +203,7 @@ func TestRangeScanClusteredAfterCompaction(t *testing.T) {
 	}
 	scan := func() int {
 		n := 0
-		if err := s.Scan(testTablet, testGroup, []byte("row-0100"), []byte("row-0150"), 1<<60, func(Row) bool {
+		if err := s.Scan(context.Background(), testTablet, testGroup, []byte("row-0100"), []byte("row-0150"), 1<<60, func(Row) bool {
 			n++
 			return true
 		}); err != nil {

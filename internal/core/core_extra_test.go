@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,7 +54,7 @@ func TestFullScanSkipsUncommittedTxnWrites(t *testing.T) {
 		t.Fatalf("PrepareTxn: %v", err)
 	}
 	var keys []string
-	if err := s.FullScan(testTablet, testGroup, func(r Row) bool {
+	if err := s.FullScan(context.Background(), testTablet, testGroup, func(r Row) bool {
 		keys = append(keys, string(r.Key))
 		return true
 	}); err != nil {
@@ -161,7 +162,7 @@ func TestScanEmptyRange(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	s.Write(testTablet, testGroup, []byte("m"), 1, []byte("v"))
 	n := 0
-	if err := s.Scan(testTablet, testGroup, []byte("x"), []byte("z"), 10, func(Row) bool { n++; return true }); err != nil {
+	if err := s.Scan(context.Background(), testTablet, testGroup, []byte("x"), []byte("z"), 10, func(Row) bool { n++; return true }); err != nil {
 		t.Fatalf("Scan: %v", err)
 	}
 	if n != 0 {

@@ -8,8 +8,14 @@ package core
 // the read buffer plus batched log reads (wal.Log.ReadBatch) so a scan
 // costs a few sequential sweeps per segment instead of one seek per
 // row.
+//
+// Every scan takes a context.Context and honours cancellation at batch
+// granularity: between index pages, before each log fetch, and in every
+// worker goroutine — so an abandoned analytical scan stops doing I/O
+// within one batch boundary and leaks nothing.
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -59,14 +65,19 @@ const defaultScanBatch = 1024
 // serialised (no caller-side locking needed) but batch order across
 // shards is unspecified — aggregation does not need key order, and
 // ordered consumers should use Scan. A non-nil error from emit cancels
-// the whole scan and is returned.
+// the whole scan and is returned. Cancelling ctx aborts the scan within
+// one batch boundary: every worker checks the context between index
+// pages, and ctx.Err() is returned.
 //
 // Layering note: the multi-worker path here serves streaming consumers
 // that want one serialised emit. The query executor (internal/query)
 // instead does its own fan-out over SplitRange and calls this with
 // Workers<=1 per shard, because it aggregates shard-locally and a
 // serialised emit would be its bottleneck.
-func (s *Server) ParallelScan(tabletID, group string, opt ScanOptions, emit func([]Row) error) error {
+func (s *Server) ParallelScan(ctx context.Context, tabletID, group string, opt ScanOptions, emit func([]Row) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err
@@ -80,7 +91,7 @@ func (s *Server) ParallelScan(tabletID, group string, opt ScanOptions, emit func
 	}
 	workers := opt.Workers
 	if workers <= 1 {
-		return s.scanShard(t, g, group, opt, opt.Start, opt.End, emit)
+		return s.scanShard(ctx, t, g, group, opt, opt.Start, opt.End, emit)
 	}
 
 	// Shard the keyspace on sampled index leaf boundaries; splits are a
@@ -124,7 +135,7 @@ func (s *Server) ParallelScan(tabletID, group string, opt ScanOptions, emit func
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.scanShard(t, g, group, opt, start, end, serialEmit); err != nil && !errors.Is(err, errScanCanceled) {
+			if err := s.scanShard(ctx, t, g, group, opt, start, end, serialEmit); err != nil && !errors.Is(err, errScanCanceled) {
 				fail(err)
 			}
 		}()
@@ -140,8 +151,9 @@ var errScanCanceled = errors.New("core: scan canceled")
 // pushed down), the tree latch is released, the page is fetched and
 // emitted, and the scan re-descends at the successor of the last key.
 // Memory stays O(Batch) regardless of range size, and the log I/O
-// never happens under the index latch.
-func (s *Server) scanShard(t *Tablet, g *columnGroup, group string, opt ScanOptions, start, end []byte, emit func([]Row) error) error {
+// never happens under the index latch. The context is checked once per
+// page, bounding post-cancellation work to a single batch.
+func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group string, opt ScanOptions, start, end []byte, emit func([]Row) error) error {
 	flush := func(chunk []index.Entry) error {
 		if len(chunk) == 0 {
 			return nil
@@ -167,6 +179,9 @@ func (s *Server) scanShard(t *Tablet, g *columnGroup, group string, opt ScanOpti
 	entries := make([]index.Entry, 0, opt.Batch)
 	cursor := start
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		entries = entries[:0]
 		g.tree().RangeLatest(cursor, end, opt.TS, func(e index.Entry) bool {
 			// Push-down predicates: decided from the index entry alone, so

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,7 +23,7 @@ func loadRows(t *testing.T, s *Server, n int) {
 func collectParallel(t *testing.T, s *Server, opt ScanOptions) []Row {
 	t.Helper()
 	var mu []Row
-	err := s.ParallelScan(testTablet, testGroup, opt, func(rows []Row) error {
+	err := s.ParallelScan(context.Background(), testTablet, testGroup, opt, func(rows []Row) error {
 		mu = append(mu, rows...)
 		return nil
 	})
@@ -47,7 +48,7 @@ func TestParallelScanMatchesScan(t *testing.T) {
 	ts := int64(2 * n)
 
 	var serial []Row
-	if err := s.Scan(testTablet, testGroup, nil, nil, ts, func(r Row) bool {
+	if err := s.Scan(context.Background(), testTablet, testGroup, nil, nil, ts, func(r Row) bool {
 		serial = append(serial, r)
 		return true
 	}); err != nil {
@@ -154,7 +155,7 @@ func TestParallelScanEmitErrorCancels(t *testing.T) {
 	loadRows(t, s, 2000)
 	boom := errors.New("boom")
 	calls := 0
-	err := s.ParallelScan(testTablet, testGroup, ScanOptions{TS: 1 << 40, Workers: 4, Batch: 50}, func([]Row) error {
+	err := s.ParallelScan(context.Background(), testTablet, testGroup, ScanOptions{TS: 1 << 40, Workers: 4, Batch: 50}, func([]Row) error {
 		calls++
 		if calls == 2 {
 			return boom
@@ -222,7 +223,7 @@ func TestMVCCReadEdgesAtTombstone(t *testing.T) {
 	}
 	for _, ts := range []int64{40, 39, 1 << 40} {
 		seen := 0
-		if err := s.Scan(testTablet, testGroup, nil, nil, ts, func(Row) bool { seen++; return true }); err != nil {
+		if err := s.Scan(context.Background(), testTablet, testGroup, nil, nil, ts, func(Row) bool { seen++; return true }); err != nil {
 			t.Fatalf("Scan: %v", err)
 		}
 		if seen != 0 {
@@ -250,7 +251,7 @@ func TestMVCCVisibilityAtExactTimestamp(t *testing.T) {
 		t.Errorf("GetAt(10) = %q@%d, want old@10", row.Value, row.TS)
 	}
 	seen := map[string]int64{}
-	if err := s.Scan(testTablet, testGroup, nil, nil, 10, func(r Row) bool {
+	if err := s.Scan(context.Background(), testTablet, testGroup, nil, nil, 10, func(r Row) bool {
 		seen[string(r.Key)] = r.TS
 		return true
 	}); err != nil {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -390,11 +391,19 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 	return nil
 }
 
+// scanCheckEvery is how many rows a serial scan processes between
+// context checks: cancellation is honoured within one such batch.
+const scanCheckEvery = 128
+
 // Scan streams the latest visible version (at snapshot ts) of each key
 // in [start, end) to fn until it returns false (paper §3.6.4 range
 // scan). Pre-compaction this performs one random log read per row;
-// post-compaction rows come clustered from sorted segments.
-func (s *Server) Scan(tabletID, group string, start, end []byte, ts int64, fn func(Row) bool) error {
+// post-compaction rows come clustered from sorted segments. Cancelling
+// ctx aborts the scan within scanCheckEvery rows and returns ctx.Err().
+func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []byte, ts int64, fn func(Row) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err
@@ -408,7 +417,12 @@ func (s *Server) Scan(tabletID, group string, start, end []byte, ts int64, fn fu
 		entries = append(entries, e)
 		return true
 	})
-	for _, e := range entries {
+	for i, e := range entries {
+		if i%scanCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rec, err := s.log.Read(e.Ptr)
 		if err != nil {
 			return err
@@ -424,8 +438,12 @@ func (s *Server) Scan(tabletID, group string, start, end []byte, ts int64, fn fu
 // FullScan streams every live record of the column group in log order
 // (no key order), checking each scanned version against the index so
 // only current data is returned (paper §3.6.4 full table scan). It
-// reads segments sequentially — the batch-analytics path.
-func (s *Server) FullScan(tabletID, group string, fn func(Row) bool) error {
+// reads segments sequentially — the batch-analytics path. Cancelling
+// ctx aborts the scan within scanCheckEvery records.
+func (s *Server) FullScan(ctx context.Context, tabletID, group string, fn func(Row) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err
@@ -435,7 +453,12 @@ func (s *Server) FullScan(tabletID, group string, fn func(Row) bool) error {
 		return err
 	}
 	sc := s.log.NewScanner(wal.Position{})
-	for sc.Next() {
+	for n := 0; sc.Next(); n++ {
+		if n%scanCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rec := sc.Record()
 		if rec.Kind != wal.KindWrite || rec.Tablet != tabletID || rec.Group != group {
 			continue
@@ -530,6 +553,88 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 			s.stats.Writes.Add(1)
 		}
 		s.bumpUpdates(t, g)
+	}
+	return nil
+}
+
+// BatchWrite is one mutation of a write batch: a plain write or delete
+// with its own version timestamp (no transaction semantics).
+type BatchWrite struct {
+	Tablet string
+	Group  string
+	Key    []byte
+	Value  []byte
+	TS     int64
+	Delete bool
+}
+
+// ApplyBatch durably applies a group of independent mutations as ONE
+// log append sweep: every record is framed up front, persisted in a
+// single (optionally group-committed) append, and only then reflected
+// in the indexes and read buffer. This is the bulk-load path — it
+// amortises the per-append durability cost that dominates per-record
+// Put throughput, exactly the advantage of a sequential log (§3.4).
+// There is no commit record and no atomicity promise beyond the append
+// itself; use transactions for all-or-nothing semantics.
+func (s *Server) ApplyBatch(writes []BatchWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	s.installMu.RLock()
+	defer s.installMu.RUnlock()
+	recs := make([]*wal.Record, 0, len(writes))
+	for _, w := range writes {
+		t, err := s.tablet(w.Tablet)
+		if err != nil {
+			return err
+		}
+		if _, err := t.group(w.Group); err != nil {
+			return err
+		}
+		kind := wal.KindWrite
+		if w.Delete {
+			kind = wal.KindDelete
+		}
+		recs = append(recs, &wal.Record{
+			Kind: kind, Table: t.table, Tablet: w.Tablet, Group: w.Group,
+			Key: w.Key, TS: w.TS, Value: w.Value,
+		})
+	}
+	ptrs, err := s.append(recs...)
+	if err != nil {
+		return err
+	}
+	for i, w := range writes {
+		t, _ := s.tablet(w.Tablet)
+		g, _ := t.group(w.Group)
+		if w.Delete {
+			g.tree().DeleteKey(w.Key)
+			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, w.TS, wal.Ptr{}, recs[i].LSN, nil, true)
+			s.stats.Deletes.Add(1)
+		} else {
+			g.tree().Put(index.Entry{Key: w.Key, TS: w.TS, Ptr: ptrs[i], LSN: recs[i].LSN})
+			// Invalidate rather than populate the read buffer: the
+			// batch's timestamps were assigned before a long append, so
+			// a concurrent Put may already have cached a NEWER version
+			// that a blind cache write would clobber (GetAt assumes
+			// cached entries are the newest overall). Bulk loads also
+			// should not evict the OLTP working set.
+			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, w.TS, ptrs[i], recs[i].LSN, w.Value, false)
+			s.stats.Writes.Add(1)
+		}
+		s.bumpUpdates(t, g)
+	}
+	return nil
+}
+
+// Close releases the server's background resources: the group-commit
+// batcher goroutine is stopped (in-flight appends flush first). Data
+// needs no flushing — every append was already durable. Idempotent.
+func (s *Server) Close() error {
+	if s.batcher != nil {
+		s.batcher.Close()
 	}
 	return nil
 }

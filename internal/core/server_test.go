@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -190,7 +191,7 @@ func TestScanRange(t *testing.T) {
 		s.Write(testTablet, testGroup, key, 2, []byte(fmt.Sprintf("v%d'", i)))
 	}
 	var keys []string
-	err := s.Scan(testTablet, testGroup, []byte("row-010"), []byte("row-020"), 99, func(r Row) bool {
+	err := s.Scan(context.Background(), testTablet, testGroup, []byte("row-010"), []byte("row-020"), 99, func(r Row) bool {
 		keys = append(keys, string(r.Key))
 		if r.TS != 2 {
 			t.Errorf("scan returned stale version ts=%d for %s", r.TS, r.Key)
@@ -204,7 +205,7 @@ func TestScanRange(t *testing.T) {
 		t.Errorf("scan keys = %v", keys)
 	}
 	// Snapshot scan sees version 1.
-	err = s.Scan(testTablet, testGroup, []byte("row-010"), []byte("row-012"), 1, func(r Row) bool {
+	err = s.Scan(context.Background(), testTablet, testGroup, []byte("row-010"), []byte("row-012"), 1, func(r Row) bool {
 		if r.TS != 1 {
 			t.Errorf("snapshot scan got ts=%d", r.TS)
 		}
@@ -215,7 +216,7 @@ func TestScanRange(t *testing.T) {
 	}
 	// Early termination.
 	n := 0
-	s.Scan(testTablet, testGroup, nil, nil, 99, func(Row) bool { n++; return n < 5 })
+	s.Scan(context.Background(), testTablet, testGroup, nil, nil, 99, func(Row) bool { n++; return n < 5 })
 	if n != 5 {
 		t.Errorf("early-stop scan visited %d", n)
 	}
@@ -230,7 +231,7 @@ func TestFullScan(t *testing.T) {
 	}
 	s.Delete(testTablet, testGroup, []byte("k00"), 3)
 	seen := map[string]string{}
-	err := s.FullScan(testTablet, testGroup, func(r Row) bool {
+	err := s.FullScan(context.Background(), testTablet, testGroup, func(r Row) bool {
 		seen[string(r.Key)] = string(r.Value)
 		return true
 	})

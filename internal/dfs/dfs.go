@@ -487,7 +487,12 @@ func (d *DFS) appendAt(path string, p []byte) (int64, error) {
 }
 
 // readAt reads into p starting at off, returning the number of bytes
-// read. Short reads at end-of-file return io.EOF.
+// read. Short reads at end-of-file return io.EOF. Block metadata is
+// value-snapshotted under the namenode lock: appendAt mutates each
+// block's size and replica set in place, and a reader racing a
+// concurrent append must see a consistent point-in-time view (reads
+// target committed offsets, so acting on the snapshot is safe even as
+// the file keeps growing).
 func (d *DFS) readAt(path string, p []byte, off int64) (int, error) {
 	d.mu.Lock()
 	fm, ok := d.files[path]
@@ -496,7 +501,10 @@ func (d *DFS) readAt(path string, p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
 	size := fm.size()
-	blocks := append([]*blockMeta(nil), fm.blocks...)
+	blocks := make([]blockMeta, len(fm.blocks))
+	for i, b := range fm.blocks {
+		blocks[i] = blockMeta{id: b.id, size: b.size, replicas: append([]int(nil), b.replicas...)}
+	}
 	blockSize := d.cfg.BlockSize
 	d.mu.Unlock()
 

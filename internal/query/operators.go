@@ -7,6 +7,7 @@ package query
 // per-row storage cost.
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -38,8 +39,9 @@ type scanOp struct {
 }
 
 // newScanOp starts the scan for q over one tablet of src at the pinned
-// snapshot ts.
-func newScanOp(src Source, tablet, group string, ts int64, q Query) *scanOp {
+// snapshot ts. Cancelling ctx stops the producing ParallelScan within
+// one batch boundary and surfaces ctx.Err() from Next.
+func newScanOp(ctx context.Context, src Source, tablet, group string, ts int64, q Query) *scanOp {
 	op := &scanOp{
 		batches: make(chan []core.Row, 4),
 		done:    make(chan struct{}),
@@ -59,14 +61,16 @@ func newScanOp(src Source, tablet, group string, ts int64, q Query) *scanOp {
 	}
 	go func() {
 		defer close(op.fin)
-		err := src.ParallelScan(tablet, group, opt, func(rows []core.Row) error {
+		err := src.ParallelScan(ctx, tablet, group, opt, func(rows []core.Row) error {
 			// ParallelScan serialises emit calls; hand the batch over,
-			// unless the consumer has gone away.
+			// unless the consumer has gone away or the context died.
 			select {
 			case op.batches <- rows:
 				return nil
 			case <-op.done:
 				return errScanDone
+			case <-ctx.Done():
+				return ctx.Err()
 			}
 		})
 		if err != nil && !errors.Is(err, errScanDone) {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,7 +51,7 @@ func TestAggregates(t *testing.T) {
 	const n = 1000
 	ts := load(t, s, n)
 	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
-	res, err := snap.Run(testGroup, Query{
+	res, err := snap.Run(context.Background(), testGroup, Query{
 		Aggs: []Agg{
 			{Kind: Count},
 			{Kind: Sum, Extract: FloatValue},
@@ -92,7 +93,7 @@ func TestSnapshotIgnoresLaterWrites(t *testing.T) {
 	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
 
 	q := Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}, Workers: 4}
-	before, err := snap.Run(testGroup, q)
+	before, err := snap.Run(context.Background(), testGroup, q)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestSnapshotIgnoresLaterWrites(t *testing.T) {
 		}
 	}
 
-	after, err := snap.Run(testGroup, q)
+	after, err := snap.Run(context.Background(), testGroup, q)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -117,7 +118,7 @@ func TestSnapshotIgnoresLaterWrites(t *testing.T) {
 	}
 	// And an unpinned (current) snapshot must see the new state.
 	now := NewSnapshot(int64(1<<40), Target{Source: s, Tablet: testTablet})
-	cur, err := now.Run(testGroup, q)
+	cur, err := now.Run(context.Background(), testGroup, q)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -132,7 +133,7 @@ func TestGroupByAndFilters(t *testing.T) {
 	ts := load(t, s, n)
 	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
 
-	res, err := snap.Run(testGroup, Query{
+	res, err := snap.Run(context.Background(), testGroup, Query{
 		Filter: Filter{
 			Start: []byte("user000100"),
 			End:   []byte("user000700"),
@@ -175,7 +176,7 @@ func TestTimeRangeFilter(t *testing.T) {
 	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
 	// "What changed in the last 50 ticks" — classic log-as-database
 	// incremental query.
-	res, err := snap.Run(testGroup, Query{
+	res, err := snap.Run(context.Background(), testGroup, Query{
 		Filter:  Filter{MinTS: ts - 49},
 		Aggs:    []Agg{{Kind: Count}},
 		Workers: 2,
@@ -193,7 +194,7 @@ func TestSnapshotScanOrderedAndStoppable(t *testing.T) {
 	ts := load(t, s, 300)
 	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
 	var keys [][]byte
-	err := snap.Scan(testGroup, Filter{}, func(r core.Row) bool {
+	err := snap.Scan(context.Background(), testGroup, Filter{}, func(r core.Row) bool {
 		keys = append(keys, append([]byte(nil), r.Key...))
 		return len(keys) < 100
 	})
@@ -232,7 +233,7 @@ func TestMultiTargetMerge(t *testing.T) {
 		}
 	}
 	snap := NewSnapshot(200, Target{Source: s, Tablet: "t/a"}, Target{Source: s, Tablet: "t/b"})
-	res, err := snap.Run(testGroup, Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	res, err := snap.Run(context.Background(), testGroup, Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -266,7 +267,7 @@ func TestResultMerge(t *testing.T) {
 // errSource fails its scan; the pipeline must surface the error.
 type errSource struct{}
 
-func (errSource) ParallelScan(string, string, core.ScanOptions, func([]core.Row) error) error {
+func (errSource) ParallelScan(context.Context, string, string, core.ScanOptions, func([]core.Row) error) error {
 	return errors.New("disk on fire")
 }
 
@@ -276,7 +277,7 @@ func (errSource) SplitRange(string, string, []byte, []byte, int) ([][]byte, erro
 
 func TestScanErrorPropagates(t *testing.T) {
 	snap := NewSnapshot(1, Target{Source: errSource{}, Tablet: "x"})
-	if _, err := snap.Run(testGroup, Query{Aggs: []Agg{{Kind: Count}}}); err == nil || err.Error() != "disk on fire" {
+	if _, err := snap.Run(context.Background(), testGroup, Query{Aggs: []Agg{{Kind: Count}}}); err == nil || err.Error() != "disk on fire" {
 		t.Fatalf("err = %v, want disk on fire", err)
 	}
 }

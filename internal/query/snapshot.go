@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -10,7 +11,7 @@ import (
 // Source is the storage surface a snapshot reads. *core.Server
 // implements it; tests use fakes.
 type Source interface {
-	ParallelScan(tabletID, group string, opt core.ScanOptions, emit func([]core.Row) error) error
+	ParallelScan(ctx context.Context, tabletID, group string, opt core.ScanOptions, emit func([]core.Row) error) error
 	// SplitRange returns up to n-1 strictly increasing keys partitioning
 	// [start, end) into roughly equal-population shards.
 	SplitRange(tabletID, group string, start, end []byte, n int) ([][]byte, error)
@@ -40,17 +41,43 @@ func NewSnapshot(ts int64, targets ...Target) *Snapshot {
 // TS returns the pinned snapshot timestamp.
 func (s *Snapshot) TS() int64 { return s.ts }
 
+// JoinFanoutErrs collapses per-shard errors from a cancel-on-first-
+// failure fan-out: sibling shards cancelled after the first real error
+// report context.Canceled, which is noise — the caller wants the error
+// that triggered the cancellation. Falls back to joining everything if
+// only cancellations remain.
+func JoinFanoutErrs(errs []error) error {
+	var real []error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) {
+			real = append(real, e)
+		}
+	}
+	if len(real) > 0 {
+		return errors.Join(real...)
+	}
+	return errors.Join(errs...)
+}
+
 // Run executes q against column group `group` of every target and
 // merges the per-target partials. Targets execute concurrently (the
 // scatter half of scatter-gather); within each target the scan itself
-// fans out over keyspace shards per q.Workers.
-func (s *Snapshot) Run(group string, q Query) (Result, error) {
+// fans out over keyspace shards per q.Workers. Cancelling ctx aborts
+// every shard within one batch boundary and returns ctx.Err().
+func (s *Snapshot) Run(ctx context.Context, group string, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(s.targets) == 0 {
 		return Result{TS: s.ts}, nil
 	}
 	if len(s.targets) == 1 {
-		return s.runTarget(s.targets[0], group, q)
+		return s.runTarget(ctx, s.targets[0], group, q)
 	}
+	// Cancel-on-first-error: a failed target stops its siblings within
+	// one batch boundary instead of letting them scan to completion.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	partials := make([]Result, len(s.targets))
 	errs := make([]error, len(s.targets))
 	var wg sync.WaitGroup
@@ -58,11 +85,17 @@ func (s *Snapshot) Run(group string, q Query) (Result, error) {
 		wg.Add(1)
 		go func(i int, tgt Target) {
 			defer wg.Done()
-			partials[i], errs[i] = s.runTarget(tgt, group, q)
+			partials[i], errs[i] = s.runTarget(cctx, tgt, group, q)
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, tgt)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	if err := ctx.Err(); err != nil {
+		return Result{TS: s.ts}, err
+	}
+	if err := JoinFanoutErrs(errs); err != nil {
 		return Result{TS: s.ts}, err
 	}
 	res := Result{TS: s.ts}
@@ -79,7 +112,7 @@ func (s *Snapshot) Run(group string, q Query) (Result, error) {
 // happening inside the shards — not behind a single consumer — is what
 // lets the executor scale with workers instead of serialising on a
 // merge point.
-func (s *Snapshot) runTarget(tgt Target, group string, q Query) (Result, error) {
+func (s *Snapshot) runTarget(ctx context.Context, tgt Target, group string, q Query) (Result, error) {
 	workers := q.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -94,17 +127,21 @@ func (s *Snapshot) runTarget(tgt Target, group string, q Query) (Result, error) 
 	}
 	bounds = append(bounds, q.Filter.End)
 
-	runShard := func(start, end []byte) (Result, error) {
+	runShard := func(sctx context.Context, start, end []byte) (Result, error) {
 		shardQ := q
 		shardQ.Filter.Start, shardQ.Filter.End = start, end
 		shardQ.Workers = 1 // the shard IS the unit of parallelism
-		var op Operator = newScanOp(tgt.Source, tgt.Tablet, group, s.ts, shardQ)
+		var op Operator = newScanOp(sctx, tgt.Source, tgt.Tablet, group, s.ts, shardQ)
 		op = newFilterOp(op, q.Filter.Pred)
 		return aggregate(op, s.ts, shardQ)
 	}
 	if len(bounds) == 2 {
-		return runShard(bounds[0], bounds[1])
+		return runShard(ctx, bounds[0], bounds[1])
 	}
+	// Cancel-on-first-error: shards poll their context per batch, so a
+	// failed shard stops the rest almost immediately.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	partials := make([]Result, len(bounds)-1)
 	errs := make([]error, len(bounds)-1)
 	var wg sync.WaitGroup
@@ -112,11 +149,17 @@ func (s *Snapshot) runTarget(tgt Target, group string, q Query) (Result, error) 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partials[i], errs[i] = runShard(bounds[i], bounds[i+1])
+			partials[i], errs[i] = runShard(cctx, bounds[i], bounds[i+1])
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	if err := ctx.Err(); err != nil {
+		return Result{TS: s.ts}, err
+	}
+	if err := JoinFanoutErrs(errs); err != nil {
 		return Result{TS: s.ts}, err
 	}
 	res := Result{TS: s.ts}
@@ -130,8 +173,11 @@ func (s *Snapshot) runTarget(tgt Target, group string, q Query) (Result, error) 
 // within each target (targets are visited sequentially, in order).
 // This is the non-aggregating surface: time-travel reads, exports,
 // verification against the OLTP path. fn returning false stops the
-// scan.
-func (s *Snapshot) Scan(group string, f Filter, fn func(core.Row) bool) error {
+// scan; cancelling ctx aborts it within one batch boundary.
+func (s *Snapshot) Scan(ctx context.Context, group string, f Filter, fn func(core.Row) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stopped := errors.New("stop")
 	for _, tgt := range s.targets {
 		opt := core.ScanOptions{
@@ -143,7 +189,7 @@ func (s *Snapshot) Scan(group string, f Filter, fn func(core.Row) bool) error {
 			// Workers deliberately 1: key order inside the target.
 			Workers: 1,
 		}
-		err := tgt.Source.ParallelScan(tgt.Tablet, group, opt, func(rows []core.Row) error {
+		err := tgt.Source.ParallelScan(ctx, tgt.Tablet, group, opt, func(rows []core.Row) error {
 			for _, r := range rows {
 				if f.Pred != nil && !f.Pred(r) {
 					continue

@@ -8,28 +8,44 @@ package textproto
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
-// Store is the engine surface the protocol drives; cmd/logbase-server
-// adapts *logbase.DB onto it.
+// Store is the engine surface the protocol drives. It mirrors the root
+// package's logbase.Store (context-aware methods, pull-based iterator
+// scans) with nominal Row/Iterator types, so cmd/logbase-server adapts
+// either backend — embedded *logbase.DB or *logbase.ClusterClient —
+// with pure type conversions.
 type Store interface {
 	CreateTable(name string, groups ...string) error
-	Put(table, group string, key, value []byte) error
-	Get(table, group string, key []byte) (Row, error)
-	GetAt(table, group string, key []byte, ts int64) (Row, error)
-	Versions(table, group string, key []byte) ([]Row, error)
-	Delete(table, group string, key []byte) error
-	Scan(table, group string, start, end []byte, fn func(Row) bool) error
+	Put(ctx context.Context, table, group string, key, value []byte) error
+	Get(ctx context.Context, table, group string, key []byte) (Row, error)
+	GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error)
+	Versions(ctx context.Context, table, group string, key []byte) ([]Row, error)
+	Delete(ctx context.Context, table, group string, key []byte) error
+	// Scan returns a pull-based iterator over the latest version of
+	// each key in [start, end); the session Closes it after streaming
+	// up to the client's row limit.
+	Scan(ctx context.Context, table, group string, start, end []byte) Iterator
 	// Query runs a snapshot-consistent aggregate (COUNT/SUM/MIN/MAX/AVG;
 	// values parsed as decimal numbers) over [start, end); nil bounds
 	// are open. ts 0 means "latest"; groupPrefix > 0 groups rows by that
 	// many leading key bytes.
-	Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error)
+	Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error)
 	Checkpoint() error
+}
+
+// Iterator is the pull-based row stream the protocol consumes; it
+// mirrors logbase.Iterator.
+type Iterator interface {
+	Next() bool
+	Row() Row
+	Err() error
+	Close() error
 }
 
 // QueryReply is the result of a Store.Query: the pinned snapshot
@@ -56,8 +72,12 @@ type Row struct {
 }
 
 // Serve reads commands from r and writes responses to w until EOF or
-// QUIT. Errors writing to w abort the session.
-func Serve(rw io.ReadWriter, db Store) error {
+// QUIT. Errors writing to w abort the session; cancelling ctx makes
+// in-flight scans and queries fail promptly with an ERR reply.
+func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(rw)
@@ -85,13 +105,13 @@ func Serve(rw io.ReadWriter, db Store) error {
 				err = reply("OK table %s", fields[1])
 			}
 		case cmd == "PUT" && len(fields) >= 5:
-			if perr := db.Put(fields[1], fields[2], []byte(fields[3]), []byte(strings.Join(fields[4:], " "))); perr != nil {
+			if perr := db.Put(ctx, fields[1], fields[2], []byte(fields[3]), []byte(strings.Join(fields[4:], " "))); perr != nil {
 				err = reply("ERR %v", perr)
 			} else {
 				err = reply("OK")
 			}
 		case cmd == "GET" && len(fields) >= 4:
-			row, gerr := db.Get(fields[1], fields[2], []byte(fields[3]))
+			row, gerr := db.Get(ctx, fields[1], fields[2], []byte(fields[3]))
 			if gerr != nil {
 				err = reply("ERR %v", gerr)
 			} else {
@@ -103,14 +123,14 @@ func Serve(rw io.ReadWriter, db Store) error {
 				err = reply("ERR bad timestamp %q", fields[4])
 				break
 			}
-			row, gerr := db.GetAt(fields[1], fields[2], []byte(fields[3]), ts)
+			row, gerr := db.GetAt(ctx, fields[1], fields[2], []byte(fields[3]), ts)
 			if gerr != nil {
 				err = reply("ERR %v", gerr)
 			} else {
 				err = reply("VAL %d %s", row.TS, row.Value)
 			}
 		case cmd == "VERSIONS" && len(fields) >= 4:
-			rows, verr := db.Versions(fields[1], fields[2], []byte(fields[3]))
+			rows, verr := db.Versions(ctx, fields[1], fields[2], []byte(fields[3]))
 			if verr != nil {
 				err = reply("ERR %v", verr)
 				break
@@ -124,7 +144,7 @@ func Serve(rw io.ReadWriter, db Store) error {
 				err = reply("END %d", len(rows))
 			}
 		case cmd == "DEL" && len(fields) >= 4:
-			if derr := db.Delete(fields[1], fields[2], []byte(fields[3])); derr != nil {
+			if derr := db.Delete(ctx, fields[1], fields[2], []byte(fields[3])); derr != nil {
 				err = reply("ERR %v", derr)
 			} else {
 				err = reply("OK")
@@ -137,15 +157,17 @@ func Serve(rw io.ReadWriter, db Store) error {
 				}
 			}
 			n := 0
-			serr := db.Scan(fields[1], fields[2], []byte(fields[3]), []byte(fields[4]), func(r Row) bool {
+			it := db.Scan(ctx, fields[1], fields[2], []byte(fields[3]), []byte(fields[4]))
+			for n < limit && it.Next() {
+				r := it.Row()
 				if err = reply("ROW %s %d %s", r.Key, r.TS, r.Value); err != nil {
-					return false
+					break
 				}
 				n++
-				return n < limit
-			})
+			}
+			it.Close() // limit reached or write error: release the scan
 			if err == nil {
-				if serr != nil {
+				if serr := it.Err(); serr != nil {
 					err = reply("ERR %v", serr)
 				} else {
 					err = reply("END %d", n)
@@ -209,7 +231,7 @@ func Serve(rw io.ReadWriter, db Store) error {
 				err = reply("ERR %s", bad)
 				break
 			}
-			rep, qerr := db.Query(fields[1], fields[2], agg, start, end, ts, prefix)
+			rep, qerr := db.Query(ctx, fields[1], fields[2], agg, start, end, ts, prefix)
 			if qerr != nil {
 				err = reply("ERR %v", qerr)
 				break

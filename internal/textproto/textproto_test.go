@@ -2,6 +2,7 @@ package textproto
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -50,7 +51,7 @@ func (f *fakeStore) groupMap(table, group string) (map[string][]versioned, error
 	return g, nil
 }
 
-func (f *fakeStore) Put(table, group string, key, value []byte) error {
+func (f *fakeStore) Put(_ context.Context, table, group string, key, value []byte) error {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return err
@@ -60,7 +61,7 @@ func (f *fakeStore) Put(table, group string, key, value []byte) error {
 	return nil
 }
 
-func (f *fakeStore) Get(table, group string, key []byte) (Row, error) {
+func (f *fakeStore) Get(_ context.Context, table, group string, key []byte) (Row, error) {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return Row{}, err
@@ -73,7 +74,7 @@ func (f *fakeStore) Get(table, group string, key []byte) (Row, error) {
 	return Row{Key: key, TS: last.ts, Value: last.val}, nil
 }
 
-func (f *fakeStore) GetAt(table, group string, key []byte, ts int64) (Row, error) {
+func (f *fakeStore) GetAt(_ context.Context, table, group string, key []byte, ts int64) (Row, error) {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return Row{}, err
@@ -91,7 +92,7 @@ func (f *fakeStore) GetAt(table, group string, key []byte, ts int64) (Row, error
 	return Row{Key: key, TS: best.ts, Value: best.val}, nil
 }
 
-func (f *fakeStore) Versions(table, group string, key []byte) ([]Row, error) {
+func (f *fakeStore) Versions(_ context.Context, table, group string, key []byte) ([]Row, error) {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return nil, err
@@ -103,7 +104,7 @@ func (f *fakeStore) Versions(table, group string, key []byte) ([]Row, error) {
 	return out, nil
 }
 
-func (f *fakeStore) Delete(table, group string, key []byte) error {
+func (f *fakeStore) Delete(_ context.Context, table, group string, key []byte) error {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return err
@@ -112,10 +113,10 @@ func (f *fakeStore) Delete(table, group string, key []byte) error {
 	return nil
 }
 
-func (f *fakeStore) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+func (f *fakeStore) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
 	g, err := f.groupMap(table, group)
 	if err != nil {
-		return err
+		return &sliceIter{err: err}
 	}
 	var keys []string
 	for k := range g {
@@ -124,16 +125,34 @@ func (f *fakeStore) Scan(table, group string, start, end []byte, fn func(Row) bo
 		}
 	}
 	sort.Strings(keys)
+	it := &sliceIter{}
 	for _, k := range keys {
-		row, _ := f.Get(table, group, []byte(k))
-		if !fn(row) {
-			return nil
-		}
+		row, _ := f.Get(ctx, table, group, []byte(k))
+		it.rows = append(it.rows, row)
 	}
-	return nil
+	return it
 }
 
-func (f *fakeStore) Query(table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error) {
+// sliceIter is a trivial in-memory Iterator for the fake store.
+type sliceIter struct {
+	rows []Row
+	pos  int
+	err  error
+}
+
+func (it *sliceIter) Next() bool {
+	if it.err != nil || it.pos >= len(it.rows) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *sliceIter) Row() Row     { return it.rows[it.pos-1] }
+func (it *sliceIter) Err() error   { return it.err }
+func (it *sliceIter) Close() error { return it.err }
+
+func (f *fakeStore) Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error) {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return QueryReply{}, err
@@ -149,7 +168,7 @@ func (f *fakeStore) Query(table, group, agg string, start, end []byte, ts int64,
 		if len(end) > 0 && k >= string(end) {
 			continue
 		}
-		row, rerr := f.GetAt(table, group, []byte(k), ts)
+		row, rerr := f.GetAt(ctx, table, group, []byte(k), ts)
 		if rerr != nil {
 			continue
 		}
@@ -198,7 +217,7 @@ func session(t *testing.T, db Store, script ...string) []string {
 		io.Reader
 		io.Writer
 	}{strings.NewReader(strings.Join(script, "\n") + "\n"), &out}
-	if err := Serve(rw, db); err != nil {
+	if err := Serve(context.Background(), rw, db); err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")

@@ -4,18 +4,22 @@
 // product's details from the item table and an update transaction
 // bundles a read of the user's shopping cart with a write into the
 // orders table.
+//
+// The driver is written once against the unified logbase.Store
+// interface, so the exact same workload code exercises the embedded
+// *logbase.DB and the cluster *logbase.ClusterClient.
 package tpcw
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	logbase "repro"
 	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/txn"
 	"repro/internal/ycsb"
 )
 
@@ -36,13 +40,25 @@ var (
 var Mixes = []Mix{Browsing, Shopping, Ordering}
 
 // Tables returns the schema the workload needs; pass these to
-// cluster.Config.Tables.
+// cluster.Config.Tables (or create them via Store.CreateTable on an
+// embedded DB).
 func Tables() []cluster.TableSpec {
 	return []cluster.TableSpec{
 		{Name: "item", Groups: []string{"detail"}},
 		{Name: "customer", Groups: []string{"cart"}},
 		{Name: "orders", Groups: []string{"order"}},
 	}
+}
+
+// CreateTables declares the schema through the Store interface (for
+// backends whose tables were not pre-declared at cluster start).
+func CreateTables(st logbase.Store) error {
+	for _, ts := range Tables() {
+		if err := st.CreateTable(ts.Name, ts.Groups...); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func itemKey(i int64) []byte     { return []byte(fmt.Sprintf("item%010d", i)) }
@@ -52,41 +68,49 @@ func orderKey(c, seq int64) []byte {
 }
 
 // Load bulk-loads items and customers (the paper loads 1M products and
-// customers per node; scale down via counts).
-func Load(c *cluster.Cluster, items, customers int64, workers int) error {
+// customers per node; scale down via counts). Each worker buffers rows
+// in a WriteBatch and flushes in sweeps — the bulk-load path.
+func Load(st logbase.Store, items, customers int64, workers int) error {
 	if workers <= 0 {
 		workers = 1
 	}
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	errCh := make(chan error, 2*workers)
-	loadRange := func(n int64, put func(cl *cluster.Client, i int64) error) {
+	loadRange := func(n int64, put func(b *logbase.WriteBatch, i int64)) {
 		per := n / int64(workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				cl := c.NewClient()
+				batch := st.Batch()
 				lo := int64(w) * per
 				hi := lo + per
 				if w == workers-1 {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					if err := put(cl, i); err != nil {
-						errCh <- err
-						return
+					put(batch, i)
+					if batch.Len() >= 256 {
+						if err := batch.Flush(ctx); err != nil {
+							errCh <- err
+							return
+						}
 					}
+				}
+				if err := batch.Flush(ctx); err != nil {
+					errCh <- err
 				}
 			}(w)
 		}
 	}
 	detail := []byte(`{"title":"product","price":9.99,"stock":100}`)
 	cart := []byte(`{"items":[],"total":0}`)
-	loadRange(items, func(cl *cluster.Client, i int64) error {
-		return cl.Put("item", "detail", itemKey(i), detail)
+	loadRange(items, func(b *logbase.WriteBatch, i int64) {
+		b.Put("item", "detail", itemKey(i), detail)
 	})
-	loadRange(customers, func(cl *cluster.Client, i int64) error {
-		return cl.Put("customer", "cart", customerKey(i), cart)
+	loadRange(customers, func(b *logbase.WriteBatch, i int64) {
+		b.Put("customer", "cart", customerKey(i), cart)
 	})
 	wg.Wait()
 	close(errCh)
@@ -106,9 +130,9 @@ type Result struct {
 	Aborted    int64
 }
 
-// Run stress-tests the cluster with one client thread per worker
+// Run stress-tests the store with one client thread per worker
 // continuously submitting transactions of the mix (§4.4).
-func Run(c *cluster.Cluster, mix Mix, items, customers, txns int64, workers int, seed int64) (Result, error) {
+func Run(st logbase.Store, mix Mix, items, customers, txns int64, workers int, seed int64) (Result, error) {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -124,7 +148,6 @@ func Run(c *cluster.Cluster, mix Mix, items, customers, txns int64, workers int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl := c.NewClient()
 			rng := rand.New(rand.NewSource(seed + 104729*int64(w)))
 			n := per
 			if w == workers-1 {
@@ -134,12 +157,12 @@ func Run(c *cluster.Cluster, mix Mix, items, customers, txns int64, workers int,
 				txStart := time.Now()
 				var err error
 				if rng.Float64() < mix.UpdateFrac {
-					err = orderRequest(cl, rng.Int63n(customers), i, w)
+					err = orderRequest(st, rng.Int63n(customers), i, w)
 				} else {
-					err = productDetail(cl, itemDist.Next(rng))
+					err = productDetail(st, itemDist.Next(rng))
 				}
 				if err != nil {
-					if errors.Is(err, txn.ErrConflict) {
+					if errors.Is(err, logbase.ErrConflict) {
 						abortedMu.Lock()
 						aborted++
 						abortedMu.Unlock()
@@ -168,13 +191,10 @@ func Run(c *cluster.Cluster, mix Mix, items, customers, txns int64, workers int,
 
 // productDetail is the read-only transaction: one read of a product's
 // details.
-func productDetail(cl *cluster.Client, item int64) error {
-	return cl.RunTxn(func(tx *txn.Txn) error {
-		tablet, err := cl.TabletFor("item", itemKey(item))
-		if err != nil {
-			return err
-		}
-		_, err = tx.Get(tablet, "detail", itemKey(item))
+func productDetail(st logbase.Store, item int64) error {
+	ctx := context.Background()
+	return logbase.RunTx(ctx, st, func(tx logbase.Tx) error {
+		_, err := tx.Get(ctx, "item", "detail", itemKey(item))
 		return err
 	})
 }
@@ -183,26 +203,16 @@ func productDetail(cl *cluster.Client, item int64) error {
 // cart, then write one row into the orders table. The order key shares
 // the customer's prefix, so both rows usually land on one tablet (the
 // entity-group partitioning of §3.2) and commit without 2PC.
-func orderRequest(cl *cluster.Client, customer, seq int64, worker int) error {
-	return cl.RunTxn(func(tx *txn.Txn) error {
-		custTab, err := cl.TabletFor("customer", customerKey(customer))
-		if err != nil {
-			return err
-		}
-		cart, err := tx.Get(custTab, "cart", customerKey(customer))
+func orderRequest(st logbase.Store, customer, seq int64, worker int) error {
+	ctx := context.Background()
+	return logbase.RunTx(ctx, st, func(tx logbase.Tx) error {
+		cart, err := tx.Get(ctx, "customer", "cart", customerKey(customer))
 		if err != nil {
 			return err
 		}
 		oKey := orderKey(customer, seq*1000+int64(worker))
-		orderTab, err := cl.TabletFor("orders", oKey)
-		if err != nil {
-			return err
-		}
 		order := append([]byte(`{"from-cart":`), cart...)
 		order = append(order, '}')
-		return tx.Put(orderTab, "order", oKey, order)
+		return tx.Put("orders", "order", oKey, order)
 	})
 }
-
-// Ensure core is linked for documentation references.
-var _ = core.ErrNotFound

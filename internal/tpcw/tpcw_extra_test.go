@@ -1,18 +1,19 @@
 package tpcw
 
 import (
+	"context"
 	"repro/internal/core"
 	"testing"
 )
 
 func TestShoppingMixBetweenBrowsingAndOrdering(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 150, 75, 2); err != nil {
+	_, st := newCluster(t, 2)
+	if err := Load(st, 150, 75, 2); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	var tputs [3]float64
 	for i, mix := range Mixes {
-		res, err := Run(c, mix, 150, 75, 300, 2, int64(i))
+		res, err := Run(st, mix, 150, 75, 300, 2, int64(i))
 		if err != nil {
 			t.Fatalf("Run %s: %v", mix.Name, err)
 		}
@@ -30,11 +31,11 @@ func TestShoppingMixBetweenBrowsingAndOrdering(t *testing.T) {
 }
 
 func TestRunReportsLatency(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 50, 25, 1); err != nil {
+	_, st := newCluster(t, 2)
+	if err := Load(st, 50, 25, 1); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	res, err := Run(c, Shopping, 50, 25, 100, 2, 1)
+	res, err := Run(st, Shopping, 50, 25, 100, 2, 1)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -50,21 +51,21 @@ func TestRunReportsLatency(t *testing.T) {
 }
 
 func TestOrdersAccumulateAcrossRuns(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 60, 30, 1); err != nil {
+	c, st := newCluster(t, 2)
+	if err := Load(st, 60, 30, 1); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	count := func() int {
 		cl := c.NewClient()
 		n := 0
-		cl.Scan("orders", "order", nil, nil, func(r core.Row) bool { n++; return true })
+		cl.Scan(context.Background(), "orders", "order", nil, nil, func(r core.Row) bool { n++; return true })
 		return n
 	}
-	if _, err := Run(c, Ordering, 60, 30, 100, 2, 1); err != nil {
+	if _, err := Run(st, Ordering, 60, 30, 100, 2, 1); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	first := count()
-	if _, err := Run(c, Ordering, 60, 30, 100, 2, 2); err != nil {
+	if _, err := Run(st, Ordering, 60, 30, 100, 2, 2); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if second := count(); second <= first {

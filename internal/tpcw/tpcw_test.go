@@ -1,14 +1,16 @@
 package tpcw
 
 import (
+	"context"
 	"testing"
 
+	logbase "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfs"
 )
 
-func newCluster(t *testing.T, n int) *cluster.Cluster {
+func newCluster(t *testing.T, n int) (*cluster.Cluster, logbase.Store) {
 	t.Helper()
 	c, err := cluster.New(t.TempDir(), cluster.Config{
 		NumServers: n,
@@ -19,12 +21,12 @@ func newCluster(t *testing.T, n int) *cluster.Cluster {
 	if err != nil {
 		t.Fatalf("cluster.New: %v", err)
 	}
-	return c
+	return c, logbase.NewClusterClient(c)
 }
 
 func TestLoadPopulatesTables(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 100, 50, 2); err != nil {
+	c, st := newCluster(t, 2)
+	if err := Load(st, 100, 50, 2); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	cl := c.NewClient()
@@ -40,11 +42,11 @@ func TestLoadPopulatesTables(t *testing.T) {
 }
 
 func TestBrowsingMixMostlyReads(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 200, 100, 2); err != nil {
+	c, st := newCluster(t, 2)
+	if err := Load(st, 200, 100, 2); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	res, err := Run(c, Browsing, 200, 100, 400, 2, 1)
+	res, err := Run(st, Browsing, 200, 100, 400, 2, 1)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -57,18 +59,18 @@ func TestBrowsingMixMostlyReads(t *testing.T) {
 	// ~5% updates → few orders written.
 	cl := c.NewClient()
 	orders := 0
-	cl.Scan("orders", "order", nil, nil, func(core.Row) bool { orders++; return true })
+	cl.Scan(context.Background(), "orders", "order", nil, nil, func(core.Row) bool { orders++; return true })
 	if orders == 0 || orders > 60 {
 		t.Errorf("browsing mix wrote %d orders, want ~20 of 400", orders)
 	}
 }
 
 func TestOrderingMixWritesOrders(t *testing.T) {
-	c := newCluster(t, 2)
-	if err := Load(c, 100, 50, 2); err != nil {
+	c, st := newCluster(t, 2)
+	if err := Load(st, 100, 50, 2); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	res, err := Run(c, Ordering, 100, 50, 300, 3, 2)
+	res, err := Run(st, Ordering, 100, 50, 300, 3, 2)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -77,13 +79,13 @@ func TestOrderingMixWritesOrders(t *testing.T) {
 	}
 	cl := c.NewClient()
 	orders := 0
-	cl.Scan("orders", "order", nil, nil, func(core.Row) bool { orders++; return true })
+	cl.Scan(context.Background(), "orders", "order", nil, nil, func(core.Row) bool { orders++; return true })
 	if orders < 100 {
 		t.Errorf("ordering mix wrote only %d orders of ~150 expected", orders)
 	}
 	// Orders must embed the cart read by the same transaction.
 	found := false
-	cl.Scan("orders", "order", nil, nil, func(r core.Row) bool {
+	cl.Scan(context.Background(), "orders", "order", nil, nil, func(r core.Row) bool {
 		found = true
 		if string(r.Value[:13]) != `{"from-cart":` {
 			t.Errorf("order row %q lacks cart payload", r.Value)
@@ -112,5 +114,36 @@ func TestEntityGroupKeysAvoid2PC(t *testing.T) {
 	ok := orderKey(7, 1)
 	if string(ok[:len(ck)]) != string(ck) {
 		t.Errorf("order key %q does not extend customer key %q", ok, ck)
+	}
+}
+
+// The driver is written against logbase.Store, so it must also run on
+// the embedded backend: declare the schema through CreateTables, load,
+// and run a mix on a plain *logbase.DB.
+func TestEmbeddedBackendRunsSameDriver(t *testing.T) {
+	db, err := logbase.Open(t.TempDir(), logbase.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	if err := CreateTables(db); err != nil {
+		t.Fatalf("CreateTables: %v", err)
+	}
+	if err := Load(db, 60, 30, 2); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := Run(db, Shopping, 60, 30, 100, 2, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Txns != 100 {
+		t.Errorf("completed %d txns, want 100", res.Txns)
+	}
+	orders := 0
+	if err := db.FullScanFunc(context.Background(), "orders", "order", func(logbase.Row) bool { orders++; return true }); err != nil {
+		t.Fatalf("FullScanFunc: %v", err)
+	}
+	if orders == 0 {
+		t.Error("shopping mix wrote no orders on the embedded backend")
 	}
 }

@@ -15,6 +15,8 @@
 package txn
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -146,8 +148,11 @@ func (t *Txn) noteRead(lk string, ts int64) {
 }
 
 // Scan streams the snapshot-visible version of keys in [start, end) of
-// one tablet's column group.
-func (t *Txn) Scan(tablet, group string, start, end []byte, fn func(core.Row) bool) error {
+// one tablet's column group, overlaid with the transaction's own
+// buffered writes (read-your-writes: buffered puts shadow or insert
+// rows with TS = the read snapshot, buffered deletes hide rows).
+// Cancelling ctx aborts the scan within one batch boundary.
+func (t *Txn) Scan(ctx context.Context, tablet, group string, start, end []byte, fn func(core.Row) bool) error {
 	if t.done {
 		return ErrTxnDone
 	}
@@ -155,7 +160,72 @@ func (t *Txn) Scan(tablet, group string, start, end []byte, fn func(core.Row) bo
 	if err != nil {
 		return err
 	}
-	return srv.Scan(tablet, group, start, end, t.readTS, fn)
+	// Collect this transaction's buffered writes inside the range,
+	// sorted by key, for a merge against the snapshot stream.
+	var buf []*write
+	for _, w := range t.writes {
+		ww := w.w
+		if ww.Tablet != tablet || ww.Group != group {
+			continue
+		}
+		if start != nil && bytes.Compare(ww.Key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(ww.Key, end) >= 0 {
+			continue
+		}
+		buf = append(buf, w)
+	}
+	if len(buf) == 0 {
+		return srv.Scan(ctx, tablet, group, start, end, t.readTS, fn)
+	}
+	sort.Slice(buf, func(i, j int) bool { return bytes.Compare(buf[i].w.Key, buf[j].w.Key) < 0 })
+
+	i := 0
+	stopped := false
+	// emitBufferedBelow streams buffered non-delete writes with keys
+	// strictly below bound (nil = all remaining).
+	emitBufferedBelow := func(bound []byte) bool {
+		for i < len(buf) && (bound == nil || bytes.Compare(buf[i].w.Key, bound) < 0) {
+			w := buf[i].w
+			i++
+			if w.Delete {
+				continue
+			}
+			if !fn(core.Row{Key: w.Key, TS: t.readTS, Value: w.Value}) {
+				return false
+			}
+		}
+		return true
+	}
+	err = srv.Scan(ctx, tablet, group, start, end, t.readTS, func(r core.Row) bool {
+		if !emitBufferedBelow(r.Key) {
+			stopped = true
+			return false
+		}
+		if i < len(buf) && bytes.Equal(buf[i].w.Key, r.Key) {
+			w := buf[i].w
+			i++
+			if w.Delete {
+				return true // buffered delete hides the snapshot row
+			}
+			if !fn(core.Row{Key: r.Key, TS: t.readTS, Value: w.Value}) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		if !fn(r) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	emitBufferedBelow(nil)
+	return nil
 }
 
 // Put buffers a write. There are no blind writes in the paper's MVOCC

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -228,7 +229,7 @@ func TestPhantomPrevented(t *testing.T) {
 	t1 := f.m.Begin()
 	count := func() int {
 		n := 0
-		t1.Scan(tabA, groupG, []byte("p/"), []byte("p/\xff"), func(core.Row) bool { n++; return true })
+		t1.Scan(context.Background(), tabA, groupG, []byte("p/"), []byte("p/\xff"), func(core.Row) bool { n++; return true })
 		return n
 	}
 	before := count()

@@ -8,20 +8,27 @@ import (
 // Batcher implements group commit (paper §3.7.2): concurrent appenders
 // are coalesced into one log write to amortise the persistence cost.
 // Every Append call still blocks until its records are durable.
+//
+// The batcher owns one background goroutine that collects entries from
+// concurrent appenders until the batch is full or the delay expires,
+// then flushes them as a single log append. Close stops the goroutine
+// (flushing anything buffered); a closed batcher degrades to direct
+// appends so shutdown races never lose durability.
 type Batcher struct {
 	log *Log
-	// MaxBatch is the largest number of records coalesced into one log
+	// maxBatch is the largest number of entries coalesced into one log
 	// write.
 	maxBatch int
-	// MaxDelay bounds how long the leader waits for followers.
+	// maxDelay bounds how long the collector waits for followers.
 	maxDelay time.Duration
 
-	mu      sync.Mutex
-	pending []batchEntry
-	leader  bool
-	// full is closed by the follower that fills the batch, releasing
-	// the leader before its delay expires.
-	full chan struct{}
+	// ch is unbuffered on purpose: a send only completes when the
+	// collector goroutine receives it, so after Close has drained, no
+	// entry can be stranded in a buffer with nobody left to flush it.
+	ch        chan batchEntry
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 type batchEntry struct {
@@ -35,7 +42,7 @@ type batchResult struct {
 }
 
 // NewBatcher wraps log with group commit. maxBatch <= 1 degenerates to
-// direct appends; maxDelay zero means 200µs.
+// direct appends (no goroutine is started); maxDelay zero means 200µs.
 func NewBatcher(log *Log, maxBatch int, maxDelay time.Duration) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
@@ -43,50 +50,71 @@ func NewBatcher(log *Log, maxBatch int, maxDelay time.Duration) *Batcher {
 	if maxDelay <= 0 {
 		maxDelay = 200 * time.Microsecond
 	}
-	return &Batcher{log: log, maxBatch: maxBatch, maxDelay: maxDelay}
+	b := &Batcher{
+		log:      log,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		ch:       make(chan batchEntry),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if b.maxBatch > 1 {
+		go b.run()
+	} else {
+		close(b.done)
+	}
+	return b
 }
 
-// Append durably appends recs (as one atomic group within the batch)
-// and returns their pointers.
-func (b *Batcher) Append(recs ...*Record) ([]Ptr, error) {
-	if b.maxBatch == 1 {
-		return b.log.Append(recs...)
-	}
-	entry := batchEntry{recs: recs, done: make(chan batchResult, 1)}
-
-	b.mu.Lock()
-	b.pending = append(b.pending, entry)
-	if b.leader {
-		// A leader is already collecting; wait for it to flush us. If we
-		// just filled the batch, release the leader immediately.
-		if len(b.pending) >= b.maxBatch && b.full != nil {
-			close(b.full)
-			b.full = nil
+// run is the collector loop: wait for a first entry, give followers a
+// short window to pile on, flush the batch, repeat.
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case e := <-b.ch:
+			b.collect(e)
+		case <-b.quit:
+			// Drain entries from appenders that won the send race against
+			// Close, then exit.
+			for {
+				select {
+				case e := <-b.ch:
+					b.flush([]batchEntry{e})
+				default:
+					return
+				}
+			}
 		}
-		b.mu.Unlock()
-		res := <-entry.done
-		return res.ptrs, res.err
 	}
-	b.leader = true
-	full := make(chan struct{})
-	b.full = full
-	b.mu.Unlock()
+}
 
-	// Leader: give followers a short window to pile on.
-	deadline := time.NewTimer(b.maxDelay)
-	select {
-	case <-deadline.C:
-	case <-full:
+// collect gathers followers behind the first entry until the batch is
+// full or the delay window closes, then flushes.
+func (b *Batcher) collect(first batchEntry) {
+	batch := []batchEntry{first}
+	count := len(first.recs)
+	timer := time.NewTimer(b.maxDelay)
+	defer timer.Stop()
+	for count < b.maxBatch {
+		select {
+		case e := <-b.ch:
+			batch = append(batch, e)
+			count += len(e.recs)
+		case <-timer.C:
+			b.flush(batch)
+			return
+		case <-b.quit:
+			b.flush(batch)
+			return
+		}
 	}
-	deadline.Stop()
+	b.flush(batch)
+}
 
-	b.mu.Lock()
-	batch := b.pending
-	b.pending = nil
-	b.leader = false
-	b.full = nil
-	b.mu.Unlock()
-
+// flush appends every entry's records as one log write and hands each
+// appender its pointers.
+func (b *Batcher) flush(batch []batchEntry) {
 	var all []*Record
 	for _, e := range batch {
 		all = append(all, e.recs...)
@@ -103,8 +131,29 @@ func (b *Batcher) Append(recs ...*Record) ([]Ptr, error) {
 		off += len(e.recs)
 		e.done <- res
 	}
+}
 
-	// Our own entry is somewhere in the batch we just flushed.
-	res := <-entry.done
-	return res.ptrs, res.err
+// Append durably appends recs (as one atomic group within the batch)
+// and returns their pointers.
+func (b *Batcher) Append(recs ...*Record) ([]Ptr, error) {
+	if b.maxBatch <= 1 {
+		return b.log.Append(recs...)
+	}
+	entry := batchEntry{recs: recs, done: make(chan batchResult, 1)}
+	select {
+	case b.ch <- entry:
+		res := <-entry.done
+		return res.ptrs, res.err
+	case <-b.quit:
+		// Batcher shut down: append directly so the write stays durable.
+		return b.log.Append(recs...)
+	}
+}
+
+// Close stops the collector goroutine, flushing anything in flight.
+// Appends issued after Close fall through to direct log appends.
+// Idempotent and safe to call concurrently with Append.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.quit) })
+	<-b.done
 }

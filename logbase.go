@@ -11,24 +11,39 @@
 // snapshot isolation through multiversion optimistic concurrency
 // control with write locks acquired at validation.
 //
-// Two entry points:
+// # The Store interface
 //
-//   - Open returns an embedded single-server DB — the quickest way to
+// One engine, two deployments, one API: the Store interface is the
+// supported client surface, implemented by both entry points:
+//
+//   - Open returns an embedded single-server *DB — the quickest way to
 //     use the engine as a library.
 //   - NewCluster starts a simulated multi-server deployment (tablet
 //     servers over a replicated DFS with a master and failover), the
-//     configuration the paper evaluates at 3–24 nodes.
+//     configuration the paper evaluates at 3–24 nodes; NewClusterClient
+//     wraps it in the same Store surface.
 //
-// Both expose the analytical query path on top of the same log: because
-// every committed version stays addressable, DB.Query / Cluster.Query
-// run snapshot-consistent scans and aggregations (COUNT/SUM/MIN/MAX/AVG
+// Code written against Store — harnesses, examples, protocol servers —
+// runs unmodified on either backend. Every method takes a
+// context.Context: cancellation and deadlines propagate down into the
+// tablet-server scan loops and the cluster scatter-gather, so a slow
+// analytical read can be abandoned mid-flight without leaking
+// goroutines. Range and full scans return a pull-based Iterator
+// (Next/Row/Err/Close); the old push-style callbacks survive as thin
+// adapters (ScanFunc/FullScanFunc). Bulk loads go through WriteBatch,
+// which buffers mutations and flushes them as one group append sweep
+// through the log instead of one durable append per record.
+//
+// Both backends expose the analytical query path on top of the same
+// log: because every committed version stays addressable, Query runs
+// snapshot-consistent scans and aggregations (COUNT/SUM/MIN/MAX/AVG
 // with GROUP BY) pinned at one timestamp, sharded across worker
 // goroutines with key- and time-range predicates pushed below the log
-// fetch. DB.QueryAt / Cluster.QueryAt pin a historical timestamp (time
-// travel), DB.SnapshotAt / Cluster.SnapshotAt return a reusable pinned
-// handle, and the cluster variants scatter the query to every tablet
-// server and gather mergeable partial aggregates. See logbase_query.go
-// for the types and internal/query for the executor.
+// fetch. QueryAt pins a historical timestamp (time travel), SnapshotAt
+// returns a reusable pinned handle, and the cluster backend scatters
+// the query to every tablet server and gathers mergeable partial
+// aggregates. See logbase_query.go for the types and internal/query
+// for the executor.
 //
 // The underlying substrates (DFS, log repository, B-link multiversion
 // index, LSM-tree, coordination service) live in internal/ packages;
@@ -36,7 +51,9 @@
 package logbase
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -50,7 +67,7 @@ import (
 var ErrNotFound = core.ErrNotFound
 
 // ErrConflict is returned when a transaction loses first-committer-wins
-// validation; retry the transaction (or use RunTxn).
+// validation; retry the transaction (or use RunTx).
 var ErrConflict = txn.ErrConflict
 
 // Row is one record version.
@@ -81,16 +98,21 @@ type Options struct {
 	DataNodes int
 }
 
-// DB is an embedded single-server LogBase instance.
+// DB is an embedded single-server LogBase instance. It implements
+// Store; *DB is safe for concurrent use (including CreateTable racing
+// reads from other goroutines, e.g. concurrent protocol sessions).
 type DB struct {
 	fs     *dfs.DFS
 	svc    *coord.Service
 	server *core.Server
 	txns   *txn.Manager
+	tmu    sync.RWMutex
 	tables map[string]tableMeta
 	opts   Options
 	dir    string
 }
+
+var _ Store = (*DB)(nil)
 
 type tableMeta struct {
 	tablet string
@@ -153,6 +175,8 @@ func (db *DB) CreateTable(name string, groups ...string) error {
 	if len(groups) == 0 {
 		return errors.New("logbase: a table needs at least one column group")
 	}
+	db.tmu.Lock()
+	defer db.tmu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil
 	}
@@ -167,7 +191,9 @@ func (db *DB) CreateTable(name string, groups ...string) error {
 }
 
 func (db *DB) table(name, group string) (tableMeta, error) {
+	db.tmu.RLock()
 	tm, ok := db.tables[name]
+	db.tmu.RUnlock()
 	if !ok {
 		return tableMeta{}, errors.New("logbase: unknown table " + name)
 	}
@@ -179,7 +205,10 @@ func (db *DB) table(name, group string) (tableMeta, error) {
 
 // Put writes a row version into a column group (auto-commit, durable on
 // return).
-func (db *DB) Put(table, group string, key, value []byte) error {
+func (db *DB) Put(ctx context.Context, table, group string, key, value []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	tm, err := db.table(table, group)
 	if err != nil {
 		return err
@@ -188,7 +217,10 @@ func (db *DB) Put(table, group string, key, value []byte) error {
 }
 
 // Get returns the latest version of a row.
-func (db *DB) Get(table, group string, key []byte) (Row, error) {
+func (db *DB) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Row{}, err
+	}
 	tm, err := db.table(table, group)
 	if err != nil {
 		return Row{}, err
@@ -198,7 +230,10 @@ func (db *DB) Get(table, group string, key []byte) (Row, error) {
 
 // GetAt returns the version visible at snapshot ts (multiversion
 // access; timestamps come from committed writes' Row.TS).
-func (db *DB) GetAt(table, group string, key []byte, ts int64) (Row, error) {
+func (db *DB) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Row{}, err
+	}
 	tm, err := db.table(table, group)
 	if err != nil {
 		return Row{}, err
@@ -207,7 +242,10 @@ func (db *DB) GetAt(table, group string, key []byte, ts int64) (Row, error) {
 }
 
 // Versions returns all stored versions of a row, oldest first.
-func (db *DB) Versions(table, group string, key []byte) ([]Row, error) {
+func (db *DB) Versions(ctx context.Context, table, group string, key []byte) ([]Row, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	tm, err := db.table(table, group)
 	if err != nil {
 		return nil, err
@@ -216,7 +254,10 @@ func (db *DB) Versions(table, group string, key []byte) ([]Row, error) {
 }
 
 // Delete removes a row (persisting an invalidation record).
-func (db *DB) Delete(table, group string, key []byte) error {
+func (db *DB) Delete(ctx context.Context, table, group string, key []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	tm, err := db.table(table, group)
 	if err != nil {
 		return err
@@ -224,37 +265,116 @@ func (db *DB) Delete(table, group string, key []byte) error {
 	return db.server.Delete(tm.tablet, group, key, db.svc.NextTimestamp())
 }
 
-// Scan streams the latest version of each key in [start, end) in key
-// order; nil bounds are open.
-func (db *DB) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+// Scan iterates the latest version of each key in [start, end) in key
+// order; nil bounds are open. The scan runs against the snapshot
+// current at the call; rows are fetched in batches through coalesced
+// log reads. Always Close the iterator.
+func (db *DB) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
 	tm, err := db.table(table, group)
 	if err != nil {
-		return err
+		return errIter(err)
 	}
-	return db.server.Scan(tm.tablet, group, start, end, db.svc.LastTimestamp(), fn)
+	ts := db.svc.LastTimestamp()
+	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		return db.server.ParallelScan(ictx, tm.tablet, group, core.ScanOptions{
+			Start: start, End: end, TS: ts, Workers: 1, Batch: defaultIterBatch,
+		}, emit)
+	})
 }
 
-// FullScan streams every live row in log order (the batch-analytics
-// path).
-func (db *DB) FullScan(table, group string, fn func(Row) bool) error {
+// FullScan iterates every live row in log order (the batch-analytics
+// path). Always Close the iterator.
+func (db *DB) FullScan(ctx context.Context, table, group string) Iterator {
 	tm, err := db.table(table, group)
 	if err != nil {
-		return err
+		return errIter(err)
 	}
-	return db.server.FullScan(tm.tablet, group, fn)
+	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		fn, flush, failed := collectEmit(emit)
+		if err := db.server.FullScan(ictx, tm.tablet, group, fn); err != nil {
+			return err
+		}
+		if err := failed(); err != nil {
+			return err
+		}
+		return flush()
+	})
 }
 
-// Txn is a snapshot-isolation transaction over the embedded DB.
+// ScanFunc is the push-style adapter over Scan: it streams rows to fn
+// until fn returns false, the range is exhausted, or ctx is cancelled.
+func (db *DB) ScanFunc(ctx context.Context, table, group string, start, end []byte, fn func(Row) bool) error {
+	return iterate(db.Scan(ctx, table, group, start, end), fn)
+}
+
+// FullScanFunc is the push-style adapter over FullScan.
+func (db *DB) FullScanFunc(ctx context.Context, table, group string, fn func(Row) bool) error {
+	return iterate(db.FullScan(ctx, table, group), fn)
+}
+
+// iterate drains it into fn, stopping early when fn returns false.
+func iterate(it Iterator, fn func(Row) bool) error {
+	defer it.Close()
+	for it.Next() {
+		if !fn(it.Row()) {
+			it.Close()
+			break
+		}
+	}
+	return it.Err()
+}
+
+// ctxErr normalises a possibly-nil context's error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Batch returns an empty WriteBatch bound to this DB. Flushing it
+// persists all buffered mutations in one append sweep through the log
+// (one group-committed append instead of one per record) — the bulk-
+// load path.
+func (db *DB) Batch() *WriteBatch {
+	return &WriteBatch{apply: db.applyBatch}
+}
+
+// applyBatch persists ops through one atomic server append: on any
+// error nothing was applied, so the nil index slice tells Flush to
+// keep the whole batch for retry.
+func (db *DB) applyBatch(ctx context.Context, ops []batchOp) ([]int, error) {
+	writes := make([]core.BatchWrite, len(ops))
+	for i, op := range ops {
+		tm, err := db.table(op.table, op.group)
+		if err != nil {
+			return nil, err
+		}
+		writes[i] = core.BatchWrite{
+			Tablet: tm.tablet, Group: op.group, Key: op.key, Value: op.value,
+			TS: db.svc.NextTimestamp(), Delete: op.delete,
+		}
+	}
+	return nil, db.server.ApplyBatch(writes)
+}
+
+// Txn is a snapshot-isolation transaction over the embedded DB; it
+// implements Tx.
 type Txn struct {
 	db *DB
 	t  *txn.Txn
 }
 
+var _ Tx = (*Txn)(nil)
+
 // Begin starts a transaction.
-func (db *DB) Begin() *Txn { return &Txn{db: db, t: db.txns.Begin()} }
+func (db *DB) Begin(ctx context.Context) Tx { return &Txn{db: db, t: db.txns.Begin()} }
 
 // Get reads a row at the transaction snapshot.
-func (tx *Txn) Get(table, group string, key []byte) ([]byte, error) {
+func (tx *Txn) Get(ctx context.Context, table, group string, key []byte) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	tm, err := tx.db.table(table, group)
 	if err != nil {
 		return nil, err
@@ -281,25 +401,29 @@ func (tx *Txn) Delete(table, group string, key []byte) error {
 }
 
 // Scan streams snapshot-visible rows in [start, end).
-func (tx *Txn) Scan(table, group string, start, end []byte, fn func(Row) bool) error {
+func (tx *Txn) Scan(ctx context.Context, table, group string, start, end []byte, fn func(Row) bool) error {
 	tm, err := tx.db.table(table, group)
 	if err != nil {
 		return err
 	}
-	return tx.t.Scan(tm.tablet, group, start, end, fn)
+	return tx.t.Scan(ctx, tm.tablet, group, start, end, fn)
 }
 
 // Commit validates and commits; ErrConflict means retry.
-func (tx *Txn) Commit() error { return tx.t.Commit() }
+func (tx *Txn) Commit(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return tx.t.Commit()
+}
 
 // Abort discards the transaction.
 func (tx *Txn) Abort() { tx.t.Abort() }
 
-// RunTxn runs fn in a transaction, retrying validation conflicts.
-func (db *DB) RunTxn(fn func(*Txn) error) error {
-	return db.txns.RunTxn(20, func(t *txn.Txn) error {
-		return fn(&Txn{db: db, t: t})
-	})
+// RunTxn runs fn in a transaction, retrying validation conflicts. It is
+// the method form of RunTx.
+func (db *DB) RunTxn(ctx context.Context, fn func(Tx) error) error {
+	return RunTx(ctx, db, fn)
 }
 
 // Extractor derives a secondary-index key from a row's value; nil means
@@ -357,10 +481,11 @@ func (db *DB) LogSize() int64 { return db.server.Log().Size() }
 // Server exposes the underlying tablet server for advanced use.
 func (db *DB) Server() *core.Server { return db.server }
 
-// Close releases the DB. Data is already durable (appends are
-// synchronous); an explicit Checkpoint before Close speeds up the next
-// Recover.
-func (db *DB) Close() error { return nil }
+// Close releases the DB's background resources: the group-commit
+// batcher goroutine is stopped (flushing in-flight appends first).
+// Data is already durable (appends are synchronous); an explicit
+// Checkpoint before Close speeds up the next Recover. Idempotent.
+func (db *DB) Close() error { return db.server.Close() }
 
 // Cluster re-exports the simulated multi-server deployment.
 type Cluster = cluster.Cluster
@@ -371,7 +496,9 @@ type ClusterConfig = cluster.Config
 // TableSpec declares a table for a cluster.
 type TableSpec = cluster.TableSpec
 
-// Client is a cluster routing client.
+// Client is a low-level cluster routing client (one per goroutine).
+// Most callers want NewClusterClient, the concurrency-safe Store
+// implementation wrapping a pool of these.
 type Client = cluster.Client
 
 // NewCluster starts a simulated multi-server LogBase deployment.

@@ -3,9 +3,12 @@ package logbase
 // Analytical query surface (the HTAP read path): snapshot-consistent
 // scans and aggregations executed directly over the multiversion log —
 // no copy of the data, no interference with the write path. See
-// internal/query for the executor.
+// internal/query for the executor. Both Store implementations share
+// this surface; the cluster backend scatter-gathers it (see
+// cluster_client.go).
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/query"
@@ -53,26 +56,32 @@ type Snapshot = query.Snapshot
 
 // Query executes q against a column group at the latest committed
 // timestamp: a consistent snapshot of the table as of now, unaffected
-// by writes that commit while the query runs.
-func (db *DB) Query(table, group string, q Query) (QueryResult, error) {
-	return db.QueryAt(table, group, db.svc.LastTimestamp(), q)
+// by writes that commit while the query runs. Cancelling ctx aborts
+// the scan workers within one batch boundary.
+func (db *DB) Query(ctx context.Context, table, group string, q Query) (QueryResult, error) {
+	return db.QueryAt(ctx, table, group, db.svc.LastTimestamp(), q)
 }
 
 // QueryAt executes q pinned at snapshot ts — time travel: the table
 // exactly as it was when timestamp ts was current.
-func (db *DB) QueryAt(table, group string, ts int64, q Query) (QueryResult, error) {
-	snap, err := db.SnapshotAt(table, ts)
+func (db *DB) QueryAt(ctx context.Context, table, group string, ts int64, q Query) (QueryResult, error) {
+	snap, err := db.SnapshotAt(ctx, table, ts)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return snap.Run(group, q)
+	return snap.Run(ctx, group, q)
 }
 
 // SnapshotAt pins a snapshot of the table at ts (0 = now). The handle
 // can run any number of queries and ordered scans, all seeing the exact
 // same version set.
-func (db *DB) SnapshotAt(table string, ts int64) (*Snapshot, error) {
+func (db *DB) SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	db.tmu.RLock()
 	tm, ok := db.tables[table]
+	db.tmu.RUnlock()
 	if !ok {
 		return nil, errors.New("logbase: unknown table " + table)
 	}

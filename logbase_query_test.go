@@ -1,14 +1,16 @@
-package logbase
+package logbase_test
 
 import (
 	"fmt"
 	"strconv"
 	"testing"
+
+	logbase "repro"
 )
 
-func queryDB(t *testing.T, n int) *DB {
+func queryDB(t *testing.T, n int) *logbase.DB {
 	t.Helper()
-	db, err := Open(t.TempDir(), Options{ReadCacheBytes: 4 << 20})
+	db, err := logbase.Open(t.TempDir(), logbase.Options{ReadCacheBytes: 4 << 20})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -17,7 +19,7 @@ func queryDB(t *testing.T, n int) *DB {
 	}
 	for i := 0; i < n; i++ {
 		key := []byte(fmt.Sprintf("order%06d", i))
-		if err := db.Put("orders", "amount", key, []byte(strconv.Itoa(i%100))); err != nil {
+		if err := db.Put(bg, "orders", "amount", key, []byte(strconv.Itoa(i%100))); err != nil {
 			t.Fatalf("Put: %v", err)
 		}
 	}
@@ -26,11 +28,11 @@ func queryDB(t *testing.T, n int) *DB {
 
 func TestDBQueryAggregates(t *testing.T) {
 	db := queryDB(t, 1000)
-	res, err := db.Query("orders", "amount", Query{
-		Aggs: []Agg{
-			{Kind: Count},
-			{Kind: Sum, Extract: FloatValue},
-			{Kind: Avg, Extract: FloatValue},
+	res, err := db.Query(bg, "orders", "amount", logbase.Query{
+		Aggs: []logbase.Agg{
+			{Kind: logbase.Count},
+			{Kind: logbase.Sum, Extract: logbase.FloatValue},
+			{Kind: logbase.Avg, Extract: logbase.FloatValue},
 		},
 	})
 	if err != nil {
@@ -39,19 +41,19 @@ func TestDBQueryAggregates(t *testing.T) {
 	if res.Rows != 1000 {
 		t.Fatalf("rows = %d, want 1000", res.Rows)
 	}
-	if got := res.Value(1, Sum); got != 49500 { // 10 * (0+..+99)
+	if got := res.Value(1, logbase.Sum); got != 49500 { // 10 * (0+..+99)
 		t.Fatalf("sum = %g, want 49500", got)
 	}
-	if got := res.Value(2, Avg); got != 49.5 {
+	if got := res.Value(2, logbase.Avg); got != 49.5 {
 		t.Fatalf("avg = %g, want 49.5", got)
 	}
 }
 
 func TestDBQueryGroupBy(t *testing.T) {
 	db := queryDB(t, 500)
-	res, err := db.Query("orders", "amount", Query{
-		GroupBy: func(r Row) string { return string(r.Key[:len("order0001")]) }, // bucket on the hundreds digit
-		Aggs:    []Agg{{Kind: Count}},
+	res, err := db.Query(bg, "orders", "amount", logbase.Query{
+		GroupBy: func(r logbase.Row) string { return string(r.Key[:len("order0001")]) }, // bucket on the hundreds digit
+		Aggs:    []logbase.Agg{{Kind: logbase.Count}},
 	})
 	if err != nil {
 		t.Fatalf("Query: %v", err)
@@ -71,28 +73,28 @@ func TestDBQueryGroupBy(t *testing.T) {
 // version set.
 func TestDBSnapshotPinned(t *testing.T) {
 	db := queryDB(t, 300)
-	snap, err := db.SnapshotAt("orders", 0)
+	snap, err := db.SnapshotAt(bg, "orders", 0)
 	if err != nil {
 		t.Fatalf("SnapshotAt: %v", err)
 	}
-	q := Query{Aggs: []Agg{{Kind: Count}}}
-	before, err := snap.Run("amount", q)
+	q := logbase.Query{Aggs: []logbase.Agg{{Kind: logbase.Count}}}
+	before, err := snap.Run(bg, "amount", q)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	for i := 0; i < 50; i++ {
-		if err := db.Put("orders", "amount", []byte(fmt.Sprintf("late%04d", i)), []byte("1")); err != nil {
+		if err := db.Put(bg, "orders", "amount", []byte(fmt.Sprintf("late%04d", i)), []byte("1")); err != nil {
 			t.Fatalf("Put: %v", err)
 		}
 	}
-	after, err := snap.Run("amount", q)
+	after, err := snap.Run(bg, "amount", q)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if after.Rows != before.Rows {
 		t.Fatalf("pinned snapshot rows moved: %d -> %d", before.Rows, after.Rows)
 	}
-	cur, err := db.Query("orders", "amount", q)
+	cur, err := db.Query(bg, "orders", "amount", q)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -102,31 +104,31 @@ func TestDBSnapshotPinned(t *testing.T) {
 }
 
 func TestDBQueryAtHistorical(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{})
+	db, err := logbase.Open(t.TempDir(), logbase.Options{})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	db.CreateTable("t", "g")
-	db.Put("t", "g", []byte("a"), []byte("1"))
-	row, err := db.Get("t", "g", []byte("a"))
+	db.Put(bg, "t", "g", []byte("a"), []byte("1"))
+	row, err := db.Get(bg, "t", "g", []byte("a"))
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
 	tsV1 := row.TS
-	db.Put("t", "g", []byte("a"), []byte("100"))
+	db.Put(bg, "t", "g", []byte("a"), []byte("100"))
 
-	res, err := db.QueryAt("t", "g", tsV1, Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	res, err := db.QueryAt(bg, "t", "g", tsV1, logbase.Query{Aggs: []logbase.Agg{{Kind: logbase.Sum, Extract: logbase.FloatValue}}})
 	if err != nil {
 		t.Fatalf("QueryAt: %v", err)
 	}
-	if got := res.Value(0, Sum); got != 1 {
+	if got := res.Value(0, logbase.Sum); got != 1 {
 		t.Fatalf("historical sum = %g, want 1 (version at ts %d)", got, tsV1)
 	}
-	res, err = db.Query("t", "g", Query{Aggs: []Agg{{Kind: Sum, Extract: FloatValue}}})
+	res, err = db.Query(bg, "t", "g", logbase.Query{Aggs: []logbase.Agg{{Kind: logbase.Sum, Extract: logbase.FloatValue}}})
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
-	if got := res.Value(0, Sum); got != 100 {
+	if got := res.Value(0, logbase.Sum); got != 100 {
 		t.Fatalf("current sum = %g, want 100", got)
 	}
 }

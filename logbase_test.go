@@ -1,14 +1,19 @@
-package logbase
+package logbase_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
+
+	logbase "repro"
 )
 
-func openDB(t *testing.T, opts Options) *DB {
+var bg = context.Background()
+
+func openDB(t *testing.T, opts logbase.Options) *logbase.DB {
 	t.Helper()
-	db, err := Open(t.TempDir(), opts)
+	db, err := logbase.Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -19,68 +24,73 @@ func openDB(t *testing.T, opts Options) *DB {
 }
 
 func TestPublicAPIRoundTrip(t *testing.T) {
-	db := openDB(t, Options{ReadCacheBytes: 1 << 20})
-	if err := db.Put("events", "payload", []byte("e1"), []byte("hello")); err != nil {
+	db := openDB(t, logbase.Options{ReadCacheBytes: 1 << 20})
+	if err := db.Put(bg, "events", "payload", []byte("e1"), []byte("hello")); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	row, err := db.Get("events", "payload", []byte("e1"))
+	row, err := db.Get(bg, "events", "payload", []byte("e1"))
 	if err != nil || string(row.Value) != "hello" {
 		t.Fatalf("Get = %+v err=%v", row, err)
 	}
-	if _, err := db.Get("events", "payload", []byte("nope")); !errors.Is(err, ErrNotFound) {
+	if _, err := db.Get(bg, "events", "payload", []byte("nope")); !errors.Is(err, logbase.ErrNotFound) {
 		t.Errorf("missing key err = %v", err)
 	}
-	if err := db.Delete("events", "payload", []byte("e1")); err != nil {
+	if err := db.Delete(bg, "events", "payload", []byte("e1")); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if _, err := db.Get("events", "payload", []byte("e1")); !errors.Is(err, ErrNotFound) {
+	if _, err := db.Get(bg, "events", "payload", []byte("e1")); !errors.Is(err, logbase.ErrNotFound) {
 		t.Errorf("deleted key err = %v", err)
 	}
 }
 
 func TestPublicAPIMultiversion(t *testing.T) {
-	db := openDB(t, Options{})
+	db := openDB(t, logbase.Options{})
 	key := []byte("doc")
 	for i := 1; i <= 3; i++ {
-		db.Put("events", "payload", key, []byte(fmt.Sprintf("rev%d", i)))
+		db.Put(bg, "events", "payload", key, []byte(fmt.Sprintf("rev%d", i)))
 	}
-	rows, err := db.Versions("events", "payload", key)
+	rows, err := db.Versions(bg, "events", "payload", key)
 	if err != nil || len(rows) != 3 {
 		t.Fatalf("Versions = %d err=%v", len(rows), err)
 	}
 	// Historical read at the first version's timestamp.
-	old, err := db.GetAt("events", "payload", key, rows[0].TS)
+	old, err := db.GetAt(bg, "events", "payload", key, rows[0].TS)
 	if err != nil || string(old.Value) != "rev1" {
 		t.Errorf("GetAt = %+v err=%v", old, err)
 	}
 }
 
 func TestPublicAPIScan(t *testing.T) {
-	db := openDB(t, Options{})
+	db := openDB(t, logbase.Options{})
 	for i := 0; i < 20; i++ {
-		db.Put("events", "meta", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		db.Put(bg, "events", "meta", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
 	}
 	var got []string
-	db.Scan("events", "meta", []byte("k05"), []byte("k10"), func(r Row) bool {
-		got = append(got, string(r.Key))
-		return true
-	})
+	it := db.Scan(bg, "events", "meta", []byte("k05"), []byte("k10"))
+	for it.Next() {
+		got = append(got, string(it.Row().Key))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
 	if len(got) != 5 || got[0] != "k05" {
 		t.Errorf("scan = %v", got)
 	}
 	n := 0
-	db.FullScan("events", "meta", func(Row) bool { n++; return true })
+	if err := db.FullScanFunc(bg, "events", "meta", func(logbase.Row) bool { n++; return true }); err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
 	if n != 20 {
 		t.Errorf("full scan = %d", n)
 	}
 }
 
 func TestPublicAPITxn(t *testing.T) {
-	db := openDB(t, Options{})
-	db.Put("events", "payload", []byte("acct/a"), []byte("100"))
-	db.Put("events", "payload", []byte("acct/b"), []byte("0"))
-	err := db.RunTxn(func(tx *Txn) error {
-		a, err := tx.Get("events", "payload", []byte("acct/a"))
+	db := openDB(t, logbase.Options{})
+	db.Put(bg, "events", "payload", []byte("acct/a"), []byte("100"))
+	db.Put(bg, "events", "payload", []byte("acct/b"), []byte("0"))
+	err := db.RunTxn(bg, func(tx logbase.Tx) error {
+		a, err := tx.Get(bg, "events", "payload", []byte("acct/a"))
 		if err != nil {
 			return err
 		}
@@ -92,19 +102,19 @@ func TestPublicAPITxn(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunTxn: %v", err)
 	}
-	b, _ := db.Get("events", "payload", []byte("acct/b"))
+	b, _ := db.Get(bg, "events", "payload", []byte("acct/b"))
 	if string(b.Value) != "100" {
 		t.Errorf("transfer lost: b = %q", b.Value)
 	}
 }
 
 func TestPublicAPICrashRecovery(t *testing.T) {
-	db := openDB(t, Options{})
+	db := openDB(t, logbase.Options{})
 	for i := 0; i < 50; i++ {
-		db.Put("events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		db.Put(bg, "events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
 	}
 	db.Checkpoint()
-	db.Put("events", "payload", []byte("tail"), []byte("t"))
+	db.Put(bg, "events", "payload", []byte("tail"), []byte("t"))
 
 	db2, err := db.Reopen()
 	if err != nil {
@@ -118,16 +128,16 @@ func TestPublicAPICrashRecovery(t *testing.T) {
 	if !st.UsedCheckpoint {
 		t.Error("checkpoint not used")
 	}
-	if _, err := db2.Get("events", "payload", []byte("tail")); err != nil {
+	if _, err := db2.Get(bg, "events", "payload", []byte("tail")); err != nil {
 		t.Errorf("tail write lost: %v", err)
 	}
 }
 
 func TestPublicAPICompact(t *testing.T) {
-	db := openDB(t, Options{CompactKeepVersions: 1, SegmentSize: 1 << 14})
+	db := openDB(t, logbase.Options{CompactKeepVersions: 1, SegmentSize: 1 << 14})
 	for i := 0; i < 30; i++ {
 		for v := 0; v < 4; v++ {
-			db.Put("events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", v)))
+			db.Put(bg, "events", "payload", []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", v)))
 		}
 	}
 	before := db.LogSize()
@@ -138,36 +148,36 @@ func TestPublicAPICompact(t *testing.T) {
 	if st.Dropped == 0 || db.LogSize() >= before {
 		t.Errorf("compaction reclaimed nothing: %+v", st)
 	}
-	row, err := db.Get("events", "payload", []byte("k00"))
+	row, err := db.Get(bg, "events", "payload", []byte("k00"))
 	if err != nil || string(row.Value) != "v3" {
 		t.Errorf("post-compaction read = %+v err=%v", row, err)
 	}
 }
 
 func TestClusterFacade(t *testing.T) {
-	c, err := NewCluster(t.TempDir(), ClusterConfig{
+	c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{
 		NumServers: 3,
-		Tables:     []TableSpec{{Name: "t", Groups: []string{"g"}}},
+		Tables:     []logbase.TableSpec{{Name: "t", Groups: []string{"g"}}},
 	})
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)
 	}
-	cl := c.NewClient()
-	if err := cl.Put("t", "g", []byte{0x42}, []byte("v")); err != nil {
+	cl := logbase.NewClusterClient(c)
+	if err := cl.Put(bg, "t", "g", []byte{0x42}, []byte("v")); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	row, err := cl.Get("t", "g", []byte{0x42})
+	row, err := cl.Get(bg, "t", "g", []byte{0x42})
 	if err != nil || string(row.Value) != "v" {
 		t.Errorf("Get = %+v err=%v", row, err)
 	}
 }
 
 func TestSchemaErrors(t *testing.T) {
-	db := openDB(t, Options{})
-	if err := db.Put("nope", "g", []byte("k"), nil); err == nil {
+	db := openDB(t, logbase.Options{})
+	if err := db.Put(bg, "nope", "g", []byte("k"), nil); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := db.Put("events", "nope", []byte("k"), nil); err == nil {
+	if err := db.Put(bg, "events", "nope", []byte("k"), nil); err == nil {
 		t.Error("unknown group accepted")
 	}
 	if err := db.CreateTable("bad"); err == nil {

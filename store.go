@@ -1,0 +1,354 @@
+package logbase
+
+// This file is the unified client surface: one Store interface that
+// both deployments of the engine — the embedded *DB and the cluster
+// *ClusterClient — implement, so harnesses, examples and protocol
+// servers are written once and run unmodified against either backend.
+//
+// Reads are pull-based: Scan/FullScan return an Iterator instead of
+// taking a callback, and every method takes a context.Context whose
+// cancellation propagates down through the tablet-server scan loops
+// (an abandoned analytical scan stops doing I/O within one batch
+// boundary and leaks no goroutines). Writes get a bulk path: a
+// WriteBatch buffers mutations and flushes them as one group append
+// sweep through the log — the idiomatic bulk-load shape for a
+// sequential-log engine.
+
+import (
+	"context"
+	"errors"
+)
+
+// Store is the unified LogBase client interface, implemented by the
+// embedded *DB and the distributed *ClusterClient. Every method takes
+// a context.Context; cancellation and deadlines are honoured at batch
+// granularity inside scans and queries.
+type Store interface {
+	// CreateTable declares a table with its column groups. Idempotent.
+	CreateTable(name string, groups ...string) error
+	// Put writes a row version (auto-commit, durable on return).
+	Put(ctx context.Context, table, group string, key, value []byte) error
+	// Get returns the latest version of a row.
+	Get(ctx context.Context, table, group string, key []byte) (Row, error)
+	// GetAt returns the version visible at snapshot ts.
+	GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error)
+	// Versions returns all stored versions of a row, oldest first.
+	Versions(ctx context.Context, table, group string, key []byte) ([]Row, error)
+	// Delete removes a row (persisting an invalidation record).
+	Delete(ctx context.Context, table, group string, key []byte) error
+	// Scan iterates the latest version of each key in [start, end) in
+	// key order; nil bounds are open. Always Close the iterator.
+	Scan(ctx context.Context, table, group string, start, end []byte) Iterator
+	// FullScan iterates every live row in log order (the batch-
+	// analytics path). Always Close the iterator.
+	FullScan(ctx context.Context, table, group string) Iterator
+	// Query executes a snapshot-consistent analytical query at the
+	// latest committed timestamp.
+	Query(ctx context.Context, table, group string, q Query) (QueryResult, error)
+	// QueryAt executes q pinned at snapshot ts (time travel).
+	QueryAt(ctx context.Context, table, group string, ts int64, q Query) (QueryResult, error)
+	// SnapshotAt pins a reusable snapshot of the table at ts (0 = now).
+	SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot, error)
+	// Begin starts a snapshot-isolation transaction.
+	Begin(ctx context.Context) Tx
+	// Batch returns an empty WriteBatch bound to this store.
+	Batch() *WriteBatch
+	// Close releases background resources (group-commit batcher
+	// goroutines). Data is already durable; Close never loses writes.
+	Close() error
+}
+
+// Iterator is a pull-based row stream. The contract:
+//
+//	it := st.Scan(ctx, "t", "g", nil, nil)
+//	defer it.Close()
+//	for it.Next() {
+//	    use(it.Row())
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Next returns false at end-of-stream, on error, or once the context
+// is cancelled; Err reports what stopped the stream (nil for a clean
+// end or a deliberate early Close; ctx.Err() after cancellation).
+// Close releases the producing scan promptly — abandoning an iterator
+// without Close leaks its producer until the scan finishes on its own.
+// Iterators are not safe for concurrent use.
+type Iterator interface {
+	Next() bool
+	Row() Row
+	Err() error
+	Close() error
+}
+
+// Tx is a snapshot-isolation transaction over a Store: reads observe
+// the snapshot taken at Begin (plus the transaction's own writes),
+// writes are buffered until Commit validates them first-committer-wins
+// (ErrConflict means retry — use RunTx for automatic retries).
+type Tx interface {
+	Get(ctx context.Context, table, group string, key []byte) ([]byte, error)
+	Put(table, group string, key, value []byte) error
+	Delete(table, group string, key []byte) error
+	// Scan streams snapshot-visible rows in [start, end) to fn until it
+	// returns false.
+	Scan(ctx context.Context, table, group string, start, end []byte, fn func(Row) bool) error
+	Commit(ctx context.Context) error
+	Abort()
+}
+
+// RunTx executes fn inside a transaction on st, retrying validation
+// conflicts (up to 20 attempts, the paper's restart behaviour). Any
+// other error aborts and is returned as-is.
+func RunTx(ctx context.Context, st Store, fn func(Tx) error) error {
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		tx := st.Begin(ctx)
+		if err = fn(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+		err = tx.Commit(ctx)
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return err
+}
+
+// --- iterator implementation -----------------------------------------
+
+// defaultIterBatch is the row-batch granularity between a producing
+// scan and its iterator.
+const defaultIterBatch = 256
+
+// rowIter adapts a push-based batch producer into the pull-based
+// Iterator. The producer runs in one goroutine and hands batches over
+// a channel; Close cancels the producer's context and drains, so the
+// goroutine always exits promptly.
+type rowIter struct {
+	parent  context.Context
+	cancel  context.CancelFunc
+	batches chan []Row
+	fin     chan struct{}
+	prodErr error // producer's return; valid after fin is closed
+
+	cur    []Row
+	pos    int
+	err    error
+	done   bool
+	closed bool
+}
+
+// newRowIter starts run in a goroutine. run must stream batches
+// through emit and return when emit errors or its ctx is cancelled.
+func newRowIter(ctx context.Context, run func(ctx context.Context, emit func([]Row) error) error) *rowIter {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	it := &rowIter{
+		parent:  ctx,
+		cancel:  cancel,
+		batches: make(chan []Row, 4),
+		fin:     make(chan struct{}),
+	}
+	go func() {
+		defer close(it.fin)
+		it.prodErr = run(ictx, func(rows []Row) error {
+			select {
+			case it.batches <- rows:
+				return nil
+			case <-ictx.Done():
+				return ictx.Err()
+			}
+		})
+		close(it.batches)
+	}()
+	return it
+}
+
+// errIter returns an Iterator that yields nothing but err.
+func errIter(err error) Iterator { return &failedIter{err: err} }
+
+type failedIter struct{ err error }
+
+func (f *failedIter) Next() bool   { return false }
+func (f *failedIter) Row() Row     { return Row{} }
+func (f *failedIter) Err() error   { return f.err }
+func (f *failedIter) Close() error { return f.err }
+
+func (it *rowIter) Next() bool {
+	if it.done {
+		return false
+	}
+	if it.pos < len(it.cur) {
+		it.pos++
+		return true
+	}
+	rows, ok := <-it.batches
+	if !ok {
+		it.finish()
+		return false
+	}
+	it.cur, it.pos = rows, 1
+	return true
+}
+
+// Row returns the row the last successful Next advanced to.
+func (it *rowIter) Row() Row { return it.cur[it.pos-1] }
+
+// finish waits for the producer and settles Err: a cancelled parent
+// context wins (the caller asked to stop and should see ctx.Err()); a
+// deliberate Close suppresses the cancellation it caused; anything
+// else is the producer's own error.
+func (it *rowIter) finish() {
+	it.done = true
+	<-it.fin
+	switch {
+	case it.parent.Err() != nil:
+		it.err = it.parent.Err()
+	case it.closed:
+		if it.prodErr != nil && !errors.Is(it.prodErr, context.Canceled) {
+			it.err = it.prodErr
+		}
+	default:
+		it.err = it.prodErr
+	}
+}
+
+func (it *rowIter) Err() error {
+	if !it.done && it.parent.Err() != nil {
+		return it.parent.Err()
+	}
+	return it.err
+}
+
+// Close stops the producing scan (cancelling its derived context),
+// waits for its goroutine to exit, and returns the stream error, if
+// any. Safe to call multiple times; a Close before exhaustion leaves
+// Err nil.
+func (it *rowIter) Close() error {
+	it.closed = true
+	it.cancel()
+	if !it.done {
+		for range it.batches { // release a producer blocked on emit
+		}
+		it.finish()
+	}
+	return it.err
+}
+
+// collectEmit adapts a one-row-at-a-time push callback to the batch
+// emit shape: rows accumulate and flush every defaultIterBatch. The
+// returned flush must be called once at the end of a clean stream.
+func collectEmit(emit func([]Row) error) (fn func(Row) bool, flush func() error, failed func() error) {
+	batch := make([]Row, 0, defaultIterBatch)
+	var emitErr error
+	fn = func(r Row) bool {
+		batch = append(batch, r)
+		if len(batch) >= defaultIterBatch {
+			emitErr = emit(batch)
+			batch = make([]Row, 0, defaultIterBatch)
+			return emitErr == nil
+		}
+		return true
+	}
+	flush = func() error {
+		if emitErr != nil {
+			return emitErr
+		}
+		if len(batch) > 0 {
+			return emit(batch)
+		}
+		return nil
+	}
+	failed = func() error { return emitErr }
+	return fn, flush, failed
+}
+
+// --- WriteBatch -------------------------------------------------------
+
+// batchOp is one buffered WriteBatch mutation.
+type batchOp struct {
+	table, group string
+	key, value   []byte
+	delete       bool
+}
+
+// WriteBatch buffers row mutations and flushes them as ONE append
+// sweep through the log (per tablet server), instead of one durable
+// append per record. This is the bulk-load path: on a sequential-log
+// engine the per-append persistence cost dominates per-record Put
+// throughput, and batching amortises it the same way group commit
+// does for concurrent writers. Obtain one from Store.Batch, buffer
+// with Put/Delete, then Flush.
+//
+// A WriteBatch has no transactional semantics: mutations are
+// independent auto-commit writes that happen to share log appends,
+// and a mid-flush crash may persist a prefix. Use transactions for
+// atomicity. Not safe for concurrent use.
+type WriteBatch struct {
+	ops []batchOp
+	// apply persists ops; on error it reports the indices of ops that
+	// were NOT durably applied (nil = none were), so a retried Flush
+	// never re-applies mutations that already landed.
+	apply func(ctx context.Context, ops []batchOp) ([]int, error)
+}
+
+// Put buffers a write. Key and value are copied, so callers may reuse
+// their slices.
+func (b *WriteBatch) Put(table, group string, key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		table: table, group: group,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+}
+
+// Delete buffers a delete.
+func (b *WriteBatch) Delete(table, group string, key []byte) {
+	b.ops = append(b.ops, batchOp{
+		table: table, group: group,
+		key:    append([]byte(nil), key...),
+		delete: true,
+	})
+}
+
+// Len returns the number of buffered mutations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Reset discards all buffered mutations.
+func (b *WriteBatch) Reset() { b.ops = b.ops[:0] }
+
+// Flush durably applies every buffered mutation as one group append
+// sweep and resets the batch for reuse. On error the batch keeps
+// exactly the mutations that were not durably applied — on the
+// embedded backend that is all of them (its flush is one atomic
+// append); on a cluster a partial failure prunes the sub-batches that
+// landed — so calling Flush again retries without duplicating writes.
+func (b *WriteBatch) Flush(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	unapplied, err := b.apply(ctx, b.ops)
+	if err != nil {
+		if unapplied != nil {
+			kept := make([]batchOp, 0, len(unapplied))
+			for _, i := range unapplied {
+				kept = append(kept, b.ops[i])
+			}
+			b.ops = kept
+		}
+		return err
+	}
+	b.Reset()
+	return nil
+}
