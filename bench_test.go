@@ -301,3 +301,4 @@ func BenchmarkAnalyticGroupBy100k(b *testing.B) {
 func BenchmarkAnalyticScanFigure(b *testing.B)    { runFigure(b, "analytic-scan") }
 func BenchmarkAnalyticScanMixFigure(b *testing.B) { runFigure(b, "analytic-mix") }
 func BenchmarkBulkLoadFigure(b *testing.B)        { runFigure(b, "bulk-load") }
+func BenchmarkElasticHotRangeFigure(b *testing.B) { runFigure(b, "elastic-hotrange") }

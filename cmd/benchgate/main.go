@@ -1,0 +1,135 @@
+// Command benchgate is the CI perf-regression gate: it measures the
+// key operations (Put, WriteBatch, FullScan, Query, and the elastic
+// hot-range scenario — internal/bench.KeyOps) and compares them against
+// a checked-in baseline, failing when any gated op regressed beyond the
+// tolerance.
+//
+// The gated number is MODELLED disk time per op from the simdisk
+// virtual clock: deterministic for a given code path, so the gate
+// catches real I/O-path regressions instead of runner noise. Wall
+// times are emitted for humans but never gated.
+//
+// Usage:
+//
+//	benchgate -out BENCH_results.json                         # measure only
+//	benchgate -baseline ci/bench-baseline.json -out ...       # measure + gate
+//	benchgate -baseline ci/bench-baseline.json -update        # refresh baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	Rows      int           `json:"rows"`
+	Ops       int           `json:"ops"`
+	ValueSize int           `json:"value_size"`
+	KeyOps    []bench.KeyOp `json:"key_ops"`
+}
+
+// gateScale is fixed so baseline and measurement always agree.
+func gateScale() bench.Scale {
+	return bench.Scale{Rows: 4000, Ops: 2000, ValueSize: 256, Workers: 1}
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_results.json", "write the measurement report here ('' = skip)")
+		baseline  = flag.String("baseline", "", "baseline report to gate against ('' = no gate)")
+		update    = flag.Bool("update", false, "rewrite the baseline with this run's numbers")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional regression per gated op")
+	)
+	flag.Parse()
+
+	s := gateScale()
+	ops, err := bench.KeyOps(s)
+	if err != nil {
+		fatalf("measure: %v", err)
+	}
+	rep := Report{Rows: s.Rows, Ops: s.Ops, ValueSize: s.ValueSize, KeyOps: ops}
+	fmt.Printf("%-12s %10s %16s %16s\n", "op", "ops", "disk µs/op", "wall µs/op")
+	for _, op := range ops {
+		fmt.Printf("%-12s %10d %16.2f %16.2f\n", op.Name, op.Ops, op.DiskUSPerOp, op.WallUSPerOp)
+	}
+	if *out != "" {
+		if err := writeReport(*out, rep); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeReport(*baseline, rep); err != nil {
+			fatalf("update baseline %s: %v", *baseline, err)
+		}
+		fmt.Printf("baseline %s updated\n", *baseline)
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatalf("read baseline %s: %v", *baseline, err)
+	}
+	if base.Rows != rep.Rows || base.Ops != rep.Ops || base.ValueSize != rep.ValueSize {
+		fatalf("baseline scale (%d/%d/%d) differs from gate scale (%d/%d/%d); regenerate with -update",
+			base.Rows, base.Ops, base.ValueSize, rep.Rows, rep.Ops, rep.ValueSize)
+	}
+	cur := map[string]bench.KeyOp{}
+	for _, op := range ops {
+		cur[op.Name] = op
+	}
+	failed := false
+	for _, b := range base.KeyOps {
+		c, ok := cur[b.Name]
+		if !ok {
+			fmt.Printf("GATE FAIL %-12s missing from this run\n", b.Name)
+			failed = true
+			continue
+		}
+		limit := b.DiskUSPerOp * (1 + *tolerance)
+		status := "ok"
+		if c.DiskUSPerOp > limit {
+			status = "REGRESSED"
+			failed = true
+		}
+		delta := 0.0
+		if b.DiskUSPerOp > 0 {
+			delta = (c.DiskUSPerOp - b.DiskUSPerOp) / b.DiskUSPerOp * 100
+		}
+		fmt.Printf("gate %-12s base %10.2f now %10.2f (%+6.1f%%, limit %.2f) %s\n",
+			b.Name, b.DiskUSPerOp, c.DiskUSPerOp, delta, limit, status)
+	}
+	if failed {
+		fatalf("perf gate failed: a key op regressed more than %.0f%% vs %s", *tolerance*100, *baseline)
+	}
+	fmt.Println("perf gate passed")
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -133,6 +133,7 @@ func All() []Experiment {
 		{"analytic-scan", "Analytic scan: serial FullScan vs snapshot-parallel aggregate", AnalyticScan},
 		{"analytic-mix", "YCSB-style scan-heavy mix on serial vs parallel scan path", AnalyticScanMix},
 		{"bulk-load", "Bulk load: per-record Put vs WriteBatch append sweeps", BulkLoad},
+		{"elastic-hotrange", "Elasticity: balancer splits/migrates a hot key-range tablet", ElasticHotRange},
 	}
 }
 

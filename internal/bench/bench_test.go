@@ -98,3 +98,44 @@ func TestTableRender(t *testing.T) {
 		t.Errorf("Render output too small: %q", out)
 	}
 }
+
+// TestElasticBalancerNoLostRows runs the balancer-on hot-range phase
+// and checks every loaded row survives the splits and migrations.
+func TestElasticBalancerNoLostRows(t *testing.T) {
+	if err := elasticSmoke(500, 300, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyOps pins the CI perf gate's measurement harness: every gated
+// op reports, with deterministic positive modelled disk time for the
+// I/O-bound ops.
+func TestKeyOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("keyops skipped in -short mode")
+	}
+	ops, err := KeyOps(Scale{Rows: 400, Ops: 300, ValueSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"put": true, "writebatch": true, "fullscan": true, "query": true, "hotrange": true}
+	for _, op := range ops {
+		delete(want, op.Name)
+		if op.Ops <= 0 {
+			t.Errorf("%s measured %d ops", op.Name, op.Ops)
+		}
+		if op.DiskUSPerOp < 0 {
+			t.Errorf("%s negative disk time", op.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing key ops: %v", want)
+	}
+	for _, name := range []string{"put", "writebatch"} {
+		for _, op := range ops {
+			if op.Name == name && op.DiskUSPerOp == 0 {
+				t.Errorf("%s reported zero modelled disk time", name)
+			}
+		}
+	}
+}

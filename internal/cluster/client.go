@@ -83,20 +83,43 @@ func (cl *Client) route(table string, key []byte) (*core.Server, string, error) 
 	}
 }
 
-// retryStale runs op, refreshing the metadata cache and retrying once
-// if the op hit a moved tablet or a dead server.
+// Stale-routing retry parameters. A split or failover invalidates the
+// cache instantly (one refresh suffices), but a live-migration cutover
+// has a window where the source already rejects mutations
+// (ErrTabletFrozen) and the routing flip has not landed yet — retries
+// back off briefly so the client converges right after the flip.
+const (
+	staleRetries = 12
+	staleBackoff = 500 * time.Microsecond
+)
+
+// retryableRouting reports whether err means "routing metadata is
+// stale or about to change": a moved/split tablet, a dead server, or a
+// tablet frozen for a migration cutover (ErrTabletFrozen wraps
+// ErrUnknownTablet).
+func retryableRouting(err error) bool {
+	return errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown)
+}
+
+// retryStale runs op, refreshing the metadata cache and retrying with
+// backoff while the op keeps hitting a moved/frozen tablet or a dead
+// server.
 func (cl *Client) retryStale(table string, key []byte, op func(srv *core.Server, tablet string) error) error {
-	srv, tab, err := cl.route(table, key)
-	if err == nil {
-		err = op(srv, tab)
-	}
-	if err != nil && (errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown)) {
-		cl.refresh()
+	var err error
+	for attempt := 0; attempt < staleRetries; attempt++ {
+		if attempt > 0 {
+			cl.refresh()
+			time.Sleep(time.Duration(attempt) * staleBackoff)
+		}
+		var srv *core.Server
+		var tab string
 		srv, tab, err = cl.route(table, key)
-		if err != nil {
+		if err == nil {
+			err = op(srv, tab)
+		}
+		if err == nil || !retryableRouting(err) {
 			return err
 		}
-		return op(srv, tab)
 	}
 	return err
 }
@@ -184,31 +207,52 @@ func (cl *Client) Delete(table, group string, key []byte) error {
 // batch boundary and returns ctx.Err().
 func (cl *Client) Scan(ctx context.Context, table, group string, start, end []byte, fn func(core.Row) bool) error {
 	cl.rpc()
-	router, err := cl.c.Router(table)
-	if err != nil {
-		return err
-	}
 	snapshot := cl.c.svc.LastTimestamp()
-	for _, tab := range router.Overlapping(start, end) {
-		srv, err := cl.c.ServerFor(tab.ID)
+	// Tablet-start errors (the range split or moved between the router
+	// read and the scan) retry the REMAINING range with fresh metadata:
+	// tablets before the failing one already streamed in key order, so
+	// resuming at the failing tablet's range start never duplicates.
+	// Errors mid-stream are real (a started scan keeps serving from its
+	// resolved index even if the tablet is concurrently removed).
+	for attempt := 0; ; attempt++ {
+		router, err := cl.c.Router(table)
 		if err != nil {
 			return err
 		}
-		stop := false
-		if err := srv.Scan(ctx, tab.ID, group, start, end, snapshot, func(r core.Row) bool {
-			if !fn(r) {
-				stop = true
-				return false
+		stale := false
+		for _, tab := range router.Overlapping(start, end) {
+			srv, err := cl.c.ServerFor(tab.ID)
+			if err == nil {
+				stop := false
+				err = srv.Scan(ctx, tab.ID, group, start, end, snapshot, func(r core.Row) bool {
+					if !fn(r) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				if err == nil {
+					if stop {
+						return nil
+					}
+					continue
+				}
 			}
-			return true
-		}); err != nil {
-			return err
+			if !retryableRouting(err) || attempt >= staleRetries {
+				return err
+			}
+			// Resume from this tablet's slice of the request range.
+			if len(tab.Range.Start) > 0 && (len(start) == 0 || bytes.Compare(tab.Range.Start, start) > 0) {
+				start = tab.Range.Start
+			}
+			stale = true
+			break
 		}
-		if stop {
+		if !stale {
 			return nil
 		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
-	return nil
 }
 
 // FullScan streams every live row of a table's column group; tablets
@@ -217,32 +261,68 @@ func (cl *Client) Scan(ctx context.Context, table, group string, start, end []by
 // ctx aborts the scan within one batch boundary.
 func (cl *Client) FullScan(ctx context.Context, table, group string, fn func(core.Row) bool) error {
 	cl.rpc()
-	router, err := cl.c.Router(table)
-	if err != nil {
-		return err
-	}
-	tablets := router.Tablets()
-	sort.Slice(tablets, func(i, j int) bool { return tablets[i].ID < tablets[j].ID })
-	for _, tab := range tablets {
-		srv, err := cl.c.ServerFor(tab.ID)
+	// Coverage-tracking retry: on a tablet-start routing error the
+	// router is re-read, and tablets whose key range is already covered
+	// by a completed per-tablet scan are skipped — a tablet that split
+	// mid-iteration re-appears as children, which are each contained in
+	// (and so deduplicated against) the scanned parent range.
+	var done []partition.Range
+	for attempt := 0; ; attempt++ {
+		router, err := cl.c.Router(table)
 		if err != nil {
 			return err
 		}
-		stop := false
-		if err := srv.FullScan(ctx, tab.ID, group, func(r core.Row) bool {
-			if !fn(r) {
-				stop = true
-				return false
+		tablets := router.Tablets()
+		sort.Slice(tablets, func(i, j int) bool { return tablets[i].ID < tablets[j].ID })
+		stale := false
+		for _, tab := range tablets {
+			if rangeCovered(done, tab.Range) {
+				continue
 			}
-			return true
-		}); err != nil {
-			return err
+			srv, err := cl.c.ServerFor(tab.ID)
+			if err == nil {
+				stop := false
+				err = srv.FullScan(ctx, tab.ID, group, func(r core.Row) bool {
+					if !fn(r) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				if err == nil {
+					if stop {
+						return nil
+					}
+					done = append(done, tab.Range)
+					continue
+				}
+			}
+			if !retryableRouting(err) || attempt >= staleRetries {
+				return err
+			}
+			stale = true
+			break
 		}
-		if stop {
+		if !stale {
 			return nil
 		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
-	return nil
+}
+
+// rangeCovered reports whether r is contained in one of the covered
+// ranges. Topology only changes by splitting and moving, so a fresh
+// tablet's range is either contained in a previously scanned range or
+// disjoint from it — single-range containment is a complete check.
+func rangeCovered(covered []partition.Range, r partition.Range) bool {
+	for _, c := range covered {
+		startOK := len(c.Start) == 0 || (len(r.Start) > 0 && bytes.Compare(c.Start, r.Start) <= 0)
+		endOK := c.End == nil || (r.End != nil && bytes.Compare(r.End, c.End) <= 0)
+		if startOK && endOK {
+			return true
+		}
+	}
+	return false
 }
 
 // LookupSecondary returns rows of a cluster-registered secondary index
@@ -256,23 +336,37 @@ func (cl *Client) LookupSecondary(name string, secKey []byte) ([]core.Row, error
 	if err != nil {
 		return nil, err
 	}
-	router, err := cl.c.Router(reg.table)
-	if err != nil {
-		return nil, err
-	}
-	var out []core.Row
-	for _, tab := range router.Tablets() {
-		srv, err := cl.c.ServerFor(tab.ID)
+	// The gather restarts on stale routing (a tablet split or moved
+	// mid-iteration): per-tablet results are buffered, so a restart
+	// never emits duplicates.
+	for attempt := 0; ; attempt++ {
+		router, err := cl.c.Router(reg.table)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := srv.LookupSecondary(tabletIndexName(name, tab.ID), secKey)
-		if err != nil {
-			return nil, err
+		var out []core.Row
+		stale := false
+		for _, tab := range router.Tablets() {
+			srv, err := cl.c.ServerFor(tab.ID)
+			if err == nil {
+				var rows []core.Row
+				rows, err = srv.LookupSecondary(tabletIndexName(name, tab.ID), secKey)
+				if err == nil {
+					out = append(out, rows...)
+					continue
+				}
+			}
+			if !retryableRouting(err) || attempt >= staleRetries {
+				return nil, err
+			}
+			stale = true
+			break
 		}
-		out = append(out, rows...)
+		if !stale {
+			return out, nil
+		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
-	return out, nil
 }
 
 // ScanSecondaryRange streams rows whose extracted attribute falls in
@@ -288,27 +382,41 @@ func (cl *Client) ScanSecondaryRange(name string, start, end []byte, fn func(sec
 	if err != nil {
 		return err
 	}
-	router, err := cl.c.Router(reg.table)
-	if err != nil {
-		return err
-	}
 	type secRow struct {
 		sec []byte
 		row core.Row
 	}
 	var all []secRow
-	for _, tab := range router.Tablets() {
-		srv, err := cl.c.ServerFor(tab.ID)
+	// Like LookupSecondary, the gather restarts with fresh metadata on
+	// stale routing; rows only reach fn after the full gather, so a
+	// restart never duplicates.
+	for attempt := 0; ; attempt++ {
+		router, err := cl.c.Router(reg.table)
 		if err != nil {
 			return err
 		}
-		err = srv.ScanSecondaryRange(tabletIndexName(name, tab.ID), start, end, func(sec []byte, r core.Row) bool {
-			all = append(all, secRow{sec: append([]byte(nil), sec...), row: r})
-			return true
-		})
-		if err != nil {
-			return err
+		all = all[:0]
+		stale := false
+		for _, tab := range router.Tablets() {
+			srv, err := cl.c.ServerFor(tab.ID)
+			if err == nil {
+				err = srv.ScanSecondaryRange(tabletIndexName(name, tab.ID), start, end, func(sec []byte, r core.Row) bool {
+					all = append(all, secRow{sec: append([]byte(nil), sec...), row: r})
+					return true
+				})
+			}
+			if err != nil {
+				if !retryableRouting(err) || attempt >= staleRetries {
+					return err
+				}
+				stale = true
+				break
+			}
 		}
+		if !stale {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if c := bytes.Compare(all[i].sec, all[j].sec); c != 0 {
@@ -364,7 +472,7 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 			op := ops[oi]
 			srv, tab, err := cl.route(op.Table, op.Key)
 			if err != nil {
-				if errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown) {
+				if retryableRouting(err) {
 					failed = append(failed, oi)
 					lastErr = err
 					continue
@@ -384,7 +492,7 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 		}
 		for j, srv := range order {
 			if err := srv.ApplyBatch(byServer[srv]); err != nil {
-				if errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown) {
+				if retryableRouting(err) {
 					failed = append(failed, idxOf[srv]...)
 					lastErr = err
 					continue
@@ -401,11 +509,12 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 		if len(failed) == 0 {
 			return nil, nil
 		}
-		if attempt >= 1 {
+		if attempt >= staleRetries-1 {
 			sort.Ints(failed)
 			return failed, lastErr
 		}
 		cl.refresh()
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 		sort.Ints(failed)
 		remaining = failed
 	}

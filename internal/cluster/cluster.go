@@ -59,16 +59,30 @@ type Cluster struct {
 	fs  *dfs.DFS
 	svc *coord.Service
 
+	// topoMu serialises topology changes — server failover, tablet
+	// split, live migration — against each other. It is held for the
+	// whole multi-step operation (lock order: topoMu, then failMu, then
+	// mu) and never taken by readers.
+	topoMu sync.Mutex
+
+	// failMu is write-held for the full duration of a server failover
+	// (reassignment AND log recovery). Assignments and Epoch take it
+	// shared, so callers never observe routing that points at heirs
+	// still replaying the dead server's log.
+	failMu sync.RWMutex
+
 	mu          sync.RWMutex
 	servers     map[string]*serverState
 	assignments map[string]string            // tabletID -> serverID
 	tabletSpecs map[string]partition.Tablet  // tabletID -> spec
 	tableGroups map[string][]string          // table -> column groups
 	routers     map[string]*partition.Router // table -> router
+	tabletSeq   map[string]int               // table -> next tablet number (split children)
 	epoch       int64                        // bumped on reassignment; invalidates client caches
+	master      *Master
 
-	master *Master
-	txns   *txn.Manager
+	txns     *txn.Manager
+	balancer *Balancer
 
 	secMu     sync.RWMutex
 	secondary map[string]secondaryReg // index name -> registration
@@ -113,6 +127,7 @@ func New(dir string, cfg Config) (*Cluster, error) {
 		tabletSpecs: make(map[string]partition.Tablet),
 		tableGroups: make(map[string][]string),
 		routers:     make(map[string]*partition.Router),
+		tabletSeq:   make(map[string]int),
 	}
 	for i := 0; i < cfg.NumServers; i++ {
 		id := fmt.Sprintf("ts%02d", i)
@@ -183,6 +198,7 @@ func (c *Cluster) CreateTable(ts TableSpec) error {
 	}
 	c.tableGroups[ts.Name] = append([]string(nil), ts.Groups...)
 	c.routers[ts.Name] = partition.NewRouter(tablets)
+	c.tabletSeq[ts.Name] = len(tablets)
 	live := c.liveServerIDsLocked()
 	if len(live) == 0 {
 		return errors.New("cluster: no live servers")
@@ -233,7 +249,10 @@ func (c *Cluster) ServerFor(tablet string) (*core.Server, error) {
 	defer c.mu.RUnlock()
 	owner, ok := c.assignments[tablet]
 	if !ok {
-		return nil, fmt.Errorf("cluster: tablet %s unassigned", tablet)
+		// Wrap ErrUnknownTablet: an id a caller learned from a stale
+		// router legitimately vanishes when its tablet splits, and
+		// clients must treat that as retryable stale routing.
+		return nil, fmt.Errorf("cluster: tablet %s unassigned: %w", tablet, core.ErrUnknownTablet)
 	}
 	st := c.servers[owner]
 	if !st.alive {
@@ -261,21 +280,38 @@ func (c *Cluster) Groups(table string) []string {
 }
 
 // Epoch returns the routing epoch; it changes whenever assignments do.
+// It blocks while a server failover is mid-flight (failMu), so the
+// returned epoch never describes routing whose heirs are still
+// replaying the dead server's log.
 func (c *Cluster) Epoch() int64 {
+	c.failMu.RLock()
+	defer c.failMu.RUnlock()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.epoch
 }
 
-// Assignments returns a copy of tablet -> server routing.
+// Assignments returns a copy of tablet -> server routing. Like Epoch it
+// waits out an in-flight failover, so the snapshot never names a heir
+// that has not yet recovered its adopted tablets.
 func (c *Cluster) Assignments() map[string]string {
+	m, _ := c.RoutingSnapshot()
+	return m
+}
+
+// RoutingSnapshot returns the assignments and the epoch they belong to
+// as one consistent pair (the two single-value accessors can tear
+// across a concurrent reassignment).
+func (c *Cluster) RoutingSnapshot() (map[string]string, int64) {
+	c.failMu.RLock()
+	defer c.failMu.RUnlock()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make(map[string]string, len(c.assignments))
 	for k, v := range c.assignments {
 		out[k] = v
 	}
-	return out
+	return out, c.epoch
 }
 
 // tabletIndexName is the per-tablet slice of a cluster-wide secondary
@@ -328,6 +364,9 @@ func (c *Cluster) secondaryRegistration(name string) (secondaryReg, error) {
 // The co-located datanode is NOT killed (the paper treats those
 // failures separately; use FS().KillDataNode for that).
 func (c *Cluster) KillServer(id string) error {
+	// Serialise against splits, migrations and other failovers.
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
 	c.mu.Lock()
 	st, ok := c.servers[id]
 	if !ok || !st.alive {
@@ -336,14 +375,23 @@ func (c *Cluster) KillServer(id string) error {
 	}
 	st.alive = false
 	sess := st.sess
+	master := c.master
 	c.mu.Unlock()
 	sess.Close() // fires the master's watch in real deployments
-	return c.master.handleServerFailure(id)
+	return master.handleServerFailure(id)
 }
 
 // Close releases every tablet server's background resources (group-
-// commit batcher goroutines). The cluster is not usable afterwards.
+// commit batcher goroutines) and stops the balancer if one is running.
+// The cluster is not usable afterwards.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	b := c.balancer
+	c.balancer = nil
+	c.mu.Unlock()
+	if b != nil {
+		b.Stop()
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, st := range c.servers {
@@ -399,9 +447,14 @@ func (m *Master) IsLeader() bool { return m.leader }
 
 // handleServerFailure reassigns a dead server's tablets across the
 // survivors and recovers their data by scanning the dead server's log
-// in the shared DFS (paper §3.8 failover).
+// in the shared DFS (paper §3.8 failover). The caller holds topoMu;
+// failMu is write-held for the WHOLE failover — reassignment and log
+// recovery — so Assignments/Epoch readers never observe routing whose
+// heirs have not finished replaying.
 func (m *Master) handleServerFailure(deadID string) error {
 	c := m.c
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	c.mu.Lock()
 	var orphans []string
 	for tab, owner := range c.assignments {
@@ -447,9 +500,23 @@ func (m *Master) handleServerFailure(deadID string) error {
 // FailoverMaster simulates the active master dying: a standby master is
 // created, notices the vacancy, and wins the election.
 func (c *Cluster) FailoverMaster() *Master {
-	c.master.sess.Close()
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	c.mu.Lock()
+	old := c.master
+	c.mu.Unlock()
+	old.sess.Close()
 	standby := newMaster(c)
 	standby.start() //nolint:errcheck // election on fresh session cannot fail here
+	c.mu.Lock()
 	c.master = standby
+	c.mu.Unlock()
 	return standby
+}
+
+// Master returns the current (possibly failed-over) master.
+func (c *Cluster) Master() *Master {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.master
 }

@@ -18,6 +18,7 @@ package cluster
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/query"
@@ -49,6 +50,22 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 		// literal timestamp 0 sees nothing).
 		ts = c.svc.LastTimestamp()
 	}
+	// A balancer split/migration racing the query invalidates the plan
+	// (a tablet id vanishes between the router read and the scan). The
+	// whole scatter is side-effect free and pinned at ts, so re-planning
+	// with fresh metadata and re-running yields the identical answer.
+	var res query.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = c.queryAtOnce(ctx, table, group, ts, q)
+		if err == nil || !retryableRouting(err) || attempt >= staleRetries {
+			return res, err
+		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+	}
+}
+
+func (c *Cluster) queryAtOnce(ctx context.Context, table, group string, ts int64, q query.Query) (query.Result, error) {
 	router, err := c.Router(table)
 	if err != nil {
 		return query.Result{}, err
@@ -124,17 +141,32 @@ func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
 	if ts == 0 {
 		ts = c.svc.LastTimestamp()
 	}
-	router, err := c.Router(table)
-	if err != nil {
-		return nil, err
-	}
-	var targets []query.Target
-	for _, tab := range router.Tablets() {
-		srv, err := c.ServerFor(tab.ID)
+	// Plan building retries through topology changes like QueryAt. The
+	// returned handle resolves servers eagerly: like a snapshot taken
+	// across a server failover, one taken across a later split or
+	// migration may error — snapshots are short-lived read handles, not
+	// topology-change-proof cursors.
+	for attempt := 0; ; attempt++ {
+		router, err := c.Router(table)
 		if err != nil {
 			return nil, err
 		}
-		targets = append(targets, query.Target{Source: srv, Tablet: tab.ID})
+		var targets []query.Target
+		stale := false
+		for _, tab := range router.Tablets() {
+			srv, err := c.ServerFor(tab.ID)
+			if err != nil {
+				if !retryableRouting(err) || attempt >= staleRetries {
+					return nil, err
+				}
+				stale = true
+				break
+			}
+			targets = append(targets, query.Target{Source: srv, Tablet: tab.ID})
+		}
+		if !stale {
+			return query.NewSnapshot(ts, targets...), nil
+		}
+		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
-	return query.NewSnapshot(ts, targets...), nil
 }

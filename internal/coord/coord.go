@@ -187,6 +187,31 @@ func (s *Session) Set(path string, data []byte) error {
 	return nil
 }
 
+// SetOrCreate writes a node's data, creating the node if it does not
+// exist (persistent when created here). Load-report publication uses
+// this: the first report creates /load/<server>, later reports update
+// it in place, and each write fires EventChanged/EventCreated watches.
+func (s *Session) SetOrCreate(path string, data []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	svc := s.svc
+	svc.mu.Lock()
+	n, ok := svc.nodes[path]
+	if ok {
+		n.data = append([]byte(nil), data...)
+	} else {
+		svc.nodes[path] = &znode{data: append([]byte(nil), data...)}
+	}
+	svc.mu.Unlock()
+	if ok {
+		svc.notify(path, EventChanged)
+	} else {
+		svc.notify(path, EventCreated)
+	}
+	return nil
+}
+
 // Get reads a node's data.
 func (s *Session) Get(path string) ([]byte, error) {
 	if err := s.check(); err != nil {
@@ -362,6 +387,17 @@ func (s *Service) unlock(session int64, key string) {
 	if next != nil {
 		close(next)
 	}
+}
+
+// LockHeld reports whether any session currently holds the named lock.
+// The migration cutover uses this to distinguish live prepared
+// transactions (write locks still held through the commit phase) from
+// orphaned prepare records whose transaction already unwound.
+func (s *Service) LockHeld(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.locks[key]
+	return ok && ls.owner != 0
 }
 
 // HeldLocks reports how many locks the session holds (for tests).

@@ -99,3 +99,36 @@ func TestConcurrentElectionsDistinctPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestSetOrCreate(t *testing.T) {
+	svc := New()
+	sess := svc.NewSession()
+	watcher := svc.NewSession()
+	ch := watcher.Watch("/load/ts00")
+
+	if err := sess.SetOrCreate("/load/ts00", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-ch; ev.Type != EventCreated {
+		t.Fatalf("first write fired %v, want EventCreated", ev.Type)
+	}
+	if err := sess.SetOrCreate("/load/ts00", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-ch; ev.Type != EventChanged {
+		t.Fatalf("second write fired %v, want EventChanged", ev.Type)
+	}
+	got, err := sess.Get("/load/ts00")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Nodes created this way are persistent: they survive the writer's
+	// session (a server's last load report outlives the server).
+	sess.Close()
+	if !watcher.Exists("/load/ts00") {
+		t.Fatal("SetOrCreate node vanished with its session")
+	}
+	if err := sess.SetOrCreate("/load/ts00", nil); err == nil {
+		t.Fatal("closed session SetOrCreate should fail")
+	}
+}

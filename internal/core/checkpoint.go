@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/partition"
 	"repro/internal/wal"
 )
 
@@ -225,8 +226,10 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		if rec.TxnID != 0 && !committed[rec.TxnID] {
 			continue
 		}
-		t, terr := s.tablet(rec.Tablet)
-		if terr != nil {
+		// Resolve by range, not just id: records written before a tablet
+		// split carry the parent's id but belong to a served child.
+		t, ok := s.resolveTablet(rec.Table, rec.Tablet, rec.Key)
+		if !ok {
 			continue
 		}
 		g, gerr := t.group(rec.Group)
@@ -256,57 +259,25 @@ func (s *Server) Recover() (RecoveryStats, error) {
 // committed records for the adopted tablets into this server's own log
 // — the "log is scanned ... and split into separate files for each
 // tablet" failover path of paper §3.8. The tablets must already be
-// declared here via AddTablet.
+// declared here via AddTablet. Records are matched by tablet RANGE (via
+// ReplaySession), so logs written before a tablet split replay into the
+// right children.
 func (s *Server) RecoverTablets(srcServerID string, srcStart wal.Position, tabletIDs []string) (int, error) {
-	want := make(map[string]bool, len(tabletIDs))
+	specs := make([]partition.Tablet, 0, len(tabletIDs))
 	for _, id := range tabletIDs {
-		want[id] = true
+		t, err := s.tablet(id)
+		if err != nil {
+			return 0, err
+		}
+		specs = append(specs, partition.Tablet{ID: t.id, Table: t.table, Range: t.rng})
 	}
-	srcLog, err := wal.Open(s.fs, "log/"+srcServerID, wal.Options{SegmentSize: s.cfg.SegmentSize})
+	srcLog, err := s.OpenPeerLog(srcServerID)
 	if err != nil {
 		return 0, err
 	}
-
-	committed := map[uint64]bool{}
-	sc := srcLog.NewScanner(srcStart)
-	for sc.Next() {
-		if p := sc.Ptr(); p.Seg == srcStart.Seg && p.Off < srcStart.Off {
-			continue
-		}
-		if sc.Record().Kind == wal.KindCommit {
-			committed[sc.Record().TxnID] = true
-		}
-	}
-	if err := sc.Err(); err != nil {
+	rs, err := s.NewReplaySession(srcLog, srcStart, specs)
+	if err != nil {
 		return 0, err
 	}
-
-	adopted := 0
-	sc = srcLog.NewScanner(srcStart)
-	for sc.Next() {
-		p := sc.Ptr()
-		if p.Seg == srcStart.Seg && p.Off < srcStart.Off {
-			continue
-		}
-		rec := sc.Record()
-		if !want[rec.Tablet] {
-			continue
-		}
-		if rec.TxnID != 0 && !committed[rec.TxnID] {
-			continue
-		}
-		switch rec.Kind {
-		case wal.KindWrite:
-			if err := s.Write(rec.Tablet, rec.Group, rec.Key, rec.TS, rec.Value); err != nil {
-				return adopted, err
-			}
-			adopted++
-		case wal.KindDelete:
-			if err := s.Delete(rec.Tablet, rec.Group, rec.Key, rec.TS); err != nil {
-				return adopted, err
-			}
-			adopted++
-		}
-	}
-	return adopted, sc.Err()
+	return rs.CatchUp()
 }

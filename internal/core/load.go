@@ -1,0 +1,97 @@
+package core
+
+// Per-tablet load accounting for the elasticity subsystem: every
+// operation bumps cheap atomic counters on its tablet, and the cluster
+// balancer periodically calls SampleLoad to roll the cumulative
+// counters into a fixed window of recent samples. Decisions (split a
+// hot tablet, move it to a colder server) are made on the windowed
+// rates, so a tablet that was hot an hour ago but is cold now does not
+// keep triggering actions.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// loadWindowSlots is how many samples the rolling window keeps; at the
+// balancer's default interval this is the load of the last ~8 ticks.
+const loadWindowSlots = 8
+
+// tabletLoad holds one tablet's cumulative counters plus the sampled
+// rolling window. Counters are written lock-free on the hot path; the
+// window is only touched by SampleLoad under its mutex.
+type tabletLoad struct {
+	ops   atomic.Int64 // operations (writes, deletes, point reads, scans)
+	rows  atomic.Int64 // row versions touched
+	bytes atomic.Int64 // payload bytes written or returned
+
+	mu                           sync.Mutex
+	lastOps, lastRows, lastBytes int64
+	winOps, winRows, winBytes    [loadWindowSlots]int64
+	slot                         int
+}
+
+// add records one operation touching n rows and b payload bytes.
+func (l *tabletLoad) add(rows, bytes int64) {
+	l.ops.Add(1)
+	l.rows.Add(rows)
+	l.bytes.Add(bytes)
+}
+
+// sample rolls the delta since the previous sample into the window and
+// returns the windowed sums.
+func (l *tabletLoad) sample() (ops, rows, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	curOps, curRows, curBytes := l.ops.Load(), l.rows.Load(), l.bytes.Load()
+	l.winOps[l.slot] = curOps - l.lastOps
+	l.winRows[l.slot] = curRows - l.lastRows
+	l.winBytes[l.slot] = curBytes - l.lastBytes
+	l.lastOps, l.lastRows, l.lastBytes = curOps, curRows, curBytes
+	l.slot = (l.slot + 1) % loadWindowSlots
+	for i := 0; i < loadWindowSlots; i++ {
+		ops += l.winOps[i]
+		rows += l.winRows[i]
+		bytes += l.winBytes[i]
+	}
+	return ops, rows, bytes
+}
+
+// TabletLoad is one tablet's windowed load report.
+type TabletLoad struct {
+	Tablet string
+	Table  string
+	// Ops, Rows, Bytes are sums over the rolling window (the last
+	// loadWindowSlots calls to SampleLoad).
+	Ops, Rows, Bytes int64
+}
+
+// SampleLoad rolls every served tablet's cumulative counters into its
+// rolling window and returns the windowed per-tablet loads, sorted by
+// tablet id. The cluster balancer calls this once per tick.
+func (s *Server) SampleLoad() []TabletLoad {
+	s.mu.RLock()
+	tablets := make([]*Tablet, 0, len(s.tablets))
+	for _, t := range s.tablets {
+		tablets = append(tablets, t)
+	}
+	s.mu.RUnlock()
+	out := make([]TabletLoad, 0, len(tablets))
+	for _, t := range tablets {
+		ops, rows, bytes := t.load.sample()
+		out = append(out, TabletLoad{Tablet: t.id, Table: t.table, Ops: ops, Rows: rows, Bytes: bytes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tablet < out[j].Tablet })
+	return out
+}
+
+// CumulativeLoad returns a tablet's raw cumulative counters (tests and
+// diagnostics; the balancer uses SampleLoad's windowed view).
+func (s *Server) CumulativeLoad(tabletID string) (ops, rows, bytes int64, ok bool) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	return t.load.ops.Load(), t.load.rows.Load(), t.load.bytes.Load(), true
+}

@@ -59,6 +59,12 @@ var ErrNotFound = errors.New("core: not found")
 // ErrUnknownTablet is returned for operations on an unserved tablet.
 var ErrUnknownTablet = errors.New("core: tablet not served here")
 
+// ErrTabletFrozen is returned for mutations on a tablet frozen for a
+// live-migration cutover. It wraps ErrUnknownTablet so routing clients
+// treat it as stale routing: refresh metadata and retry, converging on
+// the new owner once the cutover lands.
+var ErrTabletFrozen = fmt.Errorf("%w: frozen for migration", ErrUnknownTablet)
+
 // Row is one record version returned by reads and scans.
 type Row struct {
 	Key   []byte
@@ -85,6 +91,13 @@ type Tablet struct {
 	rng    partition.Range
 	mu     sync.RWMutex
 	groups map[string]*columnGroup
+
+	// load is the elasticity subsystem's per-tablet accounting.
+	load tabletLoad
+	// frozen blocks mutations during a live-migration cutover; writers
+	// get ErrTabletFrozen (which satisfies errors.Is(_, ErrUnknownTablet)
+	// so routing clients refresh and retry against the new owner).
+	frozen atomic.Bool
 }
 
 // group returns the column group, creating it lazily is NOT done — the
@@ -213,6 +226,35 @@ func (s *Server) tablet(id string) (*Tablet, error) {
 	return t, nil
 }
 
+// resolveTablet finds the served tablet for a log record: the exact id
+// when still served and covering the key, otherwise the served tablet
+// of the same table whose range contains the key. Records written
+// before a tablet split carry the parent's id; the range fallback
+// routes them into the correct child during recovery and replay.
+func (s *Server) resolveTablet(table, tabletID string, key []byte) (*Tablet, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t, ok := s.tablets[tabletID]; ok && t.rng.Contains(key) {
+		return t, true
+	}
+	for _, t := range s.tablets {
+		if t.table == table && boundedRange(t.rng) && t.rng.Contains(key) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// boundedRange reports whether a range has at least one bound. The
+// by-range record fallback is restricted to such ranges: a fully
+// unbounded range only belongs to a never-split single-tablet table,
+// where the exact-id match always applies — and test fixtures routinely
+// declare several unbounded tablets per table, which would otherwise
+// capture each other's records.
+func boundedRange(r partition.Range) bool {
+	return len(r.Start) > 0 || r.End != nil
+}
+
 func (s *Server) append(recs ...*wal.Record) ([]wal.Ptr, error) {
 	if s.batcher != nil {
 		return s.batcher.Append(recs...)
@@ -252,6 +294,9 @@ func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byt
 	if err != nil {
 		return err
 	}
+	if t.frozen.Load() {
+		return fmt.Errorf("%w: %s", ErrTabletFrozen, tabletID)
+	}
 	g, err := t.group(group)
 	if err != nil {
 		return err
@@ -268,6 +313,7 @@ func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byt
 	s.readCache.Put(cacheKey(t.table, group, key), encodeCached(ts, value))
 	s.maintainSecondary(tabletID, group, key, ts, ptrs[0], rec.LSN, value, false)
 	s.stats.Writes.Add(1)
+	t.load.add(1, int64(len(value)))
 	s.bumpUpdates(t, g)
 	return nil
 }
@@ -319,9 +365,11 @@ func (s *Server) GetAt(tabletID, group string, key []byte, ts int64) (Row, error
 			// newer-but-<=ts version exists; cached entries are the
 			// newest overall, so visibility holds exactly when cts<=ts.
 			s.stats.CacheHits.Add(1)
+			t.load.add(1, int64(len(v)))
 			return Row{Key: key, TS: cts, Value: append([]byte(nil), v...)}, nil
 		}
 	}
+	t.load.add(1, 0)
 
 	e, ok := g.tree().LatestAt(key, ts)
 	if !ok {
@@ -372,6 +420,9 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 	if err != nil {
 		return err
 	}
+	if t.frozen.Load() {
+		return fmt.Errorf("%w: %s", ErrTabletFrozen, tabletID)
+	}
 	g, err := t.group(group)
 	if err != nil {
 		return err
@@ -387,6 +438,7 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 	s.readCache.Invalidate(cacheKey(t.table, group, key))
 	s.maintainSecondary(tabletID, group, key, ts, wal.Ptr{}, rec.LSN, nil, true)
 	s.stats.Deletes.Add(1)
+	t.load.add(1, 0)
 	s.bumpUpdates(t, g)
 	return nil
 }
@@ -417,6 +469,8 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 		entries = append(entries, e)
 		return true
 	})
+	var loadBytes int64
+	defer func() { t.load.add(int64(len(entries)), loadBytes) }()
 	for i, e := range entries {
 		if i%scanCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -428,6 +482,7 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 			return err
 		}
 		s.stats.LogReads.Add(1)
+		loadBytes += int64(len(rec.Value))
 		if !fn(Row{Key: e.Key, TS: e.TS, Value: rec.Value}) {
 			return nil
 		}
@@ -452,6 +507,8 @@ func (s *Server) FullScan(ctx context.Context, tabletID, group string, fn func(R
 	if err != nil {
 		return err
 	}
+	var loadRows, loadBytes int64
+	defer func() { t.load.add(loadRows, loadBytes) }()
 	sc := s.log.NewScanner(wal.Position{})
 	for n := 0; sc.Next(); n++ {
 		if n%scanCheckEvery == 0 {
@@ -468,6 +525,8 @@ func (s *Server) FullScan(ctx context.Context, tabletID, group string, fn func(R
 		if !ok || cur.TS != rec.TS || cur.Ptr != sc.Ptr() {
 			continue
 		}
+		loadRows++
+		loadBytes += int64(len(rec.Value))
 		if !fn(Row{Key: rec.Key, TS: rec.TS, Value: rec.Value}) {
 			return nil
 		}
@@ -520,6 +579,9 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 		if err != nil {
 			return err
 		}
+		if t.frozen.Load() {
+			return fmt.Errorf("%w: %s", ErrTabletFrozen, w.Tablet)
+		}
 		if _, err := t.group(w.Group); err != nil {
 			return err
 		}
@@ -552,6 +614,7 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, ptrs[i], recs[i].LSN, w.Value, false)
 			s.stats.Writes.Add(1)
 		}
+		t.load.add(1, int64(len(w.Value)))
 		s.bumpUpdates(t, g)
 	}
 	return nil
@@ -587,6 +650,9 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 		t, err := s.tablet(w.Tablet)
 		if err != nil {
 			return err
+		}
+		if t.frozen.Load() {
+			return fmt.Errorf("%w: %s", ErrTabletFrozen, w.Tablet)
 		}
 		if _, err := t.group(w.Group); err != nil {
 			return err
@@ -624,6 +690,7 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, w.TS, ptrs[i], recs[i].LSN, w.Value, false)
 			s.stats.Writes.Add(1)
 		}
+		t.load.add(1, int64(len(w.Value)))
 		s.bumpUpdates(t, g)
 	}
 	return nil

@@ -1,0 +1,311 @@
+package core
+
+// Elastic tablet management, server side (paper §3.2–§3.3 assume
+// Bigtable-style tablets that split and move as load shifts):
+//
+//   - SplitTablet cuts one served tablet into two children at an
+//     arbitrary key. Because the log is the only data repository, the
+//     split copies NO data: each child gets a fresh in-memory index
+//     whose entries point at the same log records as the parent's, and
+//     the parent's log segments are simply shared by both children.
+//   - FreezeTablet/UnfreezeTablet implement the brief cutover window of
+//     a live migration: mutations on a frozen tablet fail with
+//     ErrTabletFrozen (retryable stale routing from a client's view)
+//     while reads keep being served until the routing flip.
+//   - ReplaySession is the catch-up engine of live migration and
+//     range-aware failover: it replays another server's log into this
+//     one, matching records against adopted tablet RANGES rather than
+//     ids, so logs written before a split replay correctly into the
+//     children.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/partition"
+	"repro/internal/wal"
+)
+
+// FreezeTablet blocks mutations on a tablet (reads still serve). It
+// waits for in-flight mutations to drain, so when it returns every
+// accepted write is durable in this server's log — the migration
+// cutover reads Log().End() after freezing to bound its final catch-up
+// pass. Idempotent.
+func (s *Server) FreezeTablet(tabletID string) error {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	// Taking the install latch exclusively drains writers (they hold it
+	// shared across the whole append), so the freeze flag is observed by
+	// every mutation that starts after this returns.
+	s.installMu.Lock()
+	t.frozen.Store(true)
+	s.installMu.Unlock()
+	return nil
+}
+
+// UnfreezeTablet re-enables mutations (migration rollback). Idempotent.
+func (s *Server) UnfreezeTablet(tabletID string) error {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return err
+	}
+	t.frozen.Store(false)
+	return nil
+}
+
+// SplitKey proposes a data-driven split point for a tablet: the
+// population midpoint of its largest column-group index (reusing the
+// index's even-population leaf sampling, index.Tree.SplitKeys). Returns
+// false when the tablet is too small to yield an interior key.
+func (s *Server) SplitKey(tabletID string) ([]byte, bool) {
+	t, err := s.tablet(tabletID)
+	if err != nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	var biggest *columnGroup
+	for _, g := range t.groups {
+		if biggest == nil || g.tree().Len() > biggest.tree().Len() {
+			biggest = g
+		}
+	}
+	t.mu.RUnlock()
+	if biggest == nil {
+		return nil, false
+	}
+	keys := biggest.tree().SplitKeys(t.rng.Start, t.rng.End, 2)
+	if len(keys) == 0 {
+		return nil, false
+	}
+	mid := keys[len(keys)/2]
+	if len(t.rng.Start) > 0 && bytes.Compare(mid, t.rng.Start) <= 0 {
+		return nil, false
+	}
+	if t.rng.End != nil && bytes.Compare(mid, t.rng.End) >= 0 {
+		return nil, false
+	}
+	return mid, true
+}
+
+// SplitTablet atomically replaces a served tablet with two children
+// whose ranges partition the parent's at right.Range.Start. No log data
+// moves: each child's index entries point at the very same records the
+// parent's did. Mutations are drained for the duration of the index
+// partition (the install latch), exactly like a checkpoint install;
+// in-flight reads keep using the parent's (still valid) trees.
+func (s *Server) SplitTablet(parentID string, left, right partition.Tablet) error {
+	splitKey := right.Range.Start
+	if len(splitKey) == 0 {
+		return fmt.Errorf("core: split tablet %s: empty split key", parentID)
+	}
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, ok := s.tablets[parentID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTablet, parentID)
+	}
+	if _, ok := s.tablets[left.ID]; ok {
+		return fmt.Errorf("core: split child %s already served", left.ID)
+	}
+	if _, ok := s.tablets[right.ID]; ok {
+		return fmt.Errorf("core: split child %s already served", right.ID)
+	}
+	if !parent.rng.Contains(splitKey) {
+		return fmt.Errorf("core: split key %q outside tablet %s", splitKey, parentID)
+	}
+	mk := func(spec partition.Tablet) *Tablet {
+		return &Tablet{id: spec.ID, table: parent.table, rng: spec.Range, groups: make(map[string]*columnGroup)}
+	}
+	lt, rt := mk(left), mk(right)
+	parent.mu.RLock()
+	for name, g := range parent.groups {
+		lg := &columnGroup{name: name}
+		rg := &columnGroup{name: name}
+		ltree, rtree := index.New(), index.New()
+		g.tree().Ascend(func(e index.Entry) bool {
+			if bytes.Compare(e.Key, splitKey) < 0 {
+				ltree.Put(e)
+			} else {
+				rtree.Put(e)
+			}
+			return true
+		})
+		lg.idx.Store(ltree)
+		rg.idx.Store(rtree)
+		lt.groups[name] = lg
+		rt.groups[name] = rg
+	}
+	parent.mu.RUnlock()
+	delete(s.tablets, parentID)
+	s.tablets[left.ID] = lt
+	s.tablets[right.ID] = rt
+	return nil
+}
+
+// ReplaySession incrementally replays another server's log into this
+// one — the engine behind live migration (repeated CatchUp rounds while
+// writes keep landing on the source, then a final round after the
+// source tablet is frozen) and range-aware failover recovery.
+//
+// Records are matched by tablet RANGE, not id: a record belongs to the
+// session if its (table, key) falls inside one of the adopted tablet
+// specs. This is what makes logs written before a split replay
+// correctly — pre-split records carry the parent's tablet id, but their
+// keys route into the right child.
+//
+// Transactional records are buffered until their commit record is seen,
+// so a CatchUp round that ends between a transaction's writes and its
+// commit neither loses nor prematurely applies them.
+type ReplaySession struct {
+	dst       *Server
+	srcLog    *wal.Log
+	specs     []partition.Tablet
+	pos       wal.Position
+	committed map[uint64]bool
+	pending   map[uint64][]wal.Record
+	applied   int
+}
+
+// NewReplaySession opens a replay of a source log (from srcStart,
+// typically the zero position or the source's last checkpoint) into
+// this server, adopting the given tablet specs. The specs' tablets must
+// already be declared here via AddTablet.
+//
+// For live migration pass the source server's live Log() — a reopened
+// log snapshots segment sizes and would never see the source's ongoing
+// appends. For failover from a dead server use OpenPeerLog.
+func (s *Server) NewReplaySession(srcLog *wal.Log, srcStart wal.Position, specs []partition.Tablet) (*ReplaySession, error) {
+	for _, spec := range specs {
+		if _, err := s.tablet(spec.ID); err != nil {
+			return nil, err
+		}
+	}
+	return &ReplaySession{
+		dst:       s,
+		srcLog:    srcLog,
+		specs:     append([]partition.Tablet(nil), specs...),
+		pos:       srcStart,
+		committed: make(map[uint64]bool),
+		pending:   make(map[uint64][]wal.Record),
+	}, nil
+}
+
+// Applied returns the total number of records applied so far.
+func (rs *ReplaySession) Applied() int { return rs.applied }
+
+// PendingLive reports whether any buffered prepared-but-uncommitted
+// record satisfies held — the migration cutover passes a lock-service
+// probe, so prepared transactions still in their commit phase (write
+// locks held) abort the cutover, while orphaned prepare records from
+// long-dead transactions don't block migration forever.
+func (rs *ReplaySession) PendingLive(held func(tablet, group string, key []byte) bool) bool {
+	for _, recs := range rs.pending {
+		for i := range recs {
+			if held(recs[i].Tablet, recs[i].Group, recs[i].Key) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OpenPeerLog opens another (dead) server's log in the shared DFS for
+// replay. The returned log is a read-only snapshot of the segments as
+// of the open; use the peer's live Log() instance to follow ongoing
+// appends.
+func (s *Server) OpenPeerLog(srcServerID string) (*wal.Log, error) {
+	return wal.Open(s.fs, "log/"+srcServerID, wal.Options{SegmentSize: s.cfg.SegmentSize})
+}
+
+// match resolves the record's target tablet among the adopted specs.
+func (rs *ReplaySession) match(rec *wal.Record) (partition.Tablet, bool) {
+	for _, spec := range rs.specs {
+		if spec.ID == rec.Tablet {
+			return spec, true
+		}
+	}
+	for _, spec := range rs.specs {
+		if spec.Table == rec.Table && boundedRange(spec.Range) && spec.Range.Contains(rec.Key) {
+			return spec, true
+		}
+	}
+	return partition.Tablet{}, false
+}
+
+func (rs *ReplaySession) apply(spec partition.Tablet, rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.KindWrite:
+		if err := rs.dst.Write(spec.ID, rec.Group, rec.Key, rec.TS, rec.Value); err != nil {
+			return err
+		}
+	case wal.KindDelete:
+		if err := rs.dst.Delete(spec.ID, rec.Group, rec.Key, rec.TS); err != nil {
+			return err
+		}
+	default:
+		return nil
+	}
+	rs.applied++
+	return nil
+}
+
+// CatchUp replays the source log from the session's cursor up to the
+// log's current end, applying committed records for the adopted ranges,
+// and advances the cursor. It returns the number of records applied
+// this round; call it repeatedly until the returned count is small,
+// freeze the source tablet, then call it once more to drain the tail.
+func (rs *ReplaySession) CatchUp() (int, error) {
+	// Bound this round at the end observed on entry: anything appended
+	// while we scan is left for the next round, so the cursor can be
+	// advanced to `end` without skipping records.
+	end := rs.srcLog.End()
+	before := rs.applied
+	sc := rs.srcLog.NewScanner(rs.pos)
+	for sc.Next() {
+		p := sc.Ptr()
+		if p.Seg == rs.pos.Seg && p.Off < rs.pos.Off {
+			continue // scanner rewinds to a framing boundary before pos
+		}
+		if p.Seg > end.Seg || (p.Seg == end.Seg && p.Off >= end.Off) {
+			break
+		}
+		rec := sc.Record()
+		switch rec.Kind {
+		case wal.KindCommit:
+			rs.committed[rec.TxnID] = true
+			for i := range rs.pending[rec.TxnID] {
+				pr := &rs.pending[rec.TxnID][i]
+				spec, ok := rs.match(pr)
+				if !ok {
+					continue
+				}
+				if err := rs.apply(spec, pr); err != nil {
+					return rs.applied - before, err
+				}
+			}
+			delete(rs.pending, rec.TxnID)
+		case wal.KindWrite, wal.KindDelete:
+			spec, ok := rs.match(&rec)
+			if !ok {
+				continue
+			}
+			if rec.TxnID != 0 && !rs.committed[rec.TxnID] {
+				rs.pending[rec.TxnID] = append(rs.pending[rec.TxnID], rec)
+				continue
+			}
+			if err := rs.apply(spec, &rec); err != nil {
+				return rs.applied - before, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rs.applied - before, err
+	}
+	rs.pos = end
+	return rs.applied - before, nil
+}

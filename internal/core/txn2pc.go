@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/index"
 	"repro/internal/wal"
 )
@@ -27,6 +29,9 @@ func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*P
 		t, err := s.tablet(w.Tablet)
 		if err != nil {
 			return nil, err
+		}
+		if t.frozen.Load() {
+			return nil, fmt.Errorf("%w: %s", ErrTabletFrozen, w.Tablet)
 		}
 		if _, err := t.group(w.Group); err != nil {
 			return nil, err
@@ -56,6 +61,20 @@ func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*P
 func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
+	// A tablet frozen for migration must not gain a commit record: the
+	// migration's final replay bound was taken at freeze time, so a
+	// later commit would be durable on the source yet invisible to the
+	// destination — silent loss. Failing here keeps the prepared writes
+	// uncommitted (recovery and replay both ignore them).
+	for _, w := range p.writes {
+		t, err := s.tablet(w.Tablet)
+		if err != nil {
+			return err
+		}
+		if t.frozen.Load() {
+			return fmt.Errorf("%w: %s", ErrTabletFrozen, w.Tablet)
+		}
+	}
 	if _, err := s.append(&wal.Record{Kind: wal.KindCommit, TxnID: txnID, TS: commitTS}); err != nil {
 		return err
 	}

@@ -152,24 +152,66 @@ type Tablet struct {
 	Range Range
 }
 
-// SplitUniform cuts the keyspace of single-byte-prefixed keys into n
-// contiguous ranges of roughly equal prefix width. Callers with known
-// key distributions can construct ranges directly instead.
+// SplitUniform cuts the whole keyspace into n contiguous ranges of
+// roughly equal width. Cut points are two-byte prefixes (one byte for
+// n <= 256), so n is no longer capped at 256 and adjacent cuts never
+// collapse for any practical n. Callers with known key distributions
+// can construct ranges directly, or derive data-driven cuts and use
+// SplitAt.
 func SplitUniform(n int) []Range {
 	if n <= 1 {
 		return []Range{{}}
 	}
-	if n > 256 {
-		n = 256
+	if n > 65536 {
+		n = 65536
 	}
+	keys := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		if n <= 256 {
+			keys = append(keys, []byte{byte(i * 256 / n)})
+		} else {
+			cut := i * 65536 / n
+			keys = append(keys, []byte{byte(cut >> 8), byte(cut)})
+		}
+	}
+	return SplitAt(keys)
+}
+
+// SplitAt cuts the whole keyspace at the given split keys, which may be
+// arbitrary byte strings (data-driven cut points, e.g. index leaf
+// boundaries). Keys are sorted and deduplicated; empty keys are
+// ignored. SplitAt(nil) is the single unbounded range.
+func SplitAt(keys [][]byte) []Range {
+	sorted := make([][]byte, 0, len(keys))
+	for _, k := range keys {
+		if len(k) > 0 {
+			sorted = append(sorted, k)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
 	var out []Range
 	var prev []byte
-	for i := 1; i < n; i++ {
-		cut := []byte{byte(i * 256 / n)}
-		out = append(out, Range{Start: prev, End: cut})
-		prev = cut
+	for _, k := range sorted {
+		if prev != nil && bytes.Equal(prev, k) {
+			continue
+		}
+		out = append(out, Range{Start: prev, End: k})
+		prev = k
 	}
 	return append(out, Range{Start: prev})
+}
+
+// Split cuts the range in two at key, which must fall strictly inside
+// it (otherwise one child would be empty).
+func (r Range) Split(key []byte) (Range, Range, error) {
+	if len(key) == 0 {
+		return Range{}, Range{}, fmt.Errorf("partition: empty split key")
+	}
+	if !r.Contains(key) || (len(r.Start) > 0 && bytes.Equal(key, r.Start)) {
+		return Range{}, Range{}, fmt.Errorf("partition: split key %q not strictly inside range", key)
+	}
+	cut := append([]byte(nil), key...)
+	return Range{Start: r.Start, End: cut}, Range{Start: cut, End: r.End}, nil
 }
 
 // MakeTablets names one tablet per range for a table.

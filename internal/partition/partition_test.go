@@ -193,3 +193,91 @@ func TestMakeTabletsIDs(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitUniformEdgeCases(t *testing.T) {
+	// n <= 1 (including zero and negative) is the whole keyspace as one
+	// unbounded range — the "empty keyspace cut" case.
+	for _, n := range []int{-3, 0, 1} {
+		ranges := SplitUniform(n)
+		if len(ranges) != 1 {
+			t.Fatalf("SplitUniform(%d) = %d ranges, want 1", n, len(ranges))
+		}
+		if len(ranges[0].Start) != 0 || ranges[0].End != nil {
+			t.Fatalf("SplitUniform(%d) = %+v, want unbounded", n, ranges[0])
+		}
+		if !ranges[0].Contains(nil) || !ranges[0].Contains([]byte("anything")) {
+			t.Fatalf("SplitUniform(%d) range does not cover the keyspace", n)
+		}
+	}
+}
+
+func TestSplitUniformBeyond256(t *testing.T) {
+	// The old single-byte-prefix cuts collapsed past n=256; two-byte
+	// cuts must keep every range distinct and contiguous.
+	for _, n := range []int{257, 300, 1000} {
+		ranges := SplitUniform(n)
+		if len(ranges) != n {
+			t.Fatalf("SplitUniform(%d) returned %d ranges", n, len(ranges))
+		}
+		for i := 1; i < n; i++ {
+			if !bytes.Equal(ranges[i].Start, ranges[i-1].End) {
+				t.Fatalf("n=%d: gap between range %d and %d", n, i-1, i)
+			}
+			if bytes.Compare(ranges[i-1].Start, ranges[i-1].End) >= 0 && len(ranges[i-1].Start) > 0 {
+				t.Fatalf("n=%d: empty range %d: %+v", n, i-1, ranges[i-1])
+			}
+		}
+	}
+}
+
+func TestSplitAtArbitraryKeys(t *testing.T) {
+	// Arbitrary multi-byte split keys, unsorted and with duplicates.
+	keys := [][]byte{[]byte("user500"), []byte("m"), []byte("user500"), []byte("zzz/last"), nil}
+	ranges := SplitAt(keys)
+	if len(ranges) != 4 {
+		t.Fatalf("SplitAt = %d ranges, want 4", len(ranges))
+	}
+	want := [][]byte{nil, []byte("m"), []byte("user500"), []byte("zzz/last")}
+	for i, r := range ranges {
+		if !bytes.Equal(r.Start, want[i]) {
+			t.Errorf("range %d start = %q, want %q", i, r.Start, want[i])
+		}
+	}
+	// Router over them covers everything with no overlap.
+	r := NewRouter(MakeTablets("t", ranges))
+	for _, k := range []string{"", "a", "m", "user499", "user500", "user501", "zzz/lastX"} {
+		if _, ok := r.Lookup([]byte(k)); !ok {
+			t.Errorf("Lookup(%q) found no tablet", k)
+		}
+	}
+	if len(SplitAt(nil)) != 1 {
+		t.Fatalf("SplitAt(nil) should be the single unbounded range")
+	}
+}
+
+func TestRangeSplit(t *testing.T) {
+	r := Range{Start: []byte("b"), End: []byte("x")}
+	left, right, err := r.Split([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(left.Start, []byte("b")) || !bytes.Equal(left.End, []byte("m")) {
+		t.Fatalf("left = %+v", left)
+	}
+	if !bytes.Equal(right.Start, []byte("m")) || !bytes.Equal(right.End, []byte("x")) {
+		t.Fatalf("right = %+v", right)
+	}
+	if left.Contains([]byte("m")) || !right.Contains([]byte("m")) {
+		t.Fatal("split key must belong to the right child")
+	}
+	// Keys outside or on the boundary are rejected (empty child).
+	for _, bad := range [][]byte{nil, []byte("a"), []byte("b"), []byte("x"), []byte("z")} {
+		if _, _, err := r.Split(bad); err == nil {
+			t.Errorf("Split(%q) should fail", bad)
+		}
+	}
+	// Splitting an unbounded range works with any interior key.
+	if _, _, err := (Range{}).Split([]byte("k")); err != nil {
+		t.Fatalf("unbounded split: %v", err)
+	}
+}

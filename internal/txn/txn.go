@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/coord"
 	"repro/internal/core"
@@ -92,6 +93,13 @@ type write struct {
 
 func lockKey(tablet, group string, key []byte) string {
 	return tablet + "\x00" + group + "\x00" + string(key)
+}
+
+// LockKey exposes the validation-phase lock naming so the cluster's
+// migration cutover can ask the lock service whether a prepared
+// transaction is still in flight.
+func LockKey(tablet, group string, key []byte) string {
+	return lockKey(tablet, group, key)
 }
 
 // Begin starts a transaction reading from the latest consistent
@@ -373,7 +381,19 @@ func (t *Txn) Commit() error {
 			prepared[srv] = p
 		}
 		for _, srv := range servers {
-			if err := srv.CommitTxn(t.id, commitTS, prepared[srv]); err != nil {
+			// A participant whose tablet froze for a migration cutover
+			// between prepare and commit refuses the commit record. The
+			// refusal is transient by construction: the migration sees
+			// this transaction's prepared records as pending-with-held-
+			// locks in its final catch-up and aborts the cutover, so a
+			// short retry converges — and keeps the commit atomic across
+			// participants that already committed.
+			err := srv.CommitTxn(t.id, commitTS, prepared[srv])
+			for r := 0; err != nil && errors.Is(err, core.ErrTabletFrozen) && r < commitFrozenRetries; r++ {
+				time.Sleep(time.Millisecond)
+				err = srv.CommitTxn(t.id, commitTS, prepared[srv])
+			}
+			if err != nil {
 				unlock()
 				return err
 			}
@@ -383,6 +403,11 @@ func (t *Txn) Commit() error {
 	t.m.commits.Add(1)
 	return nil
 }
+
+// commitFrozenRetries bounds the per-participant commit retry during a
+// migration-cutover race; the cutover detects the live prepared
+// transaction and unfreezes within a few milliseconds.
+const commitFrozenRetries = 100
 
 // RunTxn executes fn inside a transaction, retrying on ErrConflict (the
 // paper's "T is restarted") up to maxRetries times.
@@ -395,15 +420,26 @@ func (m *Manager) RunTxn(maxRetries int, fn func(*Txn) error) error {
 		t := m.Begin()
 		if err = fn(t); err != nil {
 			t.Abort()
-			return err
+			if !retryableTopology(err) {
+				return err
+			}
+			continue
 		}
 		err = t.Commit()
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, ErrConflict) {
+		if !errors.Is(err, ErrConflict) && !retryableTopology(err) {
 			return err
 		}
 	}
 	return err
+}
+
+// retryableTopology reports whether an error means the cluster topology
+// shifted under the transaction (a tablet split, moved, or froze for a
+// migration cutover): re-running the transaction re-resolves routing
+// and converges, exactly like the plain client's stale-routing retry.
+func retryableTopology(err error) bool {
+	return errors.Is(err, core.ErrUnknownTablet)
 }

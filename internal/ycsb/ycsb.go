@@ -114,6 +114,26 @@ func fnv64(v uint64) uint64 {
 	return h
 }
 
+// HotRange concentrates a fraction of draws on one contiguous band of
+// the key domain: with probability Hot the draw is uniform in [Lo, Hi),
+// otherwise uniform over [0, N). Unlike (scrambled) Zipfian — whose hot
+// items spread over the whole keyspace — the hot band lands inside ONE
+// key-range tablet, which is exactly the workload that pins a tablet
+// server until the cluster splits and migrates the hot tablet.
+type HotRange struct {
+	N      int64   // key domain [0, N)
+	Lo, Hi int64   // hot band [Lo, Hi), 0 <= Lo < Hi <= N
+	Hot    float64 // probability a draw lands in the hot band
+}
+
+// Next implements Generator.
+func (h HotRange) Next(rng *rand.Rand) int64 {
+	if h.Hi > h.Lo && rng.Float64() < h.Hot {
+		return h.Lo + rng.Int63n(h.Hi-h.Lo)
+	}
+	return rng.Int63n(h.N)
+}
+
 // Latest favours recently inserted items (the paper's workloads are
 // write-heavy on fresh data).
 type Latest struct {

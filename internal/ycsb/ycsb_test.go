@@ -213,3 +213,32 @@ func TestRunPropagatesErrors(t *testing.T) {
 		t.Error("injected failure not propagated")
 	}
 }
+
+func TestHotRangeConcentratesDraws(t *testing.T) {
+	const n = 10_000
+	g := HotRange{N: n, Lo: 1000, Hi: 2000, Hot: 0.9}
+	rng := rand.New(rand.NewSource(42))
+	in := 0
+	const draws = 50_000
+	for i := 0; i < draws; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= n {
+			t.Fatalf("draw %d outside domain", v)
+		}
+		if v >= 1000 && v < 2000 {
+			in++
+		}
+	}
+	// Expected fraction: 0.9 + 0.1*(1000/10000) = 0.91.
+	frac := float64(in) / draws
+	if frac < 0.88 || frac > 0.94 {
+		t.Fatalf("hot-band fraction = %.3f, want ~0.91", frac)
+	}
+	// Degenerate band falls back to uniform.
+	u := HotRange{N: n, Hot: 1.0}
+	for i := 0; i < 100; i++ {
+		if v := u.Next(rng); v < 0 || v >= n {
+			t.Fatalf("degenerate band draw %d outside domain", v)
+		}
+	}
+}

@@ -17,6 +17,8 @@ package logbase
 import (
 	"context"
 	"errors"
+
+	"repro/internal/core"
 )
 
 // Store is the unified LogBase client interface, implemented by the
@@ -107,10 +109,16 @@ func RunTx(ctx context.Context, st Store, fn func(Tx) error) error {
 		tx := st.Begin(ctx)
 		if err = fn(tx); err != nil {
 			tx.Abort()
-			return err
+			if !errors.Is(err, core.ErrUnknownTablet) {
+				return err
+			}
+			// Cluster topology shifted under the transaction (tablet
+			// split, moved, or frozen for a migration cutover): re-run
+			// to re-resolve routing, like the plain client paths do.
+			continue
 		}
 		err = tx.Commit(ctx)
-		if err == nil || !errors.Is(err, ErrConflict) {
+		if err == nil || (!errors.Is(err, ErrConflict) && !errors.Is(err, core.ErrUnknownTablet)) {
 			return err
 		}
 	}
