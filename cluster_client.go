@@ -56,34 +56,33 @@ func (cc *ClusterClient) Put(ctx context.Context, table, group string, key, valu
 	return cl.Put(table, group, key, value)
 }
 
-// Get reads the latest version of a row.
-func (cc *ClusterClient) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
-	if err := ctxErr(ctx); err != nil {
-		return Row{}, err
-	}
-	cl := cc.client()
-	defer cc.release(cl)
-	return cl.Get(table, group, key)
-}
-
-// GetAt reads the row version visible at snapshot ts.
-func (cc *ClusterClient) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error) {
-	if err := ctxErr(ctx); err != nil {
-		return Row{}, err
-	}
-	cl := cc.client()
-	defer cc.release(cl)
-	return cl.GetAt(table, group, key, ts)
-}
-
-// Versions returns all stored versions of a row, oldest first.
-func (cc *ClusterClient) Versions(ctx context.Context, table, group string, key []byte) ([]Row, error) {
+// Read is the unified point read: options are shipped to and evaluated
+// at the owning tablet server, with stale-routing retries.
+func (cc *ClusterClient) Read(ctx context.Context, table, group string, key []byte, opts ...ReadOption) ([]Row, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	cl := cc.client()
 	defer cc.release(cl)
-	return cl.Versions(table, group, key)
+	return cl.Read(table, group, key, resolveReadOptions(opts))
+}
+
+// Get reads the latest version of a row. Thin adapter over Read.
+func (cc *ClusterClient) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
+	return firstRow(cc.Read(ctx, table, group, key))
+}
+
+// GetAt reads the row version visible at snapshot ts. Thin adapter
+// over Read with WithSnapshot; ts 0 means "latest", matching the other
+// snapshot surfaces (QueryAt, SnapshotAt).
+func (cc *ClusterClient) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error) {
+	return firstRow(cc.Read(ctx, table, group, key, WithSnapshot(ts)))
+}
+
+// Versions returns all stored versions of a row, oldest first. Thin
+// adapter over Read with WithAllVersions.
+func (cc *ClusterClient) Versions(ctx context.Context, table, group string, key []byte) ([]Row, error) {
+	return cc.Read(ctx, table, group, key, WithAllVersions())
 }
 
 // Delete removes a row from a column group.
@@ -106,14 +105,18 @@ func (cc *ClusterClient) GetRow(ctx context.Context, table string, key []byte) (
 	return cl.GetRow(table, key)
 }
 
-// Scan iterates the latest version of each key in [start, end) in key
-// order across all tablets the range spans. Always Close the iterator.
-func (cc *ClusterClient) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
+// Scan iterates the visible version of each key in [start, end) in key
+// order (descending with WithReverse) across all tablets the range
+// spans. Push-down options are shipped to every tablet server; the
+// limit is tracked across tablets and the scatter resumes by range
+// through splits, moves, and failovers. Always Close the iterator.
+func (cc *ClusterClient) Scan(ctx context.Context, table, group string, start, end []byte, opts ...ReadOption) Iterator {
+	ro := resolveReadOptions(opts)
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		cl := cc.client()
 		defer cc.release(cl)
 		fn, flush, failed := collectEmit(emit)
-		if err := cl.Scan(ictx, table, group, start, end, fn); err != nil {
+		if err := cl.ScanOpts(ictx, table, group, start, end, ro, fn); err != nil {
 			return err
 		}
 		if err := failed(); err != nil {
@@ -124,13 +127,15 @@ func (cc *ClusterClient) Scan(ctx context.Context, table, group string, start, e
 }
 
 // FullScan iterates every live row of the table's column group, tablet
-// by tablet in tablet order. Always Close the iterator.
-func (cc *ClusterClient) FullScan(ctx context.Context, table, group string) Iterator {
+// by tablet in tablet order, with push-down options evaluated in each
+// server's log sweep. Always Close the iterator.
+func (cc *ClusterClient) FullScan(ctx context.Context, table, group string, opts ...ReadOption) Iterator {
+	ro := resolveReadOptions(opts)
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		cl := cc.client()
 		defer cc.release(cl)
 		fn, flush, failed := collectEmit(emit)
-		if err := cl.FullScan(ictx, table, group, fn); err != nil {
+		if err := cl.FullScanOpts(ictx, table, group, ro, fn); err != nil {
 			return err
 		}
 		if err := failed(); err != nil {

@@ -53,9 +53,13 @@ func main() {
 		fatalf("measure: %v", err)
 	}
 	rep := Report{Rows: s.Rows, Ops: s.Ops, ValueSize: s.ValueSize, KeyOps: ops}
-	fmt.Printf("%-12s %10s %16s %16s\n", "op", "ops", "disk µs/op", "wall µs/op")
+	fmt.Printf("%-18s %10s %16s %16s %14s\n", "op", "ops", "disk µs/op", "wall µs/op", "rows shipped")
 	for _, op := range ops {
-		fmt.Printf("%-12s %10d %16.2f %16.2f\n", op.Name, op.Ops, op.DiskUSPerOp, op.WallUSPerOp)
+		shipped := "-"
+		if op.RowsShipped > 0 {
+			shipped = fmt.Sprint(op.RowsShipped)
+		}
+		fmt.Printf("%-18s %10d %16.2f %16.2f %14s\n", op.Name, op.Ops, op.DiskUSPerOp, op.WallUSPerOp, shipped)
 	}
 	if *out != "" {
 		if err := writeReport(*out, rep); err != nil {
@@ -89,7 +93,7 @@ func main() {
 	for _, b := range base.KeyOps {
 		c, ok := cur[b.Name]
 		if !ok {
-			fmt.Printf("GATE FAIL %-12s missing from this run\n", b.Name)
+			fmt.Printf("GATE FAIL %-18s missing from this run\n", b.Name)
 			failed = true
 			continue
 		}
@@ -103,8 +107,22 @@ func main() {
 		if b.DiskUSPerOp > 0 {
 			delta = (c.DiskUSPerOp - b.DiskUSPerOp) / b.DiskUSPerOp * 100
 		}
-		fmt.Printf("gate %-12s base %10.2f now %10.2f (%+6.1f%%, limit %.2f) %s\n",
+		fmt.Printf("gate %-18s base %10.2f now %10.2f (%+6.1f%%, limit %.2f) %s\n",
 			b.Name, b.DiskUSPerOp, c.DiskUSPerOp, delta, limit, status)
+		// Rows shipped is gated the same way where the baseline records
+		// it: push-down effectiveness regressions (a filter or limit
+		// silently falling back to client-side evaluation) move this
+		// count long before they move wall time.
+		if b.RowsShipped > 0 {
+			shipLimit := int64(float64(b.RowsShipped) * (1 + *tolerance))
+			shipStatus := "ok"
+			if c.RowsShipped > shipLimit {
+				shipStatus = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("gate %-18s base %10d now %10d (rows shipped, limit %d) %s\n",
+				b.Name, b.RowsShipped, c.RowsShipped, shipLimit, shipStatus)
+		}
 	}
 	if failed {
 		fatalf("perf gate failed: a key op regressed more than %.0f%% vs %s", *tolerance*100, *baseline)

@@ -27,6 +27,8 @@ func main() {
 	stdin := bufio.NewScanner(os.Stdin)
 
 	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY CHECKPOINT COMPACT STATS QUIT")
+	fmt.Println("  SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>] [PREFIX <p>]")
+	fmt.Println("       [FILTER KEY|VAL PREFIX|CONTAINS <op>] [FILTER KEY|VAL RANGE <lo|*> <hi|*>]   (options run server-side)")
 	fmt.Println("  QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]")
 	for {
 		fmt.Print("> ")

@@ -8,9 +8,16 @@
 //	GETAT <table> <group> <key> <ts>
 //	VERSIONS <table> <group> <key>
 //	DEL <table> <group> <key>
-//	SCAN <table> <group> <start> <end> [limit]
+//	SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>]
+//	     [PREFIX <p>] [FILTER KEY|VAL PREFIX|CONTAINS <op>]
+//	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>]
 //	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
 //	CHECKPOINT | QUIT
+//
+// SCAN options ride the wire to the tablet servers: limits, reverse
+// order, snapshot pinning, and the serializable filter predicates are
+// all evaluated remotely (push-down), so only surviving rows stream
+// back.
 //
 // The adapter is written once against the unified logbase.Store
 // interface: -servers 0 serves an embedded DB, -servers N>0 serves an
@@ -25,6 +32,7 @@ import (
 
 	logbase "repro"
 	"repro/internal/core"
+	"repro/internal/readopt"
 	"repro/internal/textproto"
 )
 
@@ -58,8 +66,10 @@ func (a storeAdapter) Versions(ctx context.Context, table, group string, key []b
 func (a storeAdapter) Delete(ctx context.Context, table, group string, key []byte) error {
 	return a.st.Delete(ctx, table, group, key)
 }
-func (a storeAdapter) Scan(ctx context.Context, table, group string, start, end []byte) textproto.Iterator {
-	return iterAdapter{a.st.Scan(ctx, table, group, start, end)}
+func (a storeAdapter) Scan(ctx context.Context, table, group string, start, end []byte, opt readopt.Options) textproto.Iterator {
+	// The wire-decoded option set injects wholesale; the Store layer
+	// pushes it down to the tablet servers.
+	return iterAdapter{a.st.Scan(ctx, table, group, start, end, logbase.WithReadOptions(opt))}
 }
 
 // iterAdapter converts logbase.Iterator rows to textproto rows.

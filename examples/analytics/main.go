@@ -93,6 +93,25 @@ func scenario(ctx context.Context, st logbase.Store) {
 		log.Fatal(err)
 	}
 	fmt.Printf("time travel to ts %d: %.0f orders\n", snap.TS(), back.Value(0, logbase.Count))
+
+	// Push-down scan: "the 3 newest us-region orders as of the pinned
+	// snapshot". Prefix, reverse order, limit, and the snapshot are all
+	// evaluated at the tablet servers — three rows cross the wire, the
+	// 500 post-snapshot writes stay invisible, and no client-side
+	// filtering loop is needed.
+	it := st.Scan(ctx, "orders", "amount", nil, nil,
+		logbase.WithPrefix([]byte("us/")),
+		logbase.WithReverse(),
+		logbase.WithLimit(3),
+		logbase.WithSnapshot(snap.TS()))
+	fmt.Print("newest us orders at the snapshot:")
+	for it.Next() {
+		fmt.Printf(" %s=%s", it.Row().Key, it.Row().Value)
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 }
 
 func main() {

@@ -2,10 +2,11 @@
 // simulated multi-server cluster. Events are bulk-ingested through a
 // WriteBatch (one append sweep per tablet server), keyed with
 // entity-group prefixes so one user's data stays on one tablet (§3.2);
-// iterator-based range scans pull a user's session back in order (and
-// a cancelled context abandons a full scan mid-flight); a tablet-server
-// failure is healed by the master reassigning and recovering tablets
-// from the shared DFS (§3.8).
+// push-down reads (WithPrefix / WithLimit / WithReverse / value
+// filters) are evaluated at the tablet servers so only the rows the
+// client consumes cross the wire; a cancelled context abandons a full
+// scan mid-flight; a tablet-server failure is healed by the master
+// reassigning and recovering tablets from the shared DFS (§3.8).
 //
 //	go run ./examples/clickstream
 package main
@@ -70,18 +71,35 @@ func main() {
 	fmt.Printf("ingested %d events across %d servers in %v\n",
 		users*perUser, len(c.LiveServers()), time.Since(start).Round(time.Millisecond))
 
-	// Session replay: a prefix range scan returns one user's events in
-	// order, all from a single tablet. The iterator is closed early
-	// after 5 rows — the underlying scan is released immediately.
+	// Session replay with push-down reads: WithPrefix routes the scan to
+	// the single tablet holding user 007, and WithLimit(5) is enforced
+	// INSIDE that tablet server — it fetches five rows from the log and
+	// stops, instead of streaming the whole session for the client to
+	// truncate.
 	var session []string
-	it := client.Scan(ctx, "events", "click", []byte("user/007/"), []byte("user/007/\xff"))
-	for len(session) < 5 && it.Next() {
+	it := client.Scan(ctx, "events", "click", nil, nil,
+		logbase.WithPrefix([]byte("user/007/")), logbase.WithLimit(5))
+	for it.Next() {
 		session = append(session, string(it.Row().Value))
 	}
 	if err := it.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("user 007 session starts: %v\n", session)
+
+	// "Last checkout events" — reverse scan + server-side value filter:
+	// only matching rows cross the wire, newest keys first.
+	var checkouts []string
+	rev := client.Scan(ctx, "events", "click", nil, nil,
+		logbase.WithReverse(), logbase.WithLimit(3),
+		logbase.WithValueFilter(logbase.MatchContains([]byte("/checkout"))))
+	for rev.Next() {
+		checkouts = append(checkouts, string(rev.Row().Key))
+	}
+	if err := rev.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("last 3 checkout events: %v\n", checkouts)
 
 	// Funnel analytics: full scan counting page hits (the MapReduce-ish
 	// batch path, §3.6.4).

@@ -118,7 +118,10 @@ func TestKeyOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]bool{"put": true, "writebatch": true, "fullscan": true, "query": true, "hotrange": true}
+	want := map[string]bool{
+		"put": true, "writebatch": true, "fullscan": true, "query": true,
+		"scan-pushdown": true, "scan-clientfilter": true, "hotrange": true,
+	}
 	for _, op := range ops {
 		delete(want, op.Name)
 		if op.Ops <= 0 {

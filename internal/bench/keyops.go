@@ -30,6 +30,10 @@ type KeyOp struct {
 	DiskUSPerOp float64 `json:"disk_us_per_op"`
 	// WallUSPerOp is informational only.
 	WallUSPerOp float64 `json:"wall_us_per_op"`
+	// RowsShipped counts the rows the tablet servers fetched from the
+	// log to serve the op (the scan-pushdown experiments; 0 elsewhere).
+	// Deterministic, and gated alongside the disk number.
+	RowsShipped int64 `json:"rows_shipped,omitempty"`
 }
 
 // newKeyOpsCluster builds the deterministic fixture: modelled disks,
@@ -144,6 +148,15 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}); err != nil {
 		return nil, err
 	}
+
+	// Scan push-down vs client-side filtering over the same loaded
+	// rows: the data-movement experiment the read API redesign is
+	// gated on.
+	scanOps, err := ScanPushdownKeyOps(c, "usertable", "f0")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, scanOps...)
 
 	// Hot-range elastic scenario: skewed single-threaded workload with
 	// deterministic balancer ticks, measuring the post-rebalance phase.

@@ -1,0 +1,100 @@
+package bench
+
+// The scan-pushdown experiment for the CI perf gate: a limited +
+// key-filtered cluster scan executed twice — once with the options
+// pushed down to the tablet servers (the Store read path), once the
+// old way (stream everything, filter client-side, stop at the limit).
+// Both report modelled disk µs per DELIVERED row and the rows actually
+// fetched from the log on the servers (the "shipped" count): push-down
+// effectiveness regressions show up as either number creeping toward
+// the client-filter baseline.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/readopt"
+)
+
+// scanPushLimit is the row budget of the gated scans.
+const scanPushLimit = 100
+
+// scanPushPred is the selective key predicate: ycsb keys containing
+// "77" (a few percent of the keyspace).
+func scanPushPred() *readopt.Predicate { return readopt.Contains([]byte("77")) }
+
+// ScanPushdownKeyOps measures the gated scan-pushdown pair against a
+// cluster already loaded with rows in [0, rows). Runs single-threaded
+// on the deterministic fixture, like every gated op.
+func ScanPushdownKeyOps(c *cluster.Cluster, table, group string) ([]KeyOp, error) {
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	logReads := func() int64 {
+		var n int64
+		for _, id := range c.LiveServers() {
+			n += c.Server(id).Stats().LogReads.Load()
+		}
+		return n
+	}
+
+	var out []KeyOp
+	measure := func(name string, fn func() (int, error)) error {
+		c.Clock().Reset()
+		before := logReads()
+		start := time.Now()
+		rows, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		// At the gate scale the predicate always has >= limit matches;
+		// smaller test fixtures deliver every match instead.
+		if rows == 0 {
+			return fmt.Errorf("%s delivered no rows", name)
+		}
+		wall := time.Since(start)
+		disk := c.Clock().Elapsed()
+		out = append(out, KeyOp{
+			Name:        name,
+			Ops:         int64(rows),
+			DiskUSPerOp: float64(disk) / float64(time.Microsecond) / float64(rows),
+			WallUSPerOp: float64(wall) / float64(time.Microsecond) / float64(rows),
+			RowsShipped: logReads() - before,
+		})
+		return nil
+	}
+
+	// Push-down: limit + key predicate evaluated at the tablet servers;
+	// the scan fetches ~limit rows from the log, total.
+	if err := measure("scan-pushdown", func() (int, error) {
+		rows := 0
+		err := cl.ScanOpts(ctx, table, group, nil, nil,
+			readopt.Options{Limit: scanPushLimit, Key: scanPushPred()},
+			func(core.Row) bool { rows++; return true })
+		return rows, err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Client-side baseline: the pre-pushdown shape — every row streams
+	// out of the servers, the client filters and truncates.
+	if err := measure("scan-clientfilter", func() (int, error) {
+		pred := scanPushPred()
+		rows := 0
+		err := cl.ScanOpts(ctx, table, group, nil, nil, readopt.Options{},
+			func(r core.Row) bool {
+				if !pred.Match(r.Key) {
+					return true
+				}
+				rows++
+				return rows < scanPushLimit
+			})
+		return rows, err
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"slices"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/readopt"
 	"repro/internal/txn"
 )
 
@@ -204,45 +206,90 @@ func (cl *Client) Delete(table, group string, key []byte) error {
 // Scan streams the latest version of each key in [start, end) across
 // all tablets the range spans, in key order (sub-ranges execute
 // per-server, paper §3.6.4). Cancelling ctx aborts the scan within one
-// batch boundary and returns ctx.Err().
+// batch boundary and returns ctx.Err(). It is the no-options adapter
+// over ScanOpts.
 func (cl *Client) Scan(ctx context.Context, table, group string, start, end []byte, fn func(core.Row) bool) error {
+	return cl.ScanOpts(ctx, table, group, start, end, readopt.Options{}, fn)
+}
+
+// errStopScan signals "fn asked to stop": a clean early end, not a
+// failure.
+var errStopScan = errors.New("cluster: scan consumer stopped")
+
+// ScanOpts streams the rows of [start, end) matching the push-down
+// options across every tablet the range spans. The options are
+// evaluated INSIDE each tablet server (core.ReadScanOptions): a
+// limited or filtered scan ships only surviving rows, and stops
+// issuing log reads once the cross-tablet limit is satisfied.
+//
+// Row order is ascending key order — descending with ro.Reverse, which
+// visits tablets in reverse range order and walks each tablet's index
+// backwards. The snapshot is pinned once up front (ro.Snapshot, 0 =
+// latest), so the stream is consistent even across stale-routing
+// retries: like Scan, a tablet-start routing error (split/move/
+// failover between the router read and the scan) retries the REMAINING
+// range with fresh metadata — resuming at the failing tablet's range
+// start (its range end for reverse scans), so completed tablets are
+// never re-streamed and the limit never double-counts.
+func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end []byte, ro readopt.Options, fn func(core.Row) bool) error {
 	cl.rpc()
-	snapshot := cl.c.svc.LastTimestamp()
-	// Tablet-start errors (the range split or moved between the router
-	// read and the scan) retry the REMAINING range with fresh metadata:
-	// tablets before the failing one already streamed in key order, so
-	// resuming at the failing tablet's range start never duplicates.
-	// Errors mid-stream are real (a started scan keeps serving from its
-	// resolved index even if the tablet is concurrently removed).
+	ts := ro.Snapshot
+	if ts == 0 {
+		ts = cl.c.svc.LastTimestamp()
+	}
+	// Fold the prefix into the routing bounds once; per-server options
+	// then re-clamp harmlessly.
+	start, end = ro.ClampRange(start, end)
+	ro.Prefix = nil
+	remaining := ro.Limit
 	for attempt := 0; ; attempt++ {
 		router, err := cl.c.Router(table)
 		if err != nil {
 			return err
 		}
+		tabs := router.Overlapping(start, end)
+		if ro.Reverse {
+			slices.Reverse(tabs)
+		}
 		stale := false
-		for _, tab := range router.Overlapping(start, end) {
+		for _, tab := range tabs {
+			perTablet := ro
+			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
-				stop := false
-				err = srv.Scan(ctx, tab.ID, group, start, end, snapshot, func(r core.Row) bool {
-					if !fn(r) {
-						stop = true
-						return false
+				sent := 0
+				err = srv.ParallelScan(ctx, tab.ID, group, core.ReadScanOptions(start, end, ts, perTablet), func(rows []core.Row) error {
+					for _, r := range rows {
+						if !fn(r) {
+							return errStopScan
+						}
+						sent++
 					}
-					return true
+					return nil
 				})
-				if err == nil {
-					if stop {
+				if remaining > 0 {
+					if remaining -= sent; remaining <= 0 && err == nil {
 						return nil
 					}
+				}
+				if err == nil {
 					continue
+				}
+				if errors.Is(err, errStopScan) {
+					return nil
 				}
 			}
 			if !retryableRouting(err) || attempt >= staleRetries {
 				return err
 			}
-			// Resume from this tablet's slice of the request range.
-			if len(tab.Range.Start) > 0 && (len(start) == 0 || bytes.Compare(tab.Range.Start, start) > 0) {
+			// Resume from this tablet's slice of the request range:
+			// forward scans have fully streamed every tablet before it,
+			// reverse scans every tablet above it.
+			if ro.Reverse {
+				if tab.Range.End != nil && (end == nil || bytes.Compare(tab.Range.End, end) < 0) {
+					end = tab.Range.End
+				}
+			} else if len(tab.Range.Start) > 0 && (len(start) == 0 || bytes.Compare(tab.Range.Start, start) > 0) {
 				start = tab.Range.Start
 			}
 			stale = true
@@ -255,12 +302,42 @@ func (cl *Client) Scan(ctx context.Context, table, group string, start, end []by
 	}
 }
 
+// Read is the unified point read evaluated at the owning tablet server
+// (core.Server.ReadRow): the visible version at ro.Snapshot, or every
+// version with ro.AllVersions, filtered and limited server-side.
+func (cl *Client) Read(table, group string, key []byte, ro readopt.Options) ([]core.Row, error) {
+	cl.rpc()
+	var rows []core.Row
+	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		r, err := srv.ReadRow(tablet, group, key, ro)
+		rows = r
+		return err
+	})
+	return rows, err
+}
+
 // FullScan streams every live row of a table's column group; tablets
 // are scanned sequentially here, and the bench harness fans out one
 // goroutine per server for the parallel-scan experiments. Cancelling
-// ctx aborts the scan within one batch boundary.
+// ctx aborts the scan within one batch boundary. It is the no-options
+// adapter over FullScanOpts.
 func (cl *Client) FullScan(ctx context.Context, table, group string, fn func(core.Row) bool) error {
+	return cl.FullScanOpts(ctx, table, group, readopt.Options{}, fn)
+}
+
+// FullScanOpts streams live rows of the table's column group in log
+// order per tablet, with the push-down options (snapshot pinning,
+// prefix/key/value predicates, limit) evaluated inside each tablet
+// server (core.Server.FullScanOpts). The limit is tracked across
+// tablets, so the sweep stops as soon as enough surviving rows have
+// streamed cluster-wide.
+func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro readopt.Options, fn func(core.Row) bool) error {
 	cl.rpc()
+	if ro.Snapshot == 0 {
+		// Pin now so stale-routing retries replay the same snapshot.
+		ro.Snapshot = cl.c.svc.LastTimestamp()
+	}
+	remaining := ro.Limit
 	// Coverage-tracking retry: on a tablet-start routing error the
 	// router is re-read, and tablets whose key range is already covered
 	// by a completed per-tablet scan are skipped — a tablet that split
@@ -279,17 +356,25 @@ func (cl *Client) FullScan(ctx context.Context, table, group string, fn func(cor
 			if rangeCovered(done, tab.Range) {
 				continue
 			}
+			perTablet := ro
+			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
-				stop := false
-				err = srv.FullScan(ctx, tab.ID, group, func(r core.Row) bool {
+				stop, sent := false, 0
+				err = srv.FullScanOpts(ctx, tab.ID, group, perTablet, func(r core.Row) bool {
 					if !fn(r) {
 						stop = true
 						return false
 					}
+					sent++
 					return true
 				})
 				if err == nil {
+					if remaining > 0 {
+						if remaining -= sent; remaining <= 0 {
+							return nil
+						}
+					}
 					if stop {
 						return nil
 					}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/readopt"
 	"repro/internal/wal"
 )
 
@@ -45,7 +46,27 @@ type ScanOptions struct {
 	// RowFilter, when non-nil, drops fetched rows (value predicates run
 	// after the log read, but still inside the scan workers).
 	RowFilter func(Row) bool
-	// Workers caps scan parallelism; <= 1 means a serial scan.
+	// KeyPred is the serializable key predicate (readopt wire shape):
+	// like KeyFilter it is decided from the index entry alone, so
+	// rejected rows cost no log I/O.
+	KeyPred *readopt.Predicate
+	// ValuePred is the serializable value predicate, evaluated after
+	// the log read but still inside the tablet server — filtered rows
+	// never reach the wire.
+	ValuePred *readopt.Predicate
+	// Limit caps the rows emitted (after all filtering); 0 = no limit.
+	// Once the limit is reached the scan stops issuing log reads: with
+	// no residual value predicate, index pages are capped at the rows
+	// still owed, so a limited scan over a huge range costs Limit log
+	// reads, not a range's worth.
+	Limit int
+	// Reverse emits rows in descending key order via the index's
+	// descending traversal. Reverse scans are serial (Workers is
+	// ignored) so the stream order is the contract.
+	Reverse bool
+	// Workers caps scan parallelism; <= 1 means a serial scan. Ignored
+	// (forced serial) when Limit or Reverse is set: both are
+	// order-and-count contracts that sharding would break.
 	Workers int
 	// Batch is the fetch/emit granularity in rows (0 = 256).
 	Batch int
@@ -55,6 +76,22 @@ type ScanOptions struct {
 	// and batched log reads are already sequential — scans are
 	// cache-resistant unless the caller knows its range is hot.
 	UseCache bool
+}
+
+// ReadScanOptions compiles the wire-level push-down options into engine
+// ScanOptions for [start, end): the prefix is intersected into the
+// bounds and every serializable predicate is carried through for
+// server-side evaluation. ts is the resolved snapshot timestamp
+// (callers translate Snapshot==0 into "latest" before this point).
+func ReadScanOptions(start, end []byte, ts int64, ro readopt.Options) ScanOptions {
+	start, end = ro.ClampRange(start, end)
+	return ScanOptions{
+		Start: start, End: end, TS: ts,
+		MinTS: ro.MinTS, MaxTS: ro.MaxTS,
+		KeyPred: ro.Key, ValuePred: ro.Value,
+		Limit: ro.Limit, Reverse: ro.Reverse,
+		Batch: ro.BatchSize, Workers: 1,
+	}
 }
 
 const defaultScanBatch = 1024
@@ -90,6 +127,12 @@ func (s *Server) ParallelScan(ctx context.Context, tabletID, group string, opt S
 		opt.Batch = defaultScanBatch
 	}
 	workers := opt.Workers
+	if opt.Limit > 0 || opt.Reverse {
+		// Limit and Reverse are order/count contracts: a sharded scan
+		// would interleave shards (breaking order) and over-fetch
+		// (breaking the limit's I/O bound), so both run serial.
+		workers = 1
+	}
 	if workers <= 1 {
 		return s.scanShard(ctx, t, g, group, opt, opt.Start, opt.End, emit)
 	}
@@ -149,41 +192,71 @@ var errScanCanceled = errors.New("core: scan canceled")
 // scanShard scans one contiguous key sub-range in pages of opt.Batch
 // entries: each page is collected from the index (with predicates
 // pushed down), the tree latch is released, the page is fetched and
-// emitted, and the scan re-descends at the successor of the last key.
-// Memory stays O(Batch) regardless of range size, and the log I/O
-// never happens under the index latch. The context is checked once per
-// page, bounding post-cancellation work to a single batch.
+// emitted, and the scan re-descends at the successor of the last key
+// (or, for reverse scans, just below it). Memory stays O(Batch)
+// regardless of range size, and the log I/O never happens under the
+// index latch. The context is checked once per page, bounding
+// post-cancellation work to a single batch.
+//
+// A Limit both truncates the emitted stream and bounds the I/O: when no
+// post-fetch predicate is in play, index pages are capped at the rows
+// still owed, so the scan performs at most Limit log reads; with a
+// residual value predicate the scan keeps paging but stops the moment
+// the limit-th surviving row has been emitted.
 func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group string, opt ScanOptions, start, end []byte, emit func([]Row) error) error {
-	flush := func(chunk []index.Entry) error {
+	remaining := opt.Limit // 0 = unlimited
+	// Post-fetch predicates make the per-page survivor count
+	// unpredictable, so only their absence lets the limit cap the page.
+	residual := opt.RowFilter != nil || opt.ValuePred != nil
+	flush := func(chunk []index.Entry) (int, error) {
 		if len(chunk) == 0 {
-			return nil
+			return 0, nil
 		}
 		rows, err := s.fetchRows(t, group, chunk, opt.UseCache)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		if opt.RowFilter != nil {
+		var fetchedBytes int64
+		for _, r := range rows {
+			fetchedBytes += int64(len(r.Value))
+		}
+		// Elasticity load accounting: scans count what they fetched, so
+		// the balancer sees scan-heavy tablets too.
+		t.load.add(int64(len(rows)), fetchedBytes)
+		if residual {
 			kept := rows[:0]
 			for _, r := range rows {
-				if opt.RowFilter(r) {
-					kept = append(kept, r)
+				if opt.RowFilter != nil && !opt.RowFilter(r) {
+					continue
 				}
+				if !opt.ValuePred.Match(r.Value) {
+					continue
+				}
+				kept = append(kept, r)
 			}
 			rows = kept
 		}
-		if len(rows) == 0 {
-			return nil
+		if opt.Limit > 0 && len(rows) > remaining {
+			rows = rows[:remaining]
 		}
-		return emit(rows)
+		if len(rows) == 0 {
+			return 0, nil
+		}
+		return len(rows), emit(rows)
 	}
 	entries := make([]index.Entry, 0, opt.Batch)
 	cursor := start
+	revCursor := end
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		goal := opt.Batch
+		if opt.Limit > 0 && !residual && remaining < goal {
+			goal = remaining
+		}
 		entries = entries[:0]
-		g.tree().RangeLatest(cursor, end, opt.TS, func(e index.Entry) bool {
+		collect := func(e index.Entry) bool {
 			// Push-down predicates: decided from the index entry alone, so
 			// a rejected row costs zero log I/O (and no page slot).
 			if opt.MinTS != 0 && e.TS < opt.MinTS {
@@ -195,19 +268,39 @@ func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group
 			if opt.KeyFilter != nil && !opt.KeyFilter(e.Key, e.TS) {
 				return true
 			}
+			if !opt.KeyPred.Match(e.Key) {
+				return true
+			}
 			entries = append(entries, e)
-			return len(entries) < opt.Batch
-		})
-		if err := flush(entries); err != nil {
+			return len(entries) < goal
+		}
+		if opt.Reverse {
+			g.tree().RangeLatestRev(cursor, revCursor, opt.TS, collect)
+		} else {
+			g.tree().RangeLatest(cursor, end, opt.TS, collect)
+		}
+		n, err := flush(entries)
+		if err != nil {
 			return err
 		}
-		if len(entries) < opt.Batch {
+		if opt.Limit > 0 {
+			if remaining -= n; remaining <= 0 {
+				return nil // limit satisfied: no further index or log reads
+			}
+		}
+		if len(entries) < goal {
 			return nil // range exhausted
 		}
-		// Page full: resume just past the last delivered key (RangeLatest
-		// reports one entry per key, so the successor cannot skip data).
 		last := entries[len(entries)-1].Key
-		cursor = append(append(make([]byte, 0, len(last)+1), last...), 0)
+		if opt.Reverse {
+			// Keys arrive strictly descending (one entry per key), so the
+			// last key itself is the next page's exclusive upper bound.
+			revCursor = append(make([]byte, 0, len(last)), last...)
+		} else {
+			// Page full: resume just past the last delivered key (RangeLatest
+			// reports one entry per key, so the successor cannot skip data).
+			cursor = append(append(make([]byte, 0, len(last)+1), last...), 0)
+		}
 	}
 }
 

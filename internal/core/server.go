@@ -25,6 +25,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/index"
 	"repro/internal/partition"
+	"repro/internal/readopt"
 	"repro/internal/wal"
 )
 
@@ -340,7 +341,7 @@ func (s *Server) indexFilePath(tabletID, group string) string {
 
 // Get returns the latest version of key in the column group.
 func (s *Server) Get(tabletID, group string, key []byte) (Row, error) {
-	return s.GetAt(tabletID, group, key, int64(^uint64(0)>>1))
+	return s.GetAt(tabletID, group, key, maxTS)
 }
 
 // GetAt returns the latest version of key visible at snapshot ts
@@ -494,44 +495,11 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 // (no key order), checking each scanned version against the index so
 // only current data is returned (paper §3.6.4 full table scan). It
 // reads segments sequentially — the batch-analytics path. Cancelling
-// ctx aborts the scan within scanCheckEvery records.
+// ctx aborts the scan within scanCheckEvery records. It is the
+// no-options adapter over FullScanOpts (read.go), which additionally
+// applies snapshot pinning, limits, and push-down predicates.
 func (s *Server) FullScan(ctx context.Context, tabletID, group string, fn func(Row) bool) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	t, err := s.tablet(tabletID)
-	if err != nil {
-		return err
-	}
-	g, err := t.group(group)
-	if err != nil {
-		return err
-	}
-	var loadRows, loadBytes int64
-	defer func() { t.load.add(loadRows, loadBytes) }()
-	sc := s.log.NewScanner(wal.Position{})
-	for n := 0; sc.Next(); n++ {
-		if n%scanCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		rec := sc.Record()
-		if rec.Kind != wal.KindWrite || rec.Tablet != tabletID || rec.Group != group {
-			continue
-		}
-		// Version check: only the current version per the index counts.
-		cur, ok := g.tree().Latest(rec.Key)
-		if !ok || cur.TS != rec.TS || cur.Ptr != sc.Ptr() {
-			continue
-		}
-		loadRows++
-		loadBytes += int64(len(rec.Value))
-		if !fn(Row{Key: rec.Key, TS: rec.TS, Value: rec.Value}) {
-			return nil
-		}
-	}
-	return sc.Err()
+	return s.FullScanOpts(ctx, tabletID, group, readopt.Options{}, fn)
 }
 
 // IndexLen returns the number of index entries for a column group.

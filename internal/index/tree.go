@@ -437,6 +437,77 @@ func (t *Tree) AscendRange(start, end []byte, fn func(Entry) bool) {
 	}
 }
 
+// DescendRange calls fn for entries with start <= Key < end (all
+// versions), in REVERSE composite-key order (descending key, and
+// descending timestamp within a key). A nil end means "from the end of
+// the keyspace"; empty start means "down to the first key". Because
+// leaves only link rightward, the walk is a parent-guided descent:
+// children are visited in reverse under the read latch, pruning
+// subtrees wholly outside the range — the descending-traversal
+// primitive behind reverse scans.
+func (t *Tree) DescendRange(start, end []byte, fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.descendNode(t.root, start, end, fn)
+}
+
+// descendNode visits n's entries in reverse order, reporting whether
+// the caller should keep descending (false = fn stopped the walk or the
+// walk went below start).
+func (t *Tree) descendNode(n *node, start, end []byte, fn func(Entry) bool) bool {
+	if n.leaf {
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			e := n.entries[i]
+			if end != nil && bytes.Compare(e.Key, end) >= 0 {
+				continue
+			}
+			if len(start) > 0 && bytes.Compare(e.Key, start) < 0 {
+				return false
+			}
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		// keys[i-1] is child i-1's inclusive high key, so child i holds
+		// only keys greater than it: skip the child when that low bound
+		// already reaches end, stop entirely once it falls below start
+		// (children to the left are smaller still).
+		if i > 0 && end != nil && bytes.Compare(n.keys[i-1].Key, end) >= 0 {
+			continue
+		}
+		if !t.descendNode(n.children[i], start, end, fn) {
+			return false
+		}
+		if i > 0 && len(start) > 0 && bytes.Compare(n.keys[i-1].Key, start) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeLatestRev iterates the range [start, end) in DESCENDING key
+// order and reports, per key, the latest version visible at snapshot
+// ts — the reverse-scan read path. Within one key, versions arrive in
+// descending timestamp order, so the first version with TS <= ts is the
+// visible one.
+func (t *Tree) RangeLatestRev(start, end []byte, ts int64, fn func(Entry) bool) {
+	var lastKey []byte
+	haveKey, emitted := false, false
+	t.DescendRange(start, end, func(e Entry) bool {
+		if !haveKey || !bytes.Equal(e.Key, lastKey) {
+			lastKey, haveKey, emitted = e.Key, true, false
+		}
+		if emitted || e.TS > ts {
+			return true
+		}
+		emitted = true
+		return fn(e)
+	})
+}
+
 // SplitKeys returns up to n-1 keys that partition [start, end) into
 // roughly equal-population shards, by sampling the first key of each
 // leaf intersecting the range (leaves hold bounded entry counts, so

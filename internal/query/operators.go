@@ -51,14 +51,7 @@ func newScanOp(ctx context.Context, src Source, tablet, group string, ts int64, 
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	opt := core.ScanOptions{
-		Start:   q.Filter.Start,
-		End:     q.Filter.End,
-		TS:      ts,
-		MinTS:   q.Filter.MinTS,
-		MaxTS:   q.Filter.MaxTS,
-		Workers: workers,
-	}
+	opt := q.Filter.scanOptions(q.Filter.Start, q.Filter.End, ts, workers, 0)
 	go func() {
 		defer close(op.fin)
 		err := src.ParallelScan(ctx, tablet, group, opt, func(rows []core.Row) error {

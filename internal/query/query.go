@@ -22,19 +22,46 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/readopt"
 )
 
-// Filter is the predicate set of a query. Start/End and MinTS/MaxTS are
-// pushed down into the index scan (rows they reject cost no log I/O);
-// Pred is the residual value predicate, evaluated after the fetch.
+// Filter is the predicate set of a query. Start/End, MinTS/MaxTS, and
+// Key are pushed down into the index scan (rows they reject cost no
+// log I/O); Value runs after the log fetch but still inside the scan
+// workers; Pred is the residual client-side predicate for anything the
+// serializable set cannot express.
+//
+// Key and Value are the SAME serializable push-down structs
+// (readopt.Predicate) the Store read path ships to tablet servers —
+// one predicate vocabulary across the OLTP scan API, the wire
+// protocol, and the analytical executor.
 type Filter struct {
 	// Start and End bound the key range [Start, End); nil = open.
 	Start, End []byte
 	// MinTS / MaxTS, when non-zero, keep only rows whose visible version
 	// was committed in [MinTS, MaxTS] — "what changed in this window".
 	MinTS, MaxTS int64
+	// Key keeps only rows whose key matches (prefix/contains/range);
+	// evaluated on index entries, before any log read.
+	Key *readopt.Predicate
+	// Value keeps only rows whose value matches; evaluated after the
+	// log read, inside the scan workers.
+	Value *readopt.Predicate
 	// Pred keeps rows it returns true for; nil keeps everything.
 	Pred func(core.Row) bool
+}
+
+// scanOptions compiles the filter's push-down portion into engine
+// ScanOptions for one shard [start, end) at snapshot ts — the shared
+// conversion point with the Store read path (core.ReadScanOptions).
+func (f Filter) scanOptions(start, end []byte, ts int64, workers, batch int) core.ScanOptions {
+	opt := core.ReadScanOptions(start, end, ts, readopt.Options{
+		MinTS: f.MinTS, MaxTS: f.MaxTS,
+		Key: f.Key, Value: f.Value,
+		BatchSize: batch,
+	})
+	opt.Workers = workers
+	return opt
 }
 
 // AggKind enumerates the aggregation operators.

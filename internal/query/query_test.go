@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/partition"
+	"repro/internal/readopt"
 )
 
 const (
@@ -291,5 +292,53 @@ func TestParseAggKind(t *testing.T) {
 	}
 	if _, err := ParseAggKind("MEDIAN"); err == nil {
 		t.Error("ParseAggKind(MEDIAN) succeeded")
+	}
+}
+
+func TestSerializablePredicateFilters(t *testing.T) {
+	s := newServer(t)
+	const n = 600
+	ts := load(t, s, n)
+	snap := NewSnapshot(ts, Target{Source: s, Tablet: testTablet})
+
+	// Key predicate (shared readopt struct): index-level push-down.
+	res, err := snap.Run(context.Background(), testGroup, Query{
+		Filter:  Filter{Key: readopt.Prefix([]byte("user0001"))},
+		Aggs:    []Agg{{Kind: Count}},
+		Workers: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rows != 100 {
+		t.Fatalf("key-pred rows = %d, want 100", res.Rows)
+	}
+
+	// Value predicate: post-fetch, still inside the scan workers.
+	res, err = snap.Run(context.Background(), testGroup, Query{
+		Filter: Filter{Value: readopt.Contains([]byte("7"))},
+		Aggs:   []Agg{{Kind: Count}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		if bytes.Contains([]byte(strconv.Itoa(i)), []byte("7")) {
+			want++
+		}
+	}
+	if res.Rows != want {
+		t.Fatalf("value-pred rows = %d, want %d", res.Rows, want)
+	}
+
+	// Snapshot.Scan honours the same predicates.
+	seen := 0
+	err = snap.Scan(context.Background(), testGroup, Filter{Key: readopt.Range([]byte("user000100"), []byte("user000200"))}, func(r core.Row) bool {
+		seen++
+		return true
+	})
+	if err != nil || seen != 100 {
+		t.Fatalf("scan with range pred saw %d rows (%v), want 100", seen, err)
 	}
 }

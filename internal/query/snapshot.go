@@ -180,15 +180,8 @@ func (s *Snapshot) Scan(ctx context.Context, group string, f Filter, fn func(cor
 	}
 	stopped := errors.New("stop")
 	for _, tgt := range s.targets {
-		opt := core.ScanOptions{
-			Start: f.Start,
-			End:   f.End,
-			TS:    s.ts,
-			MinTS: f.MinTS,
-			MaxTS: f.MaxTS,
-			// Workers deliberately 1: key order inside the target.
-			Workers: 1,
-		}
+		// Workers deliberately 1: key order inside the target.
+		opt := f.scanOptions(f.Start, f.End, s.ts, 1, 0)
 		err := tgt.Source.ParallelScan(ctx, tgt.Tablet, group, opt, func(rows []core.Row) error {
 			for _, r := range rows {
 				if f.Pred != nil && !f.Pred(r) {

@@ -1,0 +1,262 @@
+// Package readopt defines the composable push-down read options shared
+// by every layer of the read path: the public Store API collects them,
+// the wire protocol (internal/textproto) serialises them, the cluster
+// routing client ships them to tablet servers, and the tablet server
+// (internal/core) evaluates them against the multiversion index — so a
+// limited or filtered scan stops issuing log reads at the server
+// instead of dragging every row across the cluster.
+//
+// Everything here is data, not code: predicates are a small closed set
+// (prefix / contains / range) with a textual wire form, NOT Go
+// closures, which is what lets them cross a process boundary.
+package readopt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// PredKind enumerates the serializable predicate operators.
+type PredKind uint8
+
+const (
+	// PredPrefix matches operands beginning with A.
+	PredPrefix PredKind = iota + 1
+	// PredContains matches operands containing the subslice A.
+	PredContains
+	// PredRange matches operands in [A, B); nil bounds are open.
+	PredRange
+)
+
+// String names the operator in the wire form (PREFIX, CONTAINS, RANGE).
+func (k PredKind) String() string {
+	switch k {
+	case PredPrefix:
+		return "PREFIX"
+	case PredContains:
+		return "CONTAINS"
+	case PredRange:
+		return "RANGE"
+	}
+	return fmt.Sprintf("PredKind(%d)", uint8(k))
+}
+
+// Predicate is one serializable predicate over a byte string (a row key
+// or a row value). The zero Predicate is invalid; build them with
+// Prefix, Contains, or Range.
+type Predicate struct {
+	Kind PredKind
+	// A is the prefix, the contained subslice, or the range low bound.
+	A []byte
+	// B is the range high bound (exclusive; nil = open). Unused by
+	// PredPrefix and PredContains.
+	B []byte
+}
+
+// Prefix matches byte strings starting with p.
+func Prefix(p []byte) *Predicate { return &Predicate{Kind: PredPrefix, A: cp(p)} }
+
+// Contains matches byte strings containing sub.
+func Contains(sub []byte) *Predicate { return &Predicate{Kind: PredContains, A: cp(sub)} }
+
+// Range matches byte strings in [lo, hi); nil bounds are open.
+func Range(lo, hi []byte) *Predicate { return &Predicate{Kind: PredRange, A: cp(lo), B: cp(hi)} }
+
+func cp(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Match evaluates the predicate against b. A nil predicate matches
+// everything (callers may hold a *Predicate that was never set).
+func (p *Predicate) Match(b []byte) bool {
+	if p == nil {
+		return true
+	}
+	switch p.Kind {
+	case PredPrefix:
+		return bytes.HasPrefix(b, p.A)
+	case PredContains:
+		return bytes.Contains(b, p.A)
+	case PredRange:
+		if len(p.A) > 0 && bytes.Compare(b, p.A) < 0 {
+			return false
+		}
+		return p.B == nil || bytes.Compare(b, p.B) < 0
+	}
+	return false
+}
+
+// Wire form: predicates serialise to space-separated tokens with %-
+// escaped operands, e.g.
+//
+//	PREFIX user/007/
+//	CONTAINS %20checkout
+//	RANGE user/000 user/100
+//
+// A RANGE open bound is the literal "*". Escaping covers space, '%',
+// '*', and control bytes, so any key material round-trips.
+
+// EncodeWire renders the predicate in its wire form.
+func (p *Predicate) EncodeWire() string {
+	switch p.Kind {
+	case PredPrefix, PredContains:
+		return p.Kind.String() + " " + EscapeOperand(p.A)
+	case PredRange:
+		lo, hi := "*", "*"
+		if len(p.A) > 0 {
+			lo = EscapeOperand(p.A)
+		}
+		if p.B != nil {
+			hi = EscapeOperand(p.B)
+		}
+		return "RANGE " + lo + " " + hi
+	}
+	return ""
+}
+
+// ParsePredicate consumes one predicate from the front of tokens and
+// returns it with the unconsumed tail. Operands are unescaped.
+func ParsePredicate(tokens []string) (*Predicate, []string, error) {
+	if len(tokens) == 0 {
+		return nil, tokens, fmt.Errorf("readopt: empty predicate")
+	}
+	switch strings.ToUpper(tokens[0]) {
+	case "PREFIX", "CONTAINS":
+		if len(tokens) < 2 {
+			return nil, tokens, fmt.Errorf("readopt: %s needs an operand", strings.ToUpper(tokens[0]))
+		}
+		a, err := UnescapeOperand(tokens[1])
+		if err != nil {
+			return nil, tokens, err
+		}
+		kind := PredPrefix
+		if strings.ToUpper(tokens[0]) == "CONTAINS" {
+			kind = PredContains
+		}
+		return &Predicate{Kind: kind, A: a}, tokens[2:], nil
+	case "RANGE":
+		if len(tokens) < 3 {
+			return nil, tokens, fmt.Errorf("readopt: RANGE needs two operands")
+		}
+		var lo, hi []byte
+		var err error
+		if tokens[1] != "*" {
+			if lo, err = UnescapeOperand(tokens[1]); err != nil {
+				return nil, tokens, err
+			}
+		}
+		if tokens[2] != "*" {
+			if hi, err = UnescapeOperand(tokens[2]); err != nil {
+				return nil, tokens, err
+			}
+			if hi == nil {
+				hi = []byte{}
+			}
+		}
+		return &Predicate{Kind: PredRange, A: lo, B: hi}, tokens[3:], nil
+	}
+	return nil, tokens, fmt.Errorf("readopt: unknown predicate %q", tokens[0])
+}
+
+// EscapeOperand %-escapes bytes that would break space-separated
+// tokenisation (space, '%', '*', control bytes, and 0x7f+).
+func EscapeOperand(b []byte) string {
+	var sb strings.Builder
+	for _, c := range b {
+		if c <= 0x20 || c == '%' || c == '*' || c >= 0x7f {
+			fmt.Fprintf(&sb, "%%%02x", c)
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// UnescapeOperand reverses EscapeOperand.
+func UnescapeOperand(s string) ([]byte, error) {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			out = append(out, s[i])
+			continue
+		}
+		if i+3 > len(s) {
+			return nil, fmt.Errorf("readopt: truncated %%-escape in %q", s)
+		}
+		var c byte
+		if _, err := fmt.Sscanf(s[i+1:i+3], "%02x", &c); err != nil {
+			return nil, fmt.Errorf("readopt: bad %%-escape in %q", s)
+		}
+		out = append(out, c)
+		i += 2
+	}
+	return out, nil
+}
+
+// Options is the resolved push-down read option set: what a Scan,
+// FullScan, or Read evaluates at the tablet server. The zero value
+// means "everything, forward, at the latest snapshot".
+type Options struct {
+	// Limit caps the number of rows returned (after all filtering);
+	// 0 = unlimited. The server stops issuing log reads once the limit
+	// is reached.
+	Limit int
+	// Reverse returns rows in descending key order (descending
+	// timestamp order for version reads).
+	Reverse bool
+	// Snapshot pins the scan at this timestamp; 0 = the latest
+	// committed timestamp at call time.
+	Snapshot int64
+	// Prefix restricts the scan to keys with this prefix (an
+	// intersection with the positional [start, end) bounds).
+	Prefix []byte
+	// MinTS / MaxTS, when non-zero, keep only rows whose visible
+	// version was committed in [MinTS, MaxTS].
+	MinTS, MaxTS int64
+	// Key keeps only rows whose key matches; evaluated on index
+	// entries, before any log read.
+	Key *Predicate
+	// Value keeps only rows whose value matches; evaluated after the
+	// log read, still inside the tablet server.
+	Value *Predicate
+	// BatchSize is the row-batch granularity between server and
+	// consumer (0 = the engine default).
+	BatchSize int
+	// AllVersions makes Read return every stored version of the key
+	// (oldest first; newest first with Reverse) instead of the single
+	// visible one.
+	AllVersions bool
+}
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix (nil = the prefix is all 0xff bytes or empty, i.e. no
+// upper bound).
+func PrefixEnd(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			end := append([]byte(nil), prefix[:i+1]...)
+			end[i]++
+			return end
+		}
+	}
+	return nil
+}
+
+// ClampRange intersects [start, end) with the option's Prefix,
+// returning the effective scan bounds.
+func (o Options) ClampRange(start, end []byte) ([]byte, []byte) {
+	if len(o.Prefix) == 0 {
+		return start, end
+	}
+	if len(start) == 0 || bytes.Compare(o.Prefix, start) > 0 {
+		start = o.Prefix
+	}
+	if pe := PrefixEnd(o.Prefix); pe != nil && (end == nil || bytes.Compare(pe, end) < 0) {
+		end = pe
+	}
+	return start, end
+}

@@ -1,0 +1,112 @@
+package readopt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPredicateMatch(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Predicate
+		in   []byte
+		want bool
+	}{
+		{"nil matches", nil, []byte("anything"), true},
+		{"prefix hit", Prefix([]byte("user/")), []byte("user/007"), true},
+		{"prefix miss", Prefix([]byte("user/")), []byte("item/007"), false},
+		{"contains hit", Contains([]byte("cart")), []byte("/cart/add"), true},
+		{"contains miss", Contains([]byte("cart")), []byte("/home"), false},
+		{"range inside", Range([]byte("b"), []byte("d")), []byte("c"), true},
+		{"range low edge", Range([]byte("b"), []byte("d")), []byte("b"), true},
+		{"range high edge", Range([]byte("b"), []byte("d")), []byte("d"), false},
+		{"range below", Range([]byte("b"), []byte("d")), []byte("a"), false},
+		{"range open low", Range(nil, []byte("d")), []byte("a"), true},
+		{"range open high", Range([]byte("b"), nil), []byte("zzz"), true},
+	}
+	for _, c := range cases {
+		if got := c.p.Match(c.in); got != c.want {
+			t.Errorf("%s: Match(%q) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestPredicateWireRoundTrip(t *testing.T) {
+	preds := []*Predicate{
+		Prefix([]byte("user/007/")),
+		Prefix([]byte("sp ace%and*star")),
+		Contains([]byte{0x00, 0x01, 0xff}),
+		Range([]byte("a"), []byte("q")),
+		Range(nil, []byte("q")),
+		Range([]byte("a"), nil),
+	}
+	for _, p := range preds {
+		wire := p.EncodeWire()
+		got, rest, err := ParsePredicate(append(splitTokens(wire), "TAIL"))
+		if err != nil {
+			t.Fatalf("parse %q: %v", wire, err)
+		}
+		if len(rest) != 1 || rest[0] != "TAIL" {
+			t.Fatalf("parse %q left %v", wire, rest)
+		}
+		if got.Kind != p.Kind || !bytes.Equal(got.A, p.A) || !bytes.Equal(got.B, p.B) {
+			t.Fatalf("round trip %q: got %+v, want %+v", wire, got, p)
+		}
+	}
+}
+
+func splitTokens(s string) []string {
+	var out []string
+	for _, f := range bytes.Fields([]byte(s)) {
+		out = append(out, string(f))
+	}
+	return out
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	for _, tokens := range [][]string{
+		nil,
+		{"PREFIX"},
+		{"RANGE", "a"},
+		{"NOPE", "x"},
+		{"PREFIX", "%zz"},
+		{"PREFIX", "abc%2"},
+	} {
+		if _, _, err := ParsePredicate(tokens); err == nil {
+			t.Errorf("ParsePredicate(%v): expected error", tokens)
+		}
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := PrefixEnd([]byte("abc")); !bytes.Equal(got, []byte("abd")) {
+		t.Fatalf("PrefixEnd(abc) = %q", got)
+	}
+	if got := PrefixEnd([]byte{'a', 0xff}); !bytes.Equal(got, []byte{'b'}) {
+		t.Fatalf("PrefixEnd(a\\xff) = %q", got)
+	}
+	if got := PrefixEnd([]byte{0xff, 0xff}); got != nil {
+		t.Fatalf("PrefixEnd(all-ff) = %q, want nil", got)
+	}
+	if got := PrefixEnd(nil); got != nil {
+		t.Fatalf("PrefixEnd(nil) = %q, want nil", got)
+	}
+}
+
+func TestClampRange(t *testing.T) {
+	o := Options{Prefix: []byte("user/")}
+	start, end := o.ClampRange(nil, nil)
+	if !bytes.Equal(start, []byte("user/")) || !bytes.Equal(end, []byte("user0")) {
+		t.Fatalf("ClampRange open = [%q, %q)", start, end)
+	}
+	// Tighter caller bounds survive.
+	start, end = o.ClampRange([]byte("user/7"), []byte("user/9"))
+	if !bytes.Equal(start, []byte("user/7")) || !bytes.Equal(end, []byte("user/9")) {
+		t.Fatalf("ClampRange tighter = [%q, %q)", start, end)
+	}
+	// No prefix: bounds unchanged.
+	start, end = Options{}.ClampRange([]byte("a"), nil)
+	if !bytes.Equal(start, []byte("a")) || end != nil {
+		t.Fatalf("ClampRange no prefix = [%q, %v)", start, end)
+	}
+}

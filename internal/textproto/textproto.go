@@ -4,6 +4,18 @@
 // <value>", "AGG <group> <op> <value> rows=<n>", "END <n>", "ERR
 // <msg>"). It exists as a package so the protocol is unit-testable
 // without sockets.
+//
+// SCAN carries the push-down read options on the wire:
+//
+//	SCAN <table> <group> [start|*] [end|*] [LIMIT n] [REVERSE]
+//	     [AT ts] [PREFIX p] [FILTER KEY|VAL <predicate>]
+//
+// where <predicate> is the serializable set from internal/readopt
+// (PREFIX <op> | CONTAINS <op> | RANGE <lo|*> <hi|*>, operands
+// %-escaped). Everything after the positional bounds is evaluated at
+// the tablet server, not in the session loop; a bare number in place
+// of LIMIT n is accepted for compatibility with the old
+// "SCAN t g start end [limit]" form.
 package textproto
 
 import (
@@ -13,6 +25,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/readopt"
 )
 
 // Store is the engine surface the protocol drives. It mirrors the root
@@ -27,10 +41,11 @@ type Store interface {
 	GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error)
 	Versions(ctx context.Context, table, group string, key []byte) ([]Row, error)
 	Delete(ctx context.Context, table, group string, key []byte) error
-	// Scan returns a pull-based iterator over the latest version of
-	// each key in [start, end); the session Closes it after streaming
-	// up to the client's row limit.
-	Scan(ctx context.Context, table, group string, start, end []byte) Iterator
+	// Scan returns a pull-based iterator over the visible version of
+	// each key in [start, end) with the push-down options applied at
+	// the storage layer; the session streams it to exhaustion (opt
+	// carries the row limit) and Closes it.
+	Scan(ctx context.Context, table, group string, start, end []byte, opt readopt.Options) Iterator
 	// Query runs a snapshot-consistent aggregate (COUNT/SUM/MIN/MAX/AVG;
 	// values parsed as decimal numbers) over [start, end); nil bounds
 	// are open. ts 0 means "latest"; groupPrefix > 0 groups rows by that
@@ -150,22 +165,36 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				err = reply("OK")
 			}
 		case cmd == "SCAN" && len(fields) >= 5:
-			limit := 100
-			if len(fields) >= 6 {
-				if n, aerr := strconv.Atoi(fields[5]); aerr == nil {
-					limit = n
-				}
+			// SCAN <table> <group> <start|*> <end|*> [LIMIT n] [REVERSE]
+			// [AT ts] [PREFIX p] [FILTER KEY|VAL <pred>] — options are
+			// pushed down to the tablet server. Re-split the full line
+			// (like QUERY) since SCAN takes open-ended operands.
+			args := strings.Fields(line)
+			var start, end []byte
+			if args[3] != "*" {
+				start = []byte(args[3])
+			}
+			if args[4] != "*" {
+				end = []byte(args[4])
+			}
+			opt, bad := parseScanOptions(args[5:])
+			if bad != "" {
+				err = reply("ERR %s", bad)
+				break
+			}
+			if opt.Limit <= 0 {
+				opt.Limit = 100 // protocol guard: never stream unbounded
 			}
 			n := 0
-			it := db.Scan(ctx, fields[1], fields[2], []byte(fields[3]), []byte(fields[4]))
-			for n < limit && it.Next() {
+			it := db.Scan(ctx, fields[1], fields[2], start, end, opt)
+			for it.Next() {
 				r := it.Row()
 				if err = reply("ROW %s %d %s", r.Key, r.TS, r.Value); err != nil {
 					break
 				}
 				n++
 			}
-			it.Close() // limit reached or write error: release the scan
+			it.Close() // write error: release the scan
 			if err == nil {
 				if serr := it.Err(); serr != nil {
 					err = reply("ERR %v", serr)
@@ -262,4 +291,69 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 		}
 	}
 	return sc.Err()
+}
+
+// parseScanOptions decodes the SCAN option operands (everything after
+// the positional bounds) into the wire-level option set. A non-empty
+// second return is the protocol error message.
+func parseScanOptions(rest []string) (readopt.Options, string) {
+	var opt readopt.Options
+	for len(rest) > 0 {
+		switch kw := strings.ToUpper(rest[0]); kw {
+		case "LIMIT", "AT":
+			if len(rest) < 2 {
+				return opt, kw + " needs a value"
+			}
+			v, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil {
+				return opt, "bad " + kw + " value " + rest[1]
+			}
+			if kw == "LIMIT" {
+				opt.Limit = int(v)
+			} else {
+				opt.Snapshot = v
+			}
+			rest = rest[2:]
+		case "REVERSE":
+			opt.Reverse = true
+			rest = rest[1:]
+		case "PREFIX":
+			if len(rest) < 2 {
+				return opt, "PREFIX needs a value"
+			}
+			p, err := readopt.UnescapeOperand(rest[1])
+			if err != nil {
+				return opt, err.Error()
+			}
+			opt.Prefix = p
+			rest = rest[2:]
+		case "FILTER":
+			if len(rest) < 2 {
+				return opt, "FILTER needs KEY or VAL"
+			}
+			target := strings.ToUpper(rest[1])
+			if target != "KEY" && target != "VAL" {
+				return opt, "FILTER target must be KEY or VAL, not " + rest[1]
+			}
+			pred, tail, err := readopt.ParsePredicate(rest[2:])
+			if err != nil {
+				return opt, err.Error()
+			}
+			if target == "KEY" {
+				opt.Key = pred
+			} else {
+				opt.Value = pred
+			}
+			rest = tail
+		default:
+			// Bare number: the legacy "SCAN t g start end <limit>" form.
+			if n, err := strconv.Atoi(rest[0]); err == nil {
+				opt.Limit = n
+				rest = rest[1:]
+				continue
+			}
+			return opt, "unexpected operand " + rest[0]
+		}
+	}
+	return opt, ""
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/readopt"
 )
 
 // fakeStore is an in-memory Store for protocol tests.
@@ -113,22 +115,45 @@ func (f *fakeStore) Delete(_ context.Context, table, group string, key []byte) e
 	return nil
 }
 
-func (f *fakeStore) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
+func (f *fakeStore) Scan(ctx context.Context, table, group string, start, end []byte, opt readopt.Options) Iterator {
 	g, err := f.groupMap(table, group)
 	if err != nil {
 		return &sliceIter{err: err}
 	}
+	start, end = opt.ClampRange(start, end)
+	ts := opt.Snapshot
+	if ts == 0 {
+		ts = f.clock
+	}
 	var keys []string
 	for k := range g {
-		if k >= string(start) && k < string(end) {
-			keys = append(keys, k)
+		if len(start) > 0 && k < string(start) {
+			continue
 		}
+		if end != nil && k >= string(end) {
+			continue
+		}
+		if !opt.Key.Match([]byte(k)) {
+			continue
+		}
+		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	if opt.Reverse {
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	}
 	it := &sliceIter{}
 	for _, k := range keys {
-		row, _ := f.Get(ctx, table, group, []byte(k))
+		row, rerr := f.GetAt(ctx, table, group, []byte(k), ts)
+		if rerr != nil || !opt.Value.Match(row.Value) {
+			continue
+		}
 		it.rows = append(it.rows, row)
+		if opt.Limit > 0 && len(it.rows) >= opt.Limit {
+			break
+		}
 	}
 	return it
 }
@@ -374,6 +399,77 @@ func TestQueryCommandHistorical(t *testing.T) {
 	for i := range want {
 		if i >= len(lines) || lines[i] != want[i] {
 			t.Fatalf("line %d = %q, want %q (all: %v)", i, lines[i], want[i], lines)
+		}
+	}
+}
+
+func TestScanPushdownOperands(t *testing.T) {
+	db := newFake()
+	script := []string{"CREATE t g"}
+	for i := 0; i < 10; i++ {
+		script = append(script, fmt.Sprintf("PUT t g a%d v%d", i, i))
+		script = append(script, fmt.Sprintf("PUT t g b%d w%d", i, i))
+	}
+	lines := session(t, db, script...)
+	_ = lines
+
+	rows := func(lines []string) []string {
+		var out []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "ROW ") {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	// LIMIT + REVERSE: last 3 keys, descending.
+	got := rows(session(t, db, "SCAN t g * * LIMIT 3 REVERSE"))
+	if len(got) != 3 || !strings.HasPrefix(got[0], "ROW b9 ") || !strings.HasPrefix(got[2], "ROW b7 ") {
+		t.Fatalf("LIMIT+REVERSE rows = %v", got)
+	}
+
+	// PREFIX narrows to the a-keys.
+	got = rows(session(t, db, "SCAN t g * * PREFIX a LIMIT 100"))
+	if len(got) != 10 || !strings.HasPrefix(got[0], "ROW a0 ") {
+		t.Fatalf("PREFIX rows = %v", got)
+	}
+
+	// FILTER VAL CONTAINS.
+	got = rows(session(t, db, "SCAN t g * * FILTER VAL CONTAINS w7"))
+	if len(got) != 1 || !strings.HasPrefix(got[0], "ROW b7 ") {
+		t.Fatalf("FILTER VAL rows = %v", got)
+	}
+
+	// FILTER KEY RANGE with open bound.
+	got = rows(session(t, db, "SCAN t g * * FILTER KEY RANGE b8 *"))
+	if len(got) != 2 || !strings.HasPrefix(got[0], "ROW b8 ") {
+		t.Fatalf("FILTER KEY RANGE rows = %v", got)
+	}
+
+	// AT pins a historical snapshot: overwrite a0, read it back old.
+	session(t, db, "PUT t g a0 fresh")
+	got = rows(session(t, db, "SCAN t g a0 a1 AT 1"))
+	if len(got) != 1 || got[0] != "ROW a0 1 v0" {
+		t.Fatalf("AT rows = %v", got)
+	}
+
+	// Legacy bare-number limit still works.
+	got = rows(session(t, db, "SCAN t g a0 a9 2"))
+	if len(got) != 2 {
+		t.Fatalf("legacy limit rows = %v", got)
+	}
+
+	// Malformed operands produce ERR, not a hang.
+	for _, bad := range []string{
+		"SCAN t g * * LIMIT",
+		"SCAN t g * * FILTER NOPE PREFIX x",
+		"SCAN t g * * FILTER KEY BOGUS x",
+		"SCAN t g * * WAT",
+	} {
+		ls := session(t, db, bad)
+		if len(ls) != 1 || !strings.HasPrefix(ls[0], "ERR ") {
+			t.Fatalf("%q replied %v, want ERR", bad, ls)
 		}
 	}
 }

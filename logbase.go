@@ -29,10 +29,15 @@
 // tablet-server scan loops and the cluster scatter-gather, so a slow
 // analytical read can be abandoned mid-flight without leaking
 // goroutines. Range and full scans return a pull-based Iterator
-// (Next/Row/Err/Close); the old push-style callbacks survive as thin
-// adapters (ScanFunc/FullScanFunc). Bulk loads go through WriteBatch,
-// which buffers mutations and flushes them as one group append sweep
-// through the log instead of one durable append per record.
+// (Next/Row/Err/Close) and accept composable push-down ReadOption
+// values — limits, reverse order, snapshot pinning, prefixes, and a
+// serializable key/value predicate set — all evaluated inside the
+// tablet server so only the rows the caller consumes cross the wire;
+// Read unifies Get/GetAt/Versions behind the same options. The old
+// push-style callbacks survive as thin adapters
+// (ScanFunc/FullScanFunc). Bulk loads go through WriteBatch, which
+// buffers mutations and flushes them as one group append sweep through
+// the log instead of one durable append per record.
 //
 // Both backends expose the analytical query path on top of the same
 // log: because every committed version stays addressable, Query runs
@@ -216,41 +221,48 @@ func (db *DB) Put(ctx context.Context, table, group string, key, value []byte) e
 	return db.server.Write(tm.tablet, group, key, db.svc.NextTimestamp(), value)
 }
 
-// Get returns the latest version of a row.
-func (db *DB) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
+// Read is the unified point read: the visible version of the row
+// (latest, or pinned with WithSnapshot), or — with WithAllVersions —
+// its version history, oldest first (newest first with WithReverse),
+// optionally limited and value-filtered. All options are evaluated
+// inside the tablet server (core.Server.ReadRow).
+func (db *DB) Read(ctx context.Context, table, group string, key []byte, opts ...ReadOption) ([]Row, error) {
 	if err := ctxErr(ctx); err != nil {
-		return Row{}, err
+		return nil, err
 	}
 	tm, err := db.table(table, group)
 	if err != nil {
-		return Row{}, err
+		return nil, err
 	}
-	return db.server.Get(tm.tablet, group, key)
+	return db.server.ReadRow(tm.tablet, group, key, resolveReadOptions(opts))
+}
+
+// Get returns the latest version of a row. Thin adapter over Read.
+func (db *DB) Get(ctx context.Context, table, group string, key []byte) (Row, error) {
+	return firstRow(db.Read(ctx, table, group, key))
 }
 
 // GetAt returns the version visible at snapshot ts (multiversion
-// access; timestamps come from committed writes' Row.TS).
+// access; timestamps come from committed writes' Row.TS). Thin adapter
+// over Read with WithSnapshot; ts 0 means "latest", matching the other
+// snapshot surfaces (QueryAt, SnapshotAt).
 func (db *DB) GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error) {
-	if err := ctxErr(ctx); err != nil {
-		return Row{}, err
-	}
-	tm, err := db.table(table, group)
-	if err != nil {
-		return Row{}, err
-	}
-	return db.server.GetAt(tm.tablet, group, key, ts)
+	return firstRow(db.Read(ctx, table, group, key, WithSnapshot(ts)))
 }
 
-// Versions returns all stored versions of a row, oldest first.
+// Versions returns all stored versions of a row, oldest first. Thin
+// adapter over Read with WithAllVersions.
 func (db *DB) Versions(ctx context.Context, table, group string, key []byte) ([]Row, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	tm, err := db.table(table, group)
+	return db.Read(ctx, table, group, key, WithAllVersions())
+}
+
+// firstRow adapts Read's slice result to the single-row Get/GetAt
+// shape.
+func firstRow(rows []Row, err error) (Row, error) {
 	if err != nil {
-		return nil, err
+		return Row{}, err
 	}
-	return db.server.Versions(tm.tablet, group, key)
+	return rows[0], nil
 }
 
 // Delete removes a row (persisting an invalidation record).
@@ -265,33 +277,48 @@ func (db *DB) Delete(ctx context.Context, table, group string, key []byte) error
 	return db.server.Delete(tm.tablet, group, key, db.svc.NextTimestamp())
 }
 
-// Scan iterates the latest version of each key in [start, end) in key
-// order; nil bounds are open. The scan runs against the snapshot
-// current at the call; rows are fetched in batches through coalesced
-// log reads. Always Close the iterator.
-func (db *DB) Scan(ctx context.Context, table, group string, start, end []byte) Iterator {
+// Scan iterates the visible version of each key in [start, end) in key
+// order (descending with WithReverse); nil bounds are open. The scan
+// runs against the snapshot current at the call (or the WithSnapshot
+// timestamp); limits, filters, and the prefix are evaluated inside the
+// tablet server, and rows are fetched in batches through coalesced log
+// reads. Always Close the iterator.
+func (db *DB) Scan(ctx context.Context, table, group string, start, end []byte, opts ...ReadOption) Iterator {
 	tm, err := db.table(table, group)
 	if err != nil {
 		return errIter(err)
 	}
-	ts := db.svc.LastTimestamp()
+	ro := resolveReadOptions(opts)
+	ts := ro.Snapshot
+	if ts == 0 {
+		ts = db.svc.LastTimestamp()
+	}
+	if ro.BatchSize <= 0 {
+		ro.BatchSize = defaultIterBatch
+	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
-		return db.server.ParallelScan(ictx, tm.tablet, group, core.ScanOptions{
-			Start: start, End: end, TS: ts, Workers: 1, Batch: defaultIterBatch,
-		}, emit)
+		return db.server.ParallelScan(ictx, tm.tablet, group, core.ReadScanOptions(start, end, ts, ro), emit)
 	})
 }
 
 // FullScan iterates every live row in log order (the batch-analytics
-// path). Always Close the iterator.
-func (db *DB) FullScan(ctx context.Context, table, group string) Iterator {
+// path), with push-down options evaluated in the engine's log sweep
+// (WithReverse is ignored: the contract is log order). Always Close
+// the iterator.
+func (db *DB) FullScan(ctx context.Context, table, group string, opts ...ReadOption) Iterator {
 	tm, err := db.table(table, group)
 	if err != nil {
 		return errIter(err)
 	}
+	ro := resolveReadOptions(opts)
+	if ro.Snapshot == 0 {
+		// Pin now, like the cluster backend: both Store implementations
+		// must see the same rows when writers race the scan.
+		ro.Snapshot = db.svc.LastTimestamp()
+	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		fn, flush, failed := collectEmit(emit)
-		if err := db.server.FullScan(ictx, tm.tablet, group, fn); err != nil {
+		if err := db.server.FullScanOpts(ictx, tm.tablet, group, ro, fn); err != nil {
 			return err
 		}
 		if err := failed(); err != nil {

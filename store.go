@@ -5,14 +5,22 @@ package logbase
 // *ClusterClient — implement, so harnesses, examples and protocol
 // servers are written once and run unmodified against either backend.
 //
-// Reads are pull-based: Scan/FullScan return an Iterator instead of
-// taking a callback, and every method takes a context.Context whose
-// cancellation propagates down through the tablet-server scan loops
-// (an abandoned analytical scan stops doing I/O within one batch
-// boundary and leaks no goroutines). Writes get a bulk path: a
-// WriteBatch buffers mutations and flushes them as one group append
-// sweep through the log — the idiomatic bulk-load shape for a
-// sequential-log engine.
+// Reads are pull-based and composable: Scan/FullScan return an
+// Iterator and, together with the unified point read Read, accept
+// push-down ReadOption values (WithLimit, WithReverse, WithSnapshot,
+// WithPrefix, WithKeyFilter/WithValueFilter over the serializable
+// predicate set, WithBatchSize, WithAllVersions — see readopts.go for
+// the option set and the predicate wire format). Options are evaluated
+// INSIDE the tablet server against the MVCC index, so a limited or
+// filtered scan ships only matching rows and stops issuing log reads
+// once its limit is satisfied — on a cluster the options travel to
+// every tablet server the range spans. Every method takes a
+// context.Context whose cancellation propagates down through the
+// tablet-server scan loops (an abandoned analytical scan stops doing
+// I/O within one batch boundary and leaks no goroutines). Writes get a
+// bulk path: a WriteBatch buffers mutations and flushes them as one
+// group append sweep through the log — the idiomatic bulk-load shape
+// for a sequential-log engine.
 
 import (
 	"context"
@@ -30,20 +38,34 @@ type Store interface {
 	CreateTable(name string, groups ...string) error
 	// Put writes a row version (auto-commit, durable on return).
 	Put(ctx context.Context, table, group string, key, value []byte) error
-	// Get returns the latest version of a row.
+	// Read is the unified point read: the visible version of a row
+	// (latest, or at WithSnapshot), or its whole version history with
+	// WithAllVersions — options evaluated at the owning tablet server.
+	// The single-version read returns ErrNotFound when nothing is
+	// visible; the WithAllVersions read returns an empty slice instead.
+	Read(ctx context.Context, table, group string, key []byte, opts ...ReadOption) ([]Row, error)
+	// Get returns the latest version of a row. Thin adapter over Read.
 	Get(ctx context.Context, table, group string, key []byte) (Row, error)
-	// GetAt returns the version visible at snapshot ts.
+	// GetAt returns the version visible at snapshot ts. Thin adapter
+	// over Read(..., WithSnapshot(ts)); like every snapshot surface
+	// (QueryAt, SnapshotAt, WithSnapshot), ts 0 means "latest" — it no
+	// longer reads an empty pre-history snapshot.
 	GetAt(ctx context.Context, table, group string, key []byte, ts int64) (Row, error)
 	// Versions returns all stored versions of a row, oldest first.
+	// Thin adapter over Read(..., WithAllVersions()).
 	Versions(ctx context.Context, table, group string, key []byte) ([]Row, error)
 	// Delete removes a row (persisting an invalidation record).
 	Delete(ctx context.Context, table, group string, key []byte) error
-	// Scan iterates the latest version of each key in [start, end) in
-	// key order; nil bounds are open. Always Close the iterator.
-	Scan(ctx context.Context, table, group string, start, end []byte) Iterator
+	// Scan iterates the visible version of each key in [start, end) in
+	// key order; nil bounds are open. Push-down options (limit,
+	// reverse, snapshot, prefix, filters) are evaluated at the tablet
+	// server. Always Close the iterator.
+	Scan(ctx context.Context, table, group string, start, end []byte, opts ...ReadOption) Iterator
 	// FullScan iterates every live row in log order (the batch-
-	// analytics path). Always Close the iterator.
-	FullScan(ctx context.Context, table, group string) Iterator
+	// analytics path), with the same push-down options as Scan except
+	// that WithReverse is ignored (the contract is log order). Always
+	// Close the iterator.
+	FullScan(ctx context.Context, table, group string, opts ...ReadOption) Iterator
 	// Query executes a snapshot-consistent analytical query at the
 	// latest committed timestamp.
 	Query(ctx context.Context, table, group string, q Query) (QueryResult, error)
