@@ -44,7 +44,7 @@ func main() {
 		}
 		streaming := false
 		switch strings.ToUpper(strings.Fields(line)[0]) {
-		case "SCAN", "VERSIONS", "QUERY":
+		case "SCAN", "VERSIONS", "QUERY", "STATS":
 			streaming = true
 		}
 		for server.Scan() {

@@ -12,7 +12,7 @@
 //	     [PREFIX <p>] [FILTER KEY|VAL PREFIX|CONTAINS <op>]
 //	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>]
 //	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
-//	CHECKPOINT | QUIT
+//	STATS | COMPACT | CHECKPOINT | QUIT
 //
 // SCAN options ride the wire to the tablet servers: limits, reverse
 // order, snapshot pinning, and the serializable filter predicates are
@@ -127,6 +127,56 @@ func (a storeAdapter) Checkpoint() error {
 		return st.Cluster().Checkpoint()
 	}
 	return nil
+}
+
+func (a storeAdapter) Compact(context.Context) error {
+	switch st := a.st.(type) {
+	case *logbase.DB:
+		_, err := st.Compact()
+		return err
+	case *logbase.ClusterClient:
+		return st.Cluster().CompactAll()
+	}
+	return nil
+}
+
+// Stats snapshots every tablet server behind the store — one server
+// for the embedded DB, each live server for a cluster.
+func (a storeAdapter) Stats(context.Context) ([]textproto.StatsSnapshot, error) {
+	switch st := a.st.(type) {
+	case *logbase.DB:
+		return []textproto.StatsSnapshot{snapshotOf("embedded", st.Server())}, nil
+	case *logbase.ClusterClient:
+		c := st.Cluster()
+		var out []textproto.StatsSnapshot
+		for _, id := range c.LiveServers() {
+			out = append(out, snapshotOf(id, c.Server(id)))
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func snapshotOf(id string, srv *core.Server) textproto.StatsSnapshot {
+	st := srv.Stats()
+	cs := srv.CacheStats()
+	ci := srv.CompactionInfo()
+	return textproto.StatsSnapshot{
+		Server:         id,
+		Writes:         st.Writes.Load(),
+		Reads:          st.Reads.Load(),
+		Deletes:        st.Deletes.Load(),
+		LogReads:       st.LogReads.Load(),
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		Compactions:    ci.Runs,
+		CompactDropped: ci.RecordsDropped,
+		BytesReclaimed: ci.BytesReclaimed,
+		SortedFraction: ci.SortedFraction,
+		GarbageRatio:   ci.GarbageRatio,
+		Segments:       len(ci.Segments),
+		LogBytes:       ci.LogBytes,
+	}
 }
 
 func main() {

@@ -134,6 +134,8 @@ func All() []Experiment {
 		{"analytic-mix", "YCSB-style scan-heavy mix on serial vs parallel scan path", AnalyticScanMix},
 		{"bulk-load", "Bulk load: per-record Put vs WriteBatch append sweeps", BulkLoad},
 		{"elastic-hotrange", "Elasticity: balancer splits/migrates a hot key-range tablet", ElasticHotRange},
+		{"scan-clustered", "Clustered scan fast path vs index-driven path on a compacted log", ScanClustered},
+		{"autocompact", "Background incremental compaction holds SortedFraction under churn", AutoCompactChurn},
 	}
 }
 

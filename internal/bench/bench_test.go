@@ -121,6 +121,7 @@ func TestKeyOps(t *testing.T) {
 	want := map[string]bool{
 		"put": true, "writebatch": true, "fullscan": true, "query": true,
 		"scan-pushdown": true, "scan-clientfilter": true, "hotrange": true,
+		"scan-clustered": true, "scan-index": true, "autocompact": true,
 	}
 	for _, op := range ops {
 		delete(want, op.Name)

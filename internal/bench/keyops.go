@@ -158,6 +158,21 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, scanOps...)
 
+	// Clustered scan fast path vs the index-driven path on a fully
+	// compacted log (asserts the >=2x modelled-disk win), plus the
+	// autocompact churn (asserts SortedFraction >= 0.5 with only the
+	// background compactor running).
+	clusterOps, err := ScanClusteredKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, clusterOps...)
+	acOps, _, err := AutoCompactKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, acOps...)
+
 	// Hot-range elastic scenario: skewed single-threaded workload with
 	// deterministic balancer ticks, measuring the post-rebalance phase.
 	hr, err := hotRangeKeyOp(s)

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestClusteredScan100k is the acceptance criterion at full scale: on a
+// fully compacted 100k-row table, a FullScan through the clustered
+// path must cost at least 2x less modelled disk time per row than the
+// index-driven path, and the autocompact churn must hold
+// SortedFraction >= 0.5 with no manual Compact.
+func TestClusteredScan100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k acceptance run skipped in -short mode")
+	}
+	// 4 rounds x 25k rows = 100k rows on the compacted fixture.
+	ops, err := ScanClusteredKeyOps(Scale{Rows: 25_000, ValueSize: 256})
+	if err != nil {
+		t.Fatal(err) // includes the >=2x floor
+	}
+	t.Logf("scan-clustered %.2f us/row vs scan-index %.2f us/row (%.1fx)",
+		ops[0].DiskUSPerOp, ops[1].DiskUSPerOp, ops[1].DiskUSPerOp/ops[0].DiskUSPerOp)
+}
+
+// TestAutoCompactHoldsSortedFraction is the churn acceptance at a
+// meaningful scale.
+func TestAutoCompactHoldsSortedFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autocompact churn skipped in -short mode")
+	}
+	ops, frac, err := AutoCompactKeyOps(Scale{Rows: 4000, ValueSize: 256})
+	if err != nil {
+		t.Fatal(err) // includes the SortedFraction >= 0.5 floor
+	}
+	t.Logf("autocompact: %d ops at %.2f disk us/op, final sorted fraction %.3f",
+		ops[0].Ops, ops[0].DiskUSPerOp, frac)
+}

@@ -410,7 +410,7 @@ func (c *Cluster) Checkpoint() error {
 	return nil
 }
 
-// CompactAll runs log compaction on every live server.
+// CompactAll runs whole-log compaction on every live server.
 func (c *Cluster) CompactAll() error {
 	for _, id := range c.LiveServers() {
 		if _, err := c.Server(id).Compact(); err != nil {
@@ -418,6 +418,45 @@ func (c *Cluster) CompactAll() error {
 		}
 	}
 	return nil
+}
+
+// AutoCompactTick runs one incremental compaction pass on every live
+// server — the deterministic form of the background loop that
+// Config.Server.AutoCompact.Interval starts on each tablet server.
+func (c *Cluster) AutoCompactTick() error {
+	for _, id := range c.LiveServers() {
+		if _, _, err := c.Server(id).AutoCompactTick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactionInfos returns each live server's compaction counters and
+// storage layout, keyed by server id (the STATS observability surface).
+func (c *Cluster) CompactionInfos() map[string]core.CompactionInfo {
+	out := make(map[string]core.CompactionInfo)
+	for _, id := range c.LiveServers() {
+		out[id] = c.Server(id).CompactionInfo()
+	}
+	return out
+}
+
+// MinSortedFraction reports the lowest sorted-log fraction across live
+// servers — the cluster-wide "is compaction keeping up" gauge.
+func (c *Cluster) MinSortedFraction() float64 {
+	min := 1.0
+	first := true
+	for _, id := range c.LiveServers() {
+		f := c.Server(id).SortedFraction()
+		if first || f < min {
+			min, first = f, false
+		}
+	}
+	if first {
+		return 0
+	}
+	return min
 }
 
 // Master is the cluster's metadata/failover authority. Multiple

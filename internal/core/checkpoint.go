@@ -171,6 +171,16 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		st.UsedCheckpoint = true
 		from = md.pos
 		maxLSN = md.lastLSN
+		// Incremental compaction may have reclaimed segments AFTER the
+		// checkpoint was written: checkpointed entries pointing into
+		// removed segments are pruned. Relocated records re-add their
+		// entries during the redo below (compaction output segments sit
+		// past the checkpoint position); vacuumed versions (beyond the
+		// retention bound) are gone on purpose and must not resurface.
+		liveSegs := map[uint32]bool{}
+		for _, si := range s.log.Segments() {
+			liveSegs[si.Num] = true
+		}
 		for _, mi := range md.indexes {
 			t, terr := s.tablet(mi.tablet)
 			if terr != nil {
@@ -184,6 +194,16 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			if lerr != nil {
 				return st, fmt.Errorf("core: recover index %s: %w", mi.path, lerr)
 			}
+			var stale []index.Entry
+			tree.Ascend(func(e index.Entry) bool {
+				if !liveSegs[e.Ptr.Seg] {
+					stale = append(stale, e)
+				}
+				return true
+			})
+			for _, e := range stale {
+				tree.DeleteVersion(e.Key, e.TS)
+			}
 			g.idx.Store(tree)
 			st.IndexesLoaded++
 			st.EntriesRestored += tree.Len()
@@ -191,24 +211,54 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	}
 
 	// Redo pass 1: find commit records in the tail so transactional
-	// writes are only replayed when durable commits exist.
+	// writes are only replayed when durable commits exist, and collect
+	// the highest delete LSN per key. Incremental compaction relocates
+	// records into higher-numbered sorted segments while keeping their
+	// original LSNs, so segment order is NOT replay order — deletes must
+	// apply by LSN, not by scan position, or a relocated old tombstone
+	// would destroy newer data (and a relocated old write would
+	// resurrect a deleted row).
 	committed := map[uint64]bool{}
+	maxDel := map[string]uint64{}
+	type txnDel struct {
+		key   string
+		lsn   uint64
+		txnID uint64
+	}
+	var txnDels []txnDel
 	sc := s.log.NewScanner(from)
 	for sc.Next() {
 		if p := sc.Ptr(); p.Seg == from.Seg && p.Off < from.Off {
 			continue
 		}
-		if sc.Record().Kind == wal.KindCommit {
-			committed[sc.Record().TxnID] = true
+		rec := sc.Record()
+		switch rec.Kind {
+		case wal.KindCommit:
+			committed[rec.TxnID] = true
+		case wal.KindDelete:
+			if rec.TxnID != 0 {
+				// Commit visibility is only known once the pass finishes.
+				txnDels = append(txnDels, txnDel{key: replayKey(&rec), lsn: rec.LSN, txnID: rec.TxnID})
+				continue
+			}
+			if k := replayKey(&rec); rec.LSN > maxDel[k] {
+				maxDel[k] = rec.LSN
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return st, err
 	}
+	for _, td := range txnDels {
+		if committed[td.txnID] && td.lsn > maxDel[td.key] {
+			maxDel[td.key] = td.lsn
+		}
+	}
 
-	// Redo pass 2: apply the tail in log order. The LSN rule on Put
-	// makes replay idempotent against both the loaded checkpoint and
-	// repeated recovery attempts.
+	// Redo pass 2: apply the tail. Writes older than the key's newest
+	// tombstone are dead; tombstones remove only strictly-older entries
+	// (DeleteKeyBelow), so the outcome is order-independent: exactly the
+	// writes with LSN above every covering delete survive.
 	sc = s.log.NewScanner(from)
 	for sc.Next() {
 		p := sc.Ptr()
@@ -238,17 +288,22 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		}
 		switch rec.Kind {
 		case wal.KindWrite:
+			if rec.LSN < maxDel[replayKey(&rec)] {
+				continue // invalidated by a later delete
+			}
 			if g.tree().Put(index.Entry{Key: rec.Key, TS: rec.TS, Ptr: p, LSN: rec.LSN}) {
 				st.EntriesRestored++
 			}
 		case wal.KindDelete:
-			g.tree().DeleteKey(rec.Key)
+			g.tree().DeleteKeyBelow(rec.Key, rec.LSN)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return st, err
 	}
 	s.log.SetNextLSN(maxLSN + 1)
+	// Indexes now reflect the log: index-probe-driven compaction is safe.
+	s.indexReady.Store(true)
 	st.Elapsed = time.Since(start)
 	return st, nil
 }

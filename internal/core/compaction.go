@@ -29,6 +29,10 @@ type CompactionStats struct {
 // segments that are reconciled at install time via the LSN redo rule.
 func (s *Server) Compact() (CompactionStats, error) {
 	var st CompactionStats
+	// One compaction at a time: the whole-log rewrite and the
+	// incremental background runs (CompactSegments) must not interleave.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 
 	// Freeze the input: rotating the log closes the active segment, so
 	// every segment in the snapshot is immutable and appends from here
@@ -69,12 +73,25 @@ func (s *Server) Compact() (CompactionStats, error) {
 		return st, err
 	}
 
-	// Pass 2: collect live records.
+	// Pass 2: collect live records (with their current locations, so
+	// secondary-index pointers can be redirected at install).
+	type recAt struct {
+		rec wal.Record
+		ptr wal.Ptr
+	}
 	type keyState struct {
-		versions []wal.Record
+		versions []recAt
 		deleteTS int64 // max committed delete timestamp
 	}
 	states := map[string]*keyState{}
+	// Registered 2PC preparations survive the vacuum verbatim.
+	regTxns := map[uint64]bool{}
+	s.prepMu.Lock()
+	for id := range s.prepared {
+		regTxns[id] = true
+	}
+	s.prepMu.Unlock()
+	var preserved []recAt
 	keyOf := func(r wal.Record) string {
 		return r.Table + "\x00" + r.Group + "\x00" + string(r.Key)
 	}
@@ -92,7 +109,14 @@ func (s *Server) Compact() (CompactionStats, error) {
 		}
 		st.RecordsIn++
 		if rec.TxnID != 0 && !committed[rec.TxnID] {
-			continue // uncommitted: vacuumed (paper §3.7.2)
+			// Uncommitted: vacuumed (paper §3.7.2) — except registered 2PC
+			// preparations, whose commit may land mid-compaction or later;
+			// their records are carried verbatim and re-installed or
+			// repointed at the install step.
+			if regTxns[rec.TxnID] {
+				preserved = append(preserved, recAt{rec: rec, ptr: p})
+			}
+			continue
 		}
 		// Only records for tablets served here are retained; stray
 		// records (none in practice) are dropped with the garbage.
@@ -111,7 +135,7 @@ func (s *Server) Compact() (CompactionStats, error) {
 			}
 			continue
 		}
-		ks.versions = append(ks.versions, rec)
+		ks.versions = append(ks.versions, recAt{rec: rec, ptr: p})
 	}
 	if err := sc.Err(); err != nil {
 		return st, err
@@ -119,21 +143,21 @@ func (s *Server) Compact() (CompactionStats, error) {
 
 	// Select survivors: committed versions newer than the key's last
 	// delete, bounded by CompactKeepVersions.
-	var keep []wal.Record
+	var keep []recAt
 	for _, ks := range states {
 		live := ks.versions[:0]
 		for _, v := range ks.versions {
-			if v.TS > ks.deleteTS {
+			if v.rec.TS > ks.deleteTS {
 				live = append(live, v)
 			}
 		}
-		sort.Slice(live, func(i, j int) bool { return live[i].TS < live[j].TS })
+		sort.Slice(live, func(i, j int) bool { return live[i].rec.TS < live[j].rec.TS })
 		// Keep only the latest version per (key, ts): same-ts rewrites
 		// are superseded by the highest LSN.
 		dedup := live[:0]
 		for _, v := range live {
-			if n := len(dedup); n > 0 && dedup[n-1].TS == v.TS {
-				if v.LSN > dedup[n-1].LSN {
+			if n := len(dedup); n > 0 && dedup[n-1].rec.TS == v.rec.TS {
+				if v.rec.LSN > dedup[n-1].rec.LSN {
 					dedup[n-1] = v
 				}
 				continue
@@ -151,7 +175,7 @@ func (s *Server) Compact() (CompactionStats, error) {
 	// Sort survivors by (table, column group, record key, timestamp) —
 	// the paper's clustering order.
 	sort.Slice(keep, func(i, j int) bool {
-		a, b := keep[i], keep[j]
+		a, b := keep[i].rec, keep[j].rec
 		if a.Table != b.Table {
 			return a.Table < b.Table
 		}
@@ -173,13 +197,15 @@ func (s *Server) Compact() (CompactionStats, error) {
 		e             index.Entry
 	}
 	rebuilt := make([]rebuiltEntry, 0, len(keep))
+	remap := make(map[wal.Ptr]wal.Ptr, len(keep))
 	for i := range keep {
-		rec := keep[i]
+		rec := keep[i].rec
 		rec.TxnID = 0
 		ptr, err := sw.Append(&rec)
 		if err != nil {
 			return st, err
 		}
+		remap[keep[i].ptr] = ptr
 		rebuilt = append(rebuilt, rebuiltEntry{
 			tablet: rec.Tablet, group: rec.Group,
 			e: index.Entry{Key: rec.Key, TS: rec.TS, Ptr: ptr, LSN: rec.LSN},
@@ -188,7 +214,43 @@ func (s *Server) Compact() (CompactionStats, error) {
 	if err := sw.Close(); err != nil {
 		return st, err
 	}
-	st.SegmentsOut = len(sw.Segments())
+	// Preserved 2PC preparations ride along with TxnID intact — into a
+	// separate UNSORTED segment: they are not in clustering order, and a
+	// sorted segment's footer invariant (every record in key order) is
+	// what the clustered scan planner trusts. Once committed, their
+	// index entries point into the unsorted segment and scans reach them
+	// through the index overlay. Record their (tablet, group, entry)
+	// shape so a commit that landed during this compaction can be
+	// re-installed into the rebuilt trees, and a commit still to come
+	// finds repointed locations in its Prepared.
+	type prepEntry struct {
+		tablet, group string
+		key           []byte
+		del           bool
+		e             index.Entry
+	}
+	prepByTxn := map[uint64][]prepEntry{}
+	var prepSegs []uint32
+	if len(preserved) > 0 {
+		swPrep := s.log.NewSegmentWriter(false)
+		for i := range preserved {
+			rec := preserved[i].rec
+			ptr, err := swPrep.Append(&rec)
+			if err != nil {
+				return st, err
+			}
+			remap[preserved[i].ptr] = ptr
+			prepByTxn[rec.TxnID] = append(prepByTxn[rec.TxnID], prepEntry{
+				tablet: rec.Tablet, group: rec.Group, key: rec.Key, del: rec.Kind == wal.KindDelete,
+				e: index.Entry{Key: rec.Key, TS: rec.TS, Ptr: ptr, LSN: rec.LSN},
+			})
+		}
+		if err := swPrep.Close(); err != nil {
+			return st, err
+		}
+		prepSegs = swPrep.Segments()
+	}
+	st.SegmentsOut = len(sw.Segments()) + len(prepSegs)
 
 	// Build fresh trees over the sorted segments.
 	type cgKey struct{ tablet, group string }
@@ -224,8 +286,12 @@ func (s *Server) Compact() (CompactionStats, error) {
 		if inputSet[p.Seg] {
 			continue
 		}
-		if sorted := containsU32(sw.Segments(), p.Seg); sorted {
-			continue // our own output
+		if containsU32(sw.Segments(), p.Seg) || containsU32(prepSegs, p.Seg) {
+			// Our own output: the sorted rewrite, and the preserved
+			// prepared records (those are reconciled via prepByTxn below,
+			// with LSN-guarded deletes — the blind tail replay would let a
+			// relocated old tombstone destroy newer tail writes).
+			continue
 		}
 		rec := tsc.Record()
 		if rec.Kind == wal.KindCommit {
@@ -263,6 +329,36 @@ func (s *Server) Compact() (CompactionStats, error) {
 			}
 		}
 	}
+	// Preparations whose commit landed in the tail are committed NOW:
+	// CommitTxn installed entries into the trees this install is about
+	// to replace, so re-install the (relocated) records here. Deletes
+	// are LSN-guarded: a tail write newer than the transactional delete
+	// must survive it regardless of application order.
+	for txnID, entries := range prepByTxn {
+		if !tailCommitted[txnID] {
+			continue
+		}
+		for _, pe := range entries {
+			k := cgKey{pe.tablet, pe.group}
+			tree := newTrees[k]
+			if tree == nil {
+				if _, err := s.tablet(pe.tablet); err != nil {
+					continue
+				}
+				tree = index.New()
+				newTrees[k] = tree
+			}
+			if pe.del {
+				tree.DeleteKeyBelow(pe.key, pe.e.LSN)
+			} else {
+				tree.Put(pe.e)
+			}
+		}
+	}
+	// Preparations still awaiting their commit learn the relocated
+	// record positions.
+	s.repointPrepared(remap)
+
 	// Swap trees in. Column groups with no surviving data get an empty
 	// tree (all versions deleted).
 	s.mu.RLock()
@@ -279,12 +375,20 @@ func (s *Server) Compact() (CompactionStats, error) {
 	}
 	s.mu.RUnlock()
 	s.installMu.Unlock()
+	// Secondary indexes point into the rewritten segments too; redirect
+	// them through the same old->new location map. This runs outside
+	// the writer-exclusion window: the replayed entries keep their
+	// original LSNs, so the LSN guard rejects them wherever a concurrent
+	// write already installed something newer.
+	s.repointSecondaries(remap)
 
 	if err := s.log.RemoveSegments(inputNums...); err != nil {
 		return st, err
 	}
 	st.BytesReclaimed = inputBytes - s.segmentsBytes(sw.Segments())
 	s.stats.Compactions.Add(1)
+	s.stats.CompactDropped.Add(int64(st.Dropped))
+	s.stats.CompactReclaimed.Add(st.BytesReclaimed)
 
 	// A checkpoint taken before compaction references segments that no
 	// longer exist; refresh it so recovery has a consistent start.

@@ -10,6 +10,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -55,6 +56,8 @@ func (s *Server) ReadRow(tabletID, group string, key []byte, ro readopt.Options)
 	if err != nil {
 		return nil, err
 	}
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	entries := g.tree().Versions(key, nil) // ascending timestamp
 	if ro.Reverse {
 		slices.Reverse(entries)
@@ -71,7 +74,10 @@ func (s *Server) ReadRow(tabletID, group string, key []byte, ro readopt.Options)
 		if ro.MaxTS != 0 && e.TS > ro.MaxTS {
 			continue
 		}
-		rec, err := s.log.Read(e.Ptr)
+		rec, err := s.readEntry(g, key, e.TS, e.Ptr)
+		if errors.Is(err, errRowVanished) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +122,30 @@ func (s *Server) FullScanOpts(ctx context.Context, tabletID, group string, ro re
 		ts = maxTS
 	}
 	start, end := ro.ClampRange(nil, nil)
+
+	// Clustered fast path: on a compacted log the full scan streams the
+	// sorted segments (merged with the index overlay for the tail) in
+	// key order — sequential reads, no per-record index probe per log
+	// byte. The contract stays "storage order, every visible row"; only
+	// uncompacted logs take the log-order sweep below.
+	opt := ReadScanOptions(start, end, ts, ro)
+	opt.Reverse = false // a full scan's order is unspecified; never decline on it
+	stop := errors.New("limit")
+	handled, cerr := s.clusteredScan(ctx, t, g, group, opt, opt.Start, opt.End, func(rows []Row) error {
+		for _, r := range rows {
+			if !fn(r) {
+				return stop
+			}
+		}
+		return nil
+	})
+	if handled {
+		if errors.Is(cerr, stop) {
+			return nil
+		}
+		return cerr
+	}
+
 	inRange := func(key []byte) bool {
 		if len(start) > 0 && bytes.Compare(key, start) < 0 {
 			return false
@@ -126,6 +156,7 @@ func (s *Server) FullScanOpts(ctx context.Context, tabletID, group string, ro re
 	defer func() { t.load.add(loadRows, loadBytes) }()
 	emitted := 0
 	sc := s.log.NewScanner(wal.Position{})
+	defer sc.Close()
 	for n := 0; sc.Next(); n++ {
 		if n%scanCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {

@@ -222,8 +222,11 @@ func TestRecoverTabletsFailover(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RecoverTablets: %v", err)
 	}
-	if n != 41 {
-		t.Errorf("adopted %d records, want 41", n)
+	// 40 records replay: 39 live writes + 1 delete. The k00 write is
+	// invalidated by the later delete and the LSN-ordered replay skips
+	// it instead of writing it and deleting it again.
+	if n != 40 {
+		t.Errorf("adopted %d records, want 40", n)
 	}
 	for i := 1; i < 40; i++ {
 		if _, err := heir.Get(testTablet, testGroup, []byte(fmt.Sprintf("k%02d", i))); err != nil {

@@ -126,6 +126,11 @@ func (s *Server) ParallelScan(ctx context.Context, tabletID, group string, opt S
 	if opt.Batch <= 0 {
 		opt.Batch = defaultScanBatch
 	}
+	// Hold the scan's segment snapshot: entries collected from the index
+	// carry wal.Ptrs that a racing compaction would otherwise delete the
+	// files behind before the batched fetch runs.
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	workers := opt.Workers
 	if opt.Limit > 0 || opt.Reverse {
 		// Limit and Reverse are order/count contracts: a sharded scan
@@ -204,6 +209,14 @@ var errScanCanceled = errors.New("core: scan canceled")
 // residual value predicate the scan keeps paging but stops the moment
 // the limit-th surviving row has been emitted.
 func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group string, opt ScanOptions, start, end []byte, emit func([]Row) error) error {
+	// Clustered fast path: when compaction has laid down sorted segments
+	// covering this range, stream them sequentially (k-way-merged with an
+	// index overlay for the unsorted tail) instead of resolving each key
+	// through ReadBatch. Falls through to the index path for reverse
+	// scans and uncompacted ranges.
+	if handled, err := s.clusteredScan(ctx, t, g, group, opt, start, end, emit); handled {
+		return err
+	}
 	remaining := opt.Limit // 0 = unlimited
 	// Post-fetch predicates make the per-page survivor count
 	// unpredictable, so only their absence lets the limit cap the page.
@@ -212,7 +225,7 @@ func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group
 		if len(chunk) == 0 {
 			return 0, nil
 		}
-		rows, err := s.fetchRows(t, group, chunk, opt.UseCache)
+		rows, err := s.fetchRows(t, g, group, chunk, opt.UseCache)
 		if err != nil {
 			return 0, err
 		}
@@ -304,12 +317,37 @@ func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group
 	}
 }
 
+// errRowVanished marks a row whose entry disappeared between
+// collection and fetch (deleted mid-scan): the row is dropped, exactly
+// as if the scan had observed the delete at collection time.
+var errRowVanished = errors.New("core: row vanished mid-scan")
+
+// readEntry reads a collected entry's record, re-resolving through the
+// live index when the read fails: a scan pins the segments live at its
+// start, but an entry can point into a segment that was BOTH created
+// and reclaimed while the scan ran (back-to-back incremental
+// compactions); the index always knows the record's current home.
+func (s *Server) readEntry(g *columnGroup, key []byte, ts int64, ptr wal.Ptr) (wal.Record, error) {
+	rec, err := s.log.Read(ptr)
+	for attempt := 0; err != nil && attempt < 3; attempt++ {
+		e, ok := g.tree().Get(key, ts)
+		if !ok {
+			return wal.Record{}, errRowVanished
+		}
+		rec, err = s.log.Read(e.Ptr)
+	}
+	return rec, err
+}
+
 // fetchRows resolves index entries to rows through one batched log
 // read: wal.ReadBatch sorts the pointers by log offset and coalesces
 // near-adjacent frames, turning random per-row seeks into sequential
 // sweeps. With useCache the read buffer is consulted first (worth it
 // only for small scans over hot ranges; see ScanOptions.UseCache).
-func (s *Server) fetchRows(t *Tablet, group string, entries []index.Entry, useCache bool) ([]Row, error) {
+// Entries whose records moved (or vanished) under a racing compaction
+// are re-resolved per row through readEntry; vanished rows are
+// dropped.
+func (s *Server) fetchRows(t *Tablet, g *columnGroup, group string, entries []index.Entry, useCache bool) ([]Row, error) {
 	rows := make([]Row, len(entries))
 	var missIdx []int
 	var missPtrs []wal.Ptr
@@ -326,16 +364,43 @@ func (s *Server) fetchRows(t *Tablet, group string, entries []index.Entry, useCa
 		missIdx = append(missIdx, i)
 		missPtrs = append(missPtrs, e.Ptr)
 	}
+	var dropped []int
 	if len(missPtrs) > 0 {
 		recs, err := s.log.ReadBatch(missPtrs)
 		if err != nil {
-			return nil, err
+			// The batch hit a reclaimed segment; salvage row by row.
+			for _, i := range missIdx {
+				e := entries[i]
+				rec, rerr := s.readEntry(g, e.Key, e.TS, e.Ptr)
+				if errors.Is(rerr, errRowVanished) {
+					dropped = append(dropped, i)
+					continue
+				}
+				if rerr != nil {
+					return nil, rerr
+				}
+				rows[i] = Row{Key: e.Key, TS: e.TS, Value: rec.Value}
+			}
+		} else {
+			for j, i := range missIdx {
+				e := entries[i]
+				rows[i] = Row{Key: e.Key, TS: e.TS, Value: recs[j].Value}
+			}
 		}
 		s.stats.LogReads.Add(int64(len(missPtrs)))
-		for j, i := range missIdx {
-			e := entries[i]
-			rows[i] = Row{Key: e.Key, TS: e.TS, Value: recs[j].Value}
+	}
+	if len(dropped) > 0 {
+		kept := rows[:0]
+		drop := make(map[int]bool, len(dropped))
+		for _, i := range dropped {
+			drop[i] = true
 		}
+		for i := range rows {
+			if !drop[i] {
+				kept = append(kept, rows[i])
+			}
+		}
+		rows = kept
 	}
 	return rows, nil
 }

@@ -163,6 +163,8 @@ func (s *Server) LookupSecondary(name string, secKey []byte) ([]Row, error) {
 	end := append(append([]byte(nil), prefix...), 0xFF)
 	var out []Row
 	var readErr error
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	si.mu.RLock()
 	var entries []index.Entry
 	si.tree.AscendRange(prefix, end, func(e index.Entry) bool {
@@ -197,6 +199,8 @@ func (s *Server) ScanSecondaryRange(name string, start, end []byte, fn func(secK
 	if !ok {
 		return fmt.Errorf("core: no secondary index %q", name)
 	}
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	si.mu.RLock()
 	var entries []index.Entry
 	si.tree.Ascend(func(e index.Entry) bool {

@@ -52,6 +52,13 @@ type Config struct {
 	// CompactKeepVersions bounds versions retained per key by
 	// compaction; zero keeps all committed versions.
 	CompactKeepVersions int
+	// AutoCompact paces the background incremental compactor
+	// (autocompact.go); the loop runs only when Interval > 0.
+	AutoCompact AutoCompactConfig
+	// NoClusteredScan forces every scan onto the index-driven path even
+	// over sorted segments; benches use it to measure the clustered fast
+	// path against its fallback.
+	NoClusteredScan bool
 }
 
 // ErrNotFound is returned when a key (or version) does not exist.
@@ -129,6 +136,34 @@ type Server struct {
 	// against mutations; normal operations hold it shared.
 	installMu sync.RWMutex
 
+	// compactMu serialises compaction runs (whole-log and incremental)
+	// against each other.
+	compactMu sync.Mutex
+
+	// prepMu guards the prepared-transaction registry: 2PC participants
+	// register durable-but-uncommitted writes here so compaction keeps
+	// their records and repoints the cached locations a later CommitTxn
+	// will install.
+	prepMu   sync.Mutex
+	prepared map[uint64]*Prepared
+
+	// autoStop/autoWG manage the background auto-compaction loop.
+	autoStop chan struct{}
+	autoWG   sync.WaitGroup
+	closed   sync.Once
+
+	// indexReady arms index-probe-driven compaction (CompactSegments).
+	// A server reopened over an existing log has EMPTY indexes until
+	// Recover runs; compacting before that would judge every record
+	// dead and destroy the log. Fresh (empty-log) servers are ready
+	// immediately; reopened ones become ready when Recover completes.
+	indexReady atomic.Bool
+	// garbageAudited gates the one-time post-recovery garbage recount:
+	// per-segment garbage counters are in-memory and zeroed by a
+	// restart, so the first compaction tick after recovery re-derives
+	// them from the index before trusting the ratios.
+	garbageAudited atomic.Bool
+
 	readCache *cache.Cache
 
 	// secondary indexes (the §5 future-work extension; secondary.go).
@@ -146,6 +181,10 @@ type ServerStats struct {
 	CacheHits   atomic.Int64
 	LogReads    atomic.Int64
 	Compactions atomic.Int64
+	// CompactDropped and CompactReclaimed accumulate across compaction
+	// runs (records vacuumed, bytes reclaimed) for observability.
+	CompactDropped   atomic.Int64
+	CompactReclaimed atomic.Int64
 }
 
 // NewServer opens (or reopens) tablet server id over fs. Reopening an
@@ -165,6 +204,13 @@ func NewServer(fs *dfs.DFS, id string, cfg Config) (*Server, error) {
 	}
 	if cfg.GroupCommit {
 		s.batcher = wal.NewBatcher(log, cfg.GroupCommitBatch, cfg.GroupCommitDelay)
+	}
+	s.indexReady.Store(log.Size() == 0)
+	s.garbageAudited.Store(log.Size() == 0)
+	if cfg.AutoCompact.Interval > 0 {
+		s.autoStop = make(chan struct{})
+		s.autoWG.Add(1)
+		go s.autoCompactLoop(cfg.AutoCompact.Interval, s.autoStop, &s.autoWG)
 	}
 	return s, nil
 }
@@ -267,6 +313,33 @@ func cacheKey(table, group string, key []byte) string {
 	return table + "\x00" + group + "\x00" + string(key)
 }
 
+// noteDeleted credits every stored version of key as garbage in its
+// segment (a delete makes them all unreachable). Called BEFORE the
+// index entries are dropped. The garbage ratios drive the auto
+// compactor's candidate selection.
+func (s *Server) noteDeleted(g *columnGroup, key []byte) {
+	for _, v := range g.tree().Versions(key, nil) {
+		s.log.AddGarbage(v.Ptr.Seg, int64(v.Ptr.Len))
+	}
+}
+
+// noteSuperseded credits the version that just fell outside the
+// CompactKeepVersions retention window (if any) as garbage. Called
+// after a new version is installed; each old version is charged once,
+// as it crosses the retention boundary.
+func (s *Server) noteSuperseded(g *columnGroup, key []byte) {
+	k := s.cfg.CompactKeepVersions
+	if k <= 0 {
+		return
+	}
+	// The version k below the newest just crossed the retention
+	// boundary; a bounded ring walk finds it without materializing the
+	// key's whole history on the hot write path.
+	if v, ok := g.tree().NthFromNewest(key, k); ok {
+		s.log.AddGarbage(v.Ptr.Seg, int64(v.Ptr.Len))
+	}
+}
+
 // encodeCached packs (ts, value) for the read buffer.
 func encodeCached(ts int64, value []byte) []byte {
 	out := make([]byte, 8+len(value))
@@ -311,6 +384,7 @@ func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byt
 		return err
 	}
 	g.tree().Put(index.Entry{Key: key, TS: ts, Ptr: ptrs[0], LSN: rec.LSN})
+	s.noteSuperseded(g, key)
 	s.readCache.Put(cacheKey(t.table, group, key), encodeCached(ts, value))
 	s.maintainSecondary(tabletID, group, key, ts, ptrs[0], rec.LSN, value, false)
 	s.stats.Writes.Add(1)
@@ -378,7 +452,15 @@ func (s *Server) GetAt(tabletID, group string, key []byte, ts int64) (Row, error
 	}
 	rec, err := s.log.Read(e.Ptr)
 	if err != nil {
-		return Row{}, err
+		// A compaction may have repointed the entry between the index
+		// descent and the read; the re-looked-up entry is current.
+		if e2, ok2 := g.tree().LatestAt(key, ts); ok2 {
+			e = e2
+			rec, err = s.log.Read(e.Ptr)
+		}
+		if err != nil {
+			return Row{}, err
+		}
 	}
 	s.stats.LogReads.Add(1)
 	// Cache only the globally newest version.
@@ -399,10 +481,15 @@ func (s *Server) Versions(tabletID, group string, key []byte) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	entries := g.tree().Versions(key, nil)
 	rows := make([]Row, 0, len(entries))
 	for _, e := range entries {
-		rec, err := s.log.Read(e.Ptr)
+		rec, err := s.readEntry(g, key, e.TS, e.Ptr)
+		if errors.Is(err, errRowVanished) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -435,6 +522,7 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 	if _, err := s.append(rec); err != nil {
 		return err
 	}
+	s.noteDeleted(g, key)
 	g.tree().DeleteKey(key)
 	s.readCache.Invalidate(cacheKey(t.table, group, key))
 	s.maintainSecondary(tabletID, group, key, ts, wal.Ptr{}, rec.LSN, nil, true)
@@ -465,6 +553,8 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 	if err != nil {
 		return err
 	}
+	pinned := s.log.PinAll()
+	defer s.log.Unpin(pinned...)
 	var entries []index.Entry
 	g.tree().RangeLatest(start, end, ts, func(e index.Entry) bool {
 		entries = append(entries, e)
@@ -478,7 +568,10 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 				return err
 			}
 		}
-		rec, err := s.log.Read(e.Ptr)
+		rec, err := s.readEntry(g, e.Key, e.TS, e.Ptr)
+		if errors.Is(err, errRowVanished) {
+			continue // deleted while the scan ran
+		}
 		if err != nil {
 			return err
 		}
@@ -572,12 +665,14 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 		t, _ := s.tablet(w.Tablet)
 		g, _ := t.group(w.Group)
 		if w.Delete {
+			s.noteDeleted(g, w.Key)
 			g.tree().DeleteKey(w.Key)
 			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, wal.Ptr{}, recs[i].LSN, nil, true)
 			s.stats.Deletes.Add(1)
 		} else {
 			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: ptrs[i], LSN: recs[i].LSN})
+			s.noteSuperseded(g, w.Key)
 			s.readCache.Put(cacheKey(t.table, w.Group, w.Key), encodeCached(commitTS, w.Value))
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, ptrs[i], recs[i].LSN, w.Value, false)
 			s.stats.Writes.Add(1)
@@ -642,12 +737,14 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 		t, _ := s.tablet(w.Tablet)
 		g, _ := t.group(w.Group)
 		if w.Delete {
+			s.noteDeleted(g, w.Key)
 			g.tree().DeleteKey(w.Key)
 			s.readCache.Invalidate(cacheKey(t.table, w.Group, w.Key))
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, w.TS, wal.Ptr{}, recs[i].LSN, nil, true)
 			s.stats.Deletes.Add(1)
 		} else {
 			g.tree().Put(index.Entry{Key: w.Key, TS: w.TS, Ptr: ptrs[i], LSN: recs[i].LSN})
+			s.noteSuperseded(g, w.Key)
 			// Invalidate rather than populate the read buffer: the
 			// batch's timestamps were assigned before a long append, so
 			// a concurrent Put may already have cached a NEWER version
@@ -665,9 +762,16 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 }
 
 // Close releases the server's background resources: the group-commit
-// batcher goroutine is stopped (in-flight appends flush first). Data
-// needs no flushing — every append was already durable. Idempotent.
+// batcher goroutine is stopped (in-flight appends flush first) and the
+// auto-compaction loop is joined. Data needs no flushing — every
+// append was already durable. Idempotent.
 func (s *Server) Close() error {
+	s.closed.Do(func() {
+		if s.autoStop != nil {
+			close(s.autoStop)
+			s.autoWG.Wait()
+		}
+	})
 	if s.batcher != nil {
 		s.batcher.Close()
 	}

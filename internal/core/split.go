@@ -169,6 +169,28 @@ type ReplaySession struct {
 	committed map[uint64]bool
 	pending   map[uint64][]wal.Record
 	applied   int
+
+	// highWater is the highest source LSN covered by previous rounds.
+	// Incremental compaction on the source relocates records (keeping
+	// their LSNs) into higher-numbered segments, so a later round can
+	// re-present records already replayed; they are skipped by LSN.
+	highWater uint64
+	// deletes tracks, per key, the newest known invalidation and whether
+	// it has been applied to the destination. Replay applies deletes by
+	// LSN — a relocated old tombstone must not destroy newer replayed
+	// data, and a relocated old write must not resurrect a deleted row.
+	deletes map[string]*replayDelete
+}
+
+// replayDelete is the per-key delete resolution state of a replay.
+type replayDelete struct {
+	lsn     uint64
+	ts      int64
+	applied bool
+}
+
+func replayKey(rec *wal.Record) string {
+	return rec.Table + "\x00" + rec.Group + "\x00" + string(rec.Key)
 }
 
 // NewReplaySession opens a replay of a source log (from srcStart,
@@ -192,6 +214,7 @@ func (s *Server) NewReplaySession(srcLog *wal.Log, srcStart wal.Position, specs 
 		pos:       srcStart,
 		committed: make(map[uint64]bool),
 		pending:   make(map[uint64][]wal.Record),
+		deletes:   make(map[string]*replayDelete),
 	}, nil
 }
 
@@ -238,12 +261,29 @@ func (rs *ReplaySession) match(rec *wal.Record) (partition.Tablet, bool) {
 }
 
 func (rs *ReplaySession) apply(spec partition.Tablet, rec *wal.Record) error {
+	ds := rs.deletes[replayKey(rec)]
 	switch rec.Kind {
 	case wal.KindWrite:
+		if ds != nil && rec.LSN < ds.lsn {
+			return nil // invalidated by a newer delete
+		}
+		// The key's newest delete sorts before this surviving write in
+		// LSN order; apply it first so it clears older destination state
+		// without touching what this write is about to install.
+		if ds != nil && !ds.applied {
+			ds.applied = true
+			if err := rs.dst.Delete(spec.ID, rec.Group, rec.Key, ds.ts); err != nil {
+				return err
+			}
+		}
 		if err := rs.dst.Write(spec.ID, rec.Group, rec.Key, rec.TS, rec.Value); err != nil {
 			return err
 		}
 	case wal.KindDelete:
+		if ds == nil || rec.LSN < ds.lsn || ds.applied {
+			return nil // superseded by a newer delete, or already applied
+		}
+		ds.applied = true
 		if err := rs.dst.Delete(spec.ID, rec.Group, rec.Key, rec.TS); err != nil {
 			return err
 		}
@@ -265,19 +305,94 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 	// advanced to `end` without skipping records.
 	end := rs.srcLog.End()
 	before := rs.applied
+	inRound := func(p wal.Ptr) bool {
+		if p.Seg == rs.pos.Seg && p.Off < rs.pos.Off {
+			return false // scanner rewinds to a framing boundary before pos
+		}
+		return p.Seg < end.Seg || (p.Seg == end.Seg && p.Off < end.Off)
+	}
+
+	// Pass 1: learn this round's commits and fold its delete records
+	// into the per-key delete resolution (committed transactional
+	// deletes only become visible once their commit is seen, hence the
+	// deferred fold). roundMax advances the LSN high-water mark.
+	type pendDel struct {
+		key   string
+		lsn   uint64
+		ts    int64
+		txnID uint64
+	}
+	var txnDels []pendDel
 	sc := rs.srcLog.NewScanner(rs.pos)
 	for sc.Next() {
 		p := sc.Ptr()
 		if p.Seg == rs.pos.Seg && p.Off < rs.pos.Off {
-			continue // scanner rewinds to a framing boundary before pos
+			continue
 		}
-		if p.Seg > end.Seg || (p.Seg == end.Seg && p.Off >= end.Off) {
+		if !inRound(p) {
 			break
 		}
 		rec := sc.Record()
 		switch rec.Kind {
 		case wal.KindCommit:
 			rs.committed[rec.TxnID] = true
+		case wal.KindDelete:
+			if rec.LSN <= rs.highWater {
+				continue // relocated copy; resolved in its original round
+			}
+			if rec.TxnID != 0 {
+				txnDels = append(txnDels, pendDel{key: replayKey(&rec), lsn: rec.LSN, ts: rec.TS, txnID: rec.TxnID})
+				continue
+			}
+			rs.noteDelete(replayKey(&rec), rec.LSN, rec.TS)
+		}
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		return rs.applied - before, err
+	}
+	for _, td := range txnDels {
+		if rs.committed[td.txnID] {
+			rs.noteDelete(td.key, td.lsn, td.ts)
+		}
+	}
+
+	// Pass 2: apply. Records at or below the high-water mark were
+	// covered by earlier rounds (compaction re-presents them at new
+	// positions with their original LSNs) and are skipped wholesale.
+	// The mark itself advances to the highest LSN THIS pass iterates: a
+	// source-side compaction between the two passes can relocate
+	// records beyond this round's bound, and their LSNs must stay below
+	// the mark so the next round still applies them.
+	var pass2Max uint64
+	sc = rs.srcLog.NewScanner(rs.pos)
+	for sc.Next() {
+		p := sc.Ptr()
+		if p.Seg == rs.pos.Seg && p.Off < rs.pos.Off {
+			continue
+		}
+		if !inRound(p) {
+			break
+		}
+		rec := sc.Record()
+		if rec.Kind != wal.KindCommit && rec.LSN > pass2Max {
+			pass2Max = rec.LSN
+		}
+		if rec.Kind != wal.KindCommit && rec.LSN <= rs.highWater {
+			continue
+		}
+		switch rec.Kind {
+		case wal.KindCommit:
+			// A parked transactional delete becomes visible only now: fold
+			// it into the per-key resolution BEFORE applying the batch, so
+			// it cannot be lost (its commit arriving rounds later) and the
+			// txn's own surviving writes apply after it.
+			for i := range rs.pending[rec.TxnID] {
+				pr := &rs.pending[rec.TxnID][i]
+				if pr.Kind == wal.KindDelete {
+					rs.noteDelete(replayKey(pr), pr.LSN, pr.TS)
+				}
+			}
 			for i := range rs.pending[rec.TxnID] {
 				pr := &rs.pending[rec.TxnID][i]
 				spec, ok := rs.match(pr)
@@ -285,6 +400,7 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 					continue
 				}
 				if err := rs.apply(spec, pr); err != nil {
+					sc.Close()
 					return rs.applied - before, err
 				}
 			}
@@ -299,13 +415,31 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 				continue
 			}
 			if err := rs.apply(spec, &rec); err != nil {
+				sc.Close()
 				return rs.applied - before, err
 			}
 		}
 	}
+	sc.Close()
 	if err := sc.Err(); err != nil {
 		return rs.applied - before, err
 	}
+	if pass2Max > rs.highWater {
+		rs.highWater = pass2Max
+	}
 	rs.pos = end
 	return rs.applied - before, nil
+}
+
+// noteDelete folds one invalidation record into the per-key state,
+// keeping only the newest by LSN.
+func (rs *ReplaySession) noteDelete(key string, lsn uint64, ts int64) {
+	ds := rs.deletes[key]
+	if ds == nil {
+		rs.deletes[key] = &replayDelete{lsn: lsn, ts: ts}
+		return
+	}
+	if lsn > ds.lsn {
+		ds.lsn, ds.ts, ds.applied = lsn, ts, false
+	}
 }

@@ -8,8 +8,12 @@ import (
 )
 
 // Prepared holds the durable-but-uncommitted writes of one transaction
-// on one participant server (phase one of two-phase commit).
+// on one participant server (phase one of two-phase commit). While
+// registered with the server (PrepareTxn..CommitTxn), a compaction
+// that relocates the prepared records updates ptrs in place under the
+// server's prepared-registry lock.
 type Prepared struct {
+	txnID  uint64
 	writes []TxnWrite
 	ptrs   []wal.Ptr
 	lsns   []uint64
@@ -49,10 +53,18 @@ func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*P
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{writes: writes, ptrs: ptrs}
+	p := &Prepared{txnID: txnID, writes: writes, ptrs: ptrs}
 	for _, r := range recs {
 		p.lsns = append(p.lsns, r.LSN)
 	}
+	// Register so compaction keeps these commit-less records and
+	// repoints p.ptrs if it relocates them before CommitTxn runs.
+	s.prepMu.Lock()
+	if s.prepared == nil {
+		s.prepared = make(map[uint64]*Prepared)
+	}
+	s.prepared[txnID] = p
+	s.prepMu.Unlock()
 	return p, nil
 }
 
@@ -78,6 +90,14 @@ func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
 	if _, err := s.append(&wal.Record{Kind: wal.KindCommit, TxnID: txnID, TS: commitTS}); err != nil {
 		return err
 	}
+	// Snapshot the (possibly compaction-repointed) locations and retire
+	// the registration. Both happen under installMu (held shared for
+	// this whole install), so a compaction either repointed before this
+	// line or rebuilds/repoints the installed entries itself.
+	s.prepMu.Lock()
+	ptrs := append([]wal.Ptr(nil), p.ptrs...)
+	delete(s.prepared, txnID)
+	s.prepMu.Unlock()
 	for i, w := range p.writes {
 		t, err := s.tablet(w.Tablet)
 		if err != nil {
@@ -93,9 +113,9 @@ func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, wal.Ptr{}, p.lsns[i], nil, true)
 			s.stats.Deletes.Add(1)
 		} else {
-			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: p.ptrs[i], LSN: p.lsns[i]})
+			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: ptrs[i], LSN: p.lsns[i]})
 			s.readCache.Put(cacheKey(t.table, w.Group, w.Key), encodeCached(commitTS, w.Value))
-			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, p.ptrs[i], p.lsns[i], w.Value, false)
+			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, ptrs[i], p.lsns[i], w.Value, false)
 			s.stats.Writes.Add(1)
 		}
 		s.bumpUpdates(t, g)

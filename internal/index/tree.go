@@ -327,6 +327,43 @@ func (t *Tree) LatestAt(key []byte, ts int64) (Entry, bool) {
 	return best, found
 }
 
+// NthFromNewest returns the entry n positions below key's newest
+// version (n=0 is the newest), walking the version chain with a small
+// ring instead of materializing the whole history — the write path's
+// retention-boundary probe.
+func (t *Tree) NthFromNewest(key []byte, n int) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ring := make([]Entry, n+1)
+	count := 0
+	leaf := t.findLeaf(key, -1<<62)
+	i := searchLeaf(leaf, key, -1<<62)
+	for nd := leaf; nd != nil; nd = nd.right {
+		for ; i < len(nd.entries); i++ {
+			e := nd.entries[i]
+			c := bytes.Compare(e.Key, key)
+			if c > 0 {
+				nd = nil
+				break
+			}
+			if c == 0 {
+				ring[count%(n+1)] = e
+				count++
+			}
+		}
+		if nd == nil {
+			break
+		}
+		i = 0
+	}
+	if count <= n {
+		return Entry{}, false
+	}
+	// Versions arrive ascending; the ring's oldest slot is the entry n
+	// below the newest.
+	return ring[count%(n+1)], true
+}
+
 // Versions appends all entries for key (ascending timestamp) to dst.
 func (t *Tree) Versions(key []byte, dst []Entry) []Entry {
 	t.mu.RLock()
@@ -380,6 +417,63 @@ func (t *Tree) DeleteKey(key []byte) int {
 			return removed
 		}
 	}
+}
+
+// DeleteKeyBelow removes the versions of key whose LSN is strictly
+// below lsn, returning how many entries were removed. Recovery and
+// replay use it to apply invalidation records order-independently: a
+// tombstone only kills versions written before it, so replaying a
+// compaction-relocated (old-LSN) tombstone after a newer write cannot
+// destroy the newer data.
+func (t *Tree) DeleteKeyBelow(key []byte, lsn uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for {
+		leaf := t.findLeaf(key, -1<<62)
+		i := searchLeaf(leaf, key, -1<<62)
+		found := false
+		for n := leaf; n != nil && !found; n = n.right {
+			for ; i < len(n.entries); i++ {
+				c := bytes.Compare(n.entries[i].Key, key)
+				if c > 0 {
+					return removed
+				}
+				if c == 0 && n.entries[i].LSN < lsn {
+					t.mem -= entryMem(n.entries[i])
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+					t.n--
+					removed++
+					found = true // restart: slices shifted
+					break
+				}
+			}
+			i = 0
+		}
+		if !found {
+			return removed
+		}
+	}
+}
+
+// Repoint atomically redirects the entry for (key, ts) from old to new,
+// provided the entry still exists with exactly that LSN and location.
+// Incremental compaction uses it to install rewritten record locations:
+// an entry deleted or superseded since the rewrite began simply fails
+// the match and keeps the tree authoritative.
+func (t *Tree) Repoint(key []byte, ts int64, lsn uint64, old, new wal.Ptr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.findLeaf(key, ts)
+	i := searchLeaf(leaf, key, ts)
+	if i < len(leaf.entries) && compare(leaf.entries[i].Key, leaf.entries[i].TS, key, ts) == 0 {
+		e := &leaf.entries[i]
+		if e.LSN == lsn && e.Ptr == old {
+			e.Ptr = new
+			return true
+		}
+	}
+	return false
 }
 
 // DeleteVersion removes the exact (key, ts) entry.

@@ -16,6 +16,12 @@
 // the tablet server, not in the session loop; a bare number in place
 // of LIMIT n is accepted for compatibility with the old
 // "SCAN t g start end [limit]" form.
+//
+// STATS streams one "STAT <server> k=v ..." line per tablet server —
+// operation counters, read-buffer hits, and the compaction gauges
+// (sorted_frac, garbage_frac, per-run drops/reclaims) operators watch
+// to confirm background compaction is keeping up. COMPACT forces a
+// whole-log compaction on every server.
 package textproto
 
 import (
@@ -52,6 +58,38 @@ type Store interface {
 	// many leading key bytes.
 	Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error)
 	Checkpoint() error
+	// Stats returns one observability snapshot per tablet server (the
+	// STATS command): operation counters, read-buffer hit rates, and
+	// the compaction/storage-layout gauges operators watch to see the
+	// background compactor keeping up.
+	Stats(ctx context.Context) ([]StatsSnapshot, error)
+	// Compact runs whole-log compaction on every tablet server (the
+	// COMPACT command).
+	Compact(ctx context.Context) error
+}
+
+// StatsSnapshot is one tablet server's STATS line.
+type StatsSnapshot struct {
+	Server  string
+	Writes  int64
+	Reads   int64
+	Deletes int64
+	// LogReads counts rows fetched from the log to serve reads/scans.
+	LogReads int64
+	// CacheHits/CacheMisses are read-buffer counters.
+	CacheHits   int64
+	CacheMisses int64
+	// Compactions/CompactDropped/BytesReclaimed accumulate across
+	// compaction runs (manual and background).
+	Compactions    int64
+	CompactDropped int64
+	BytesReclaimed int64
+	// SortedFraction is the fraction of live log bytes in sorted
+	// segments; GarbageRatio is known-superseded bytes / live bytes.
+	SortedFraction float64
+	GarbageRatio   float64
+	Segments       int
+	LogBytes       int64
 }
 
 // Iterator is the pull-based row stream the protocol consumes; it
@@ -282,6 +320,30 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				err = reply("ERR %v", cerr)
 			} else {
 				err = reply("OK checkpoint")
+			}
+		case cmd == "COMPACT":
+			if cerr := db.Compact(ctx); cerr != nil {
+				err = reply("ERR %v", cerr)
+			} else {
+				err = reply("OK compact")
+			}
+		case cmd == "STATS":
+			snaps, serr := db.Stats(ctx)
+			if serr != nil {
+				err = reply("ERR %v", serr)
+				break
+			}
+			for _, sn := range snaps {
+				if err = reply("STAT %s writes=%d reads=%d deletes=%d log_reads=%d cache_hits=%d cache_misses=%d "+
+					"compactions=%d dropped=%d reclaimed=%d sorted_frac=%.3f garbage_frac=%.3f segments=%d log_bytes=%d",
+					sn.Server, sn.Writes, sn.Reads, sn.Deletes, sn.LogReads, sn.CacheHits, sn.CacheMisses,
+					sn.Compactions, sn.CompactDropped, sn.BytesReclaimed, sn.SortedFraction, sn.GarbageRatio,
+					sn.Segments, sn.LogBytes); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = reply("END %d", len(snaps))
 			}
 		default:
 			err = reply("ERR unknown or malformed command %q", line)

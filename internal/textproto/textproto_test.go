@@ -234,6 +234,12 @@ func (f *fakeStore) Query(ctx context.Context, table, group, agg string, start, 
 
 func (f *fakeStore) Checkpoint() error { return nil }
 
+func (f *fakeStore) Compact(context.Context) error { return nil }
+
+func (f *fakeStore) Stats(context.Context) ([]StatsSnapshot, error) {
+	return []StatsSnapshot{{Server: "fake", Writes: 7, SortedFraction: 0.5, Segments: 2}}, nil
+}
+
 // session runs a script through Serve and returns response lines.
 func session(t *testing.T, db Store, script ...string) []string {
 	t.Helper()
@@ -471,5 +477,29 @@ func TestScanPushdownOperands(t *testing.T) {
 		if len(ls) != 1 || !strings.HasPrefix(ls[0], "ERR ") {
 			t.Fatalf("%q replied %v, want ERR", bad, ls)
 		}
+	}
+}
+
+// TestStatsAndCompact covers the observability commands: STATS streams
+// one STAT line per tablet server plus END, COMPACT acknowledges.
+func TestStatsAndCompact(t *testing.T) {
+	db := newFake()
+	lines := session(t, db, "STATS", "COMPACT")
+	if len(lines) != 3 {
+		t.Fatalf("replies = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "STAT fake ") {
+		t.Fatalf("STATS line = %q", lines[0])
+	}
+	for _, want := range []string{"writes=7", "sorted_frac=0.500", "segments=2", "garbage_frac=0.000"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("STATS line %q missing %q", lines[0], want)
+		}
+	}
+	if lines[1] != "END 1" {
+		t.Fatalf("STATS terminator = %q", lines[1])
+	}
+	if lines[2] != "OK compact" {
+		t.Fatalf("COMPACT reply = %q", lines[2])
 	}
 }

@@ -33,12 +33,24 @@ const (
 	segFlagCompact = 1 << 1 // reserved for per-segment table/group defaults
 )
 
+// SegmentHeaderSize is the fixed per-segment header length; a segment
+// of exactly this size holds no records.
+const SegmentHeaderSize = segHeaderSize
+
 // SegmentInfo describes one live segment.
 type SegmentInfo struct {
 	Num    uint32
 	Size   int64
 	Sorted bool
+	// Garbage is the accumulated byte count of records in this segment
+	// known to be superseded (deleted keys, versions beyond the
+	// retention bound, stale same-timestamp rewrites). The auto
+	// compactor picks rewrite candidates by Garbage/Size.
+	Garbage int64
 }
+
+// Empty reports whether the segment holds no records (header only).
+func (si SegmentInfo) Empty() bool { return si.Size <= SegmentHeaderSize }
 
 // Log is a single tablet server's log instance (one per server, shared
 // by all its tablets, per the paper's single-log design choice). It is
@@ -59,8 +71,13 @@ type Log struct {
 }
 
 type segState struct {
-	size   int64
-	sorted bool
+	size    int64 // full file bytes (records + footer)
+	dataEnd int64 // end of the record area (== size when no footer)
+	sorted  bool
+	meta    *SegmentMeta // footer metadata; sorted segments only
+	garbage int64        // superseded record bytes (see SegmentInfo.Garbage)
+	pins    int          // active scanners/readers holding the segment
+	doomed  bool         // removed from the live set; deletion deferred until pins==0
 }
 
 // Open opens (or creates) the log stored under dir in fs. Existing
@@ -86,11 +103,11 @@ func Open(fs *dfs.DFS, dir string, opts Options) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
-		sorted, err := l.readSegFlags(path)
+		sorted, meta, dataEnd, err := l.readSegHeaderFooter(path, size)
 		if err != nil {
 			return nil, err
 		}
-		l.segs[num] = &segState{size: size, sorted: sorted}
+		l.segs[num] = &segState{size: size, dataEnd: dataEnd, sorted: sorted, meta: meta}
 		l.order = append(l.order, num)
 		if num >= l.nextSeg {
 			l.nextSeg = num + 1
@@ -100,22 +117,32 @@ func Open(fs *dfs.DFS, dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-func (l *Log) readSegFlags(path string) (sorted bool, err error) {
+// readSegHeaderFooter validates a segment's header and, for sorted
+// segments, decodes the trailing footer.
+func (l *Log) readSegHeaderFooter(path string, size int64) (sorted bool, meta *SegmentMeta, dataEnd int64, err error) {
 	r, err := l.fs.Open(path)
 	if err != nil {
-		return false, err
+		return false, nil, 0, err
 	}
 	defer r.Close()
 	hdr := make([]byte, segHeaderSize)
 	if _, err := r.ReadAt(hdr, 0); err != nil && err != io.EOF {
-		return false, err
+		return false, nil, 0, err
 	}
 	for i, m := range segMagic {
 		if hdr[i] != m {
-			return false, fmt.Errorf("wal: %s: bad segment magic", path)
+			return false, nil, 0, fmt.Errorf("wal: %s: bad segment magic", path)
 		}
 	}
-	return hdr[6]&segFlagSorted != 0, nil
+	sorted = hdr[6]&segFlagSorted != 0
+	dataEnd = size
+	if sorted {
+		meta, dataEnd, err = readFooter(r, size)
+		if err != nil {
+			return false, nil, 0, fmt.Errorf("wal: %s: %w", path, err)
+		}
+	}
+	return sorted, meta, dataEnd, nil
 }
 
 // SegmentPath returns the DFS path of segment num.
@@ -142,7 +169,7 @@ func (l *Log) newSegmentLocked(sorted bool) (uint32, *dfs.Writer, error) {
 	if _, err := w.Write(hdr); err != nil {
 		return 0, nil, err
 	}
-	l.segs[num] = &segState{size: segHeaderSize, sorted: sorted}
+	l.segs[num] = &segState{size: segHeaderSize, dataEnd: segHeaderSize, sorted: sorted}
 	l.order = append(l.order, num)
 	return num, w, nil
 }
@@ -206,6 +233,7 @@ func (l *Log) Append(recs ...*Record) ([]Ptr, error) {
 		off := st.size
 		batch = append(batch, frame...)
 		st.size += int64(len(frame))
+		st.dataEnd = st.size
 		ptrs = append(ptrs, Ptr{Seg: l.cur, Off: off, Len: uint32(len(frame))})
 	}
 	if err := flush(); err != nil {
@@ -225,12 +253,27 @@ func (l *Log) Rotate() {
 	}
 }
 
+// ActiveSegment returns the segment currently open for append (0 =
+// none). The auto compactor excludes it from rewrite candidates.
+func (l *Log) ActiveSegment() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur
+}
+
 func (l *Log) reader(num uint32) (*dfs.Reader, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.readerLocked(num)
+}
+
+func (l *Log) readerLocked(num uint32) (*dfs.Reader, error) {
 	if r, ok := l.readers[num]; ok {
 		return r, nil
 	}
+	// Doomed segments stay readable until their last pin drops: an
+	// in-flight iterator holding Ptrs into a compacted-away segment
+	// finishes against the still-present file.
 	if _, ok := l.segs[num]; !ok {
 		return nil, fmt.Errorf("wal: segment %d not live", num)
 	}
@@ -242,9 +285,62 @@ func (l *Log) reader(num uint32) (*dfs.Reader, error) {
 	return r, nil
 }
 
+// Pin takes a reference on each given segment, deferring its physical
+// deletion (RemoveSegments) until the matching Unpin. Unknown segments
+// are ignored. Scanners and batch readers pin the segments they touch
+// so compaction never deletes a file under an in-flight read.
+func (l *Log) Pin(nums ...uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, n := range nums {
+		if st, ok := l.segs[n]; ok {
+			st.pins++
+		}
+	}
+}
+
+// Unpin releases references taken by Pin, physically deleting any
+// doomed segment whose last pin drops.
+func (l *Log) Unpin(nums ...uint32) {
+	l.mu.Lock()
+	var doomed []uint32
+	for _, n := range nums {
+		st, ok := l.segs[n]
+		if !ok {
+			continue
+		}
+		if st.pins > 0 {
+			st.pins--
+		}
+		if st.doomed && st.pins == 0 {
+			doomed = append(doomed, n)
+		}
+	}
+	l.mu.Unlock()
+	for _, n := range doomed {
+		l.finalizeRemove(n)
+	}
+}
+
+// PinAll pins every live segment and returns their numbers (pass them
+// to Unpin when done). Long scans use it to hold the whole snapshot
+// they started on.
+func (l *Log) PinAll() []uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint32, 0, len(l.order))
+	for _, n := range l.order {
+		l.segs[n].pins++
+		out = append(out, n)
+	}
+	return out
+}
+
 // Read fetches the record at ptr. This is the single-seek read path the
 // in-memory index enables (paper §3.5).
 func (l *Log) Read(ptr Ptr) (Record, error) {
+	l.Pin(ptr.Seg)
+	defer l.Unpin(ptr.Seg)
 	r, err := l.reader(ptr.Seg)
 	if err != nil {
 		return Record{}, err
@@ -267,9 +363,53 @@ func (l *Log) Segments() []SegmentInfo {
 	out := make([]SegmentInfo, 0, len(l.order))
 	for _, num := range l.order {
 		st := l.segs[num]
-		out = append(out, SegmentInfo{Num: num, Size: st.size, Sorted: st.sorted})
+		out = append(out, SegmentInfo{Num: num, Size: st.size, Sorted: st.sorted, Garbage: st.garbage})
 	}
 	return out
+}
+
+// SegmentMeta returns the footer metadata of a sorted segment (nil for
+// unsorted, unknown, or doomed segments).
+func (l *Log) SegmentMeta(num uint32) *SegmentMeta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st, ok := l.segs[num]; ok && !st.doomed {
+		return st.meta
+	}
+	return nil
+}
+
+// AddGarbage credits n superseded record bytes to a segment. Callers
+// (the tablet server) invoke it as versions become unreachable —
+// deletes, retention-bound overflows, stale same-timestamp rewrites —
+// so Garbage/Size approximates how much of a segment a rewrite would
+// reclaim.
+func (l *Log) AddGarbage(num uint32, n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st, ok := l.segs[num]; ok {
+		st.garbage += n
+		if st.garbage > st.size {
+			st.garbage = st.size
+		}
+	}
+}
+
+// SetGarbage replaces a segment's garbage counter — the recovery-time
+// audit recomputes what Open could not know (counters are in-memory
+// and die with the process).
+func (l *Log) SetGarbage(num uint32, n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st, ok := l.segs[num]; ok {
+		if n > st.size {
+			n = st.size
+		}
+		st.garbage = n
+	}
 }
 
 // Size returns the total live log size in bytes.
@@ -277,8 +417,8 @@ func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var n int64
-	for _, st := range l.segs {
-		n += st.size
+	for _, num := range l.order {
+		n += l.segs[num].size
 	}
 	return n
 }
@@ -299,7 +439,9 @@ func (l *Log) End() Position {
 
 // SegmentWriter writes records (with pre-assigned LSNs) into brand-new
 // segments, used by compaction to lay down sorted runs while the main
-// log keeps serving appends.
+// log keeps serving appends. Sorted writers append a footer (min/max
+// clustering key, row/LSN counts, sparse block index) to every segment
+// they finish.
 type SegmentWriter struct {
 	l      *Log
 	sorted bool
@@ -307,6 +449,9 @@ type SegmentWriter struct {
 	w      *dfs.Writer
 	size   int64
 	nums   []uint32
+
+	meta       SegmentMeta
+	lastSample int64 // record-area bytes at the last sparse sample
 }
 
 // NewSegmentWriter starts a writer for fresh (not yet installed)
@@ -321,16 +466,18 @@ func (l *Log) NewSegmentWriter(sorted bool) *SegmentWriter {
 func (s *SegmentWriter) Append(rec *Record) (Ptr, error) {
 	frame := Encode(rec)
 	if s.w == nil || s.size+int64(len(frame)) > s.l.opts.SegmentSize {
+		if err := s.finishSegment(); err != nil {
+			return Ptr{}, err
+		}
 		s.l.mu.Lock()
 		num, w, err := s.l.newSegmentLocked(s.sorted)
 		s.l.mu.Unlock()
 		if err != nil {
 			return Ptr{}, err
 		}
-		if s.w != nil {
-			s.w.Close()
-		}
 		s.cur, s.w, s.size = num, w, segHeaderSize
+		s.meta = SegmentMeta{}
+		s.lastSample = -1
 		s.nums = append(s.nums, num)
 	}
 	off := s.size
@@ -338,26 +485,80 @@ func (s *SegmentWriter) Append(rec *Record) (Ptr, error) {
 		return Ptr{}, fmt.Errorf("wal: compaction append seg %d: %w", s.cur, err)
 	}
 	s.size += int64(len(frame))
+	if s.sorted {
+		s.noteRecord(rec, off)
+	}
 	s.l.mu.Lock()
-	s.l.segs[s.cur].size = s.size
+	st := s.l.segs[s.cur]
+	st.size = s.size
+	st.dataEnd = s.size
 	s.l.mu.Unlock()
 	return Ptr{Seg: s.cur, Off: off, Len: uint32(len(frame))}, nil
+}
+
+// noteRecord folds one appended record into the pending footer.
+func (s *SegmentWriter) noteRecord(rec *Record, off int64) {
+	k := RecordKey{Table: rec.Table, Group: rec.Group, Key: rec.Key}
+	if s.meta.Rows == 0 {
+		s.meta.Min, s.meta.Max = k, k
+		s.meta.MinLSN, s.meta.MaxLSN = rec.LSN, rec.LSN
+	} else {
+		if k.Compare(s.meta.Min) < 0 {
+			s.meta.Min = k
+		}
+		if k.Compare(s.meta.Max) > 0 {
+			s.meta.Max = k
+		}
+		if rec.LSN < s.meta.MinLSN {
+			s.meta.MinLSN = rec.LSN
+		}
+		if rec.LSN > s.meta.MaxLSN {
+			s.meta.MaxLSN = rec.LSN
+		}
+	}
+	s.meta.Rows++
+	if s.lastSample < 0 || off-s.lastSample >= sparseIndexStride {
+		kc := RecordKey{Table: k.Table, Group: k.Group, Key: append([]byte(nil), k.Key...)}
+		s.meta.Sparse = append(s.meta.Sparse, SparseEntry{Key: kc, TS: rec.TS, Off: off})
+		s.lastSample = off
+	}
+}
+
+// finishSegment closes the current output segment, writing its footer.
+func (s *SegmentWriter) finishSegment() error {
+	if s.w == nil {
+		return nil
+	}
+	if s.sorted && s.meta.Rows > 0 {
+		footer := encodeFooter(&s.meta)
+		if _, err := s.w.Write(footer); err != nil {
+			return fmt.Errorf("wal: segment %d footer: %w", s.cur, err)
+		}
+		s.l.mu.Lock()
+		st := s.l.segs[s.cur]
+		st.size += int64(len(footer))
+		m := s.meta // value copy; the writer's meta resets on rotation
+		st.meta = &m
+		s.l.mu.Unlock()
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
 }
 
 // Segments returns the segment numbers written so far.
 func (s *SegmentWriter) Segments() []uint32 { return append([]uint32(nil), s.nums...) }
 
-// Close finishes the writer.
+// Close finishes the writer, sealing the last segment (and writing its
+// footer for sorted writers).
 func (s *SegmentWriter) Close() error {
-	if s.w != nil {
-		return s.w.Close()
-	}
-	return nil
+	return s.finishSegment()
 }
 
-// RemoveSegments drops the given segments from the live set and deletes
-// their files; compaction calls this to discard superseded segments
-// after the new sorted segments and rebuilt indexes are ready.
+// RemoveSegments drops the given segments from the live set; files are
+// deleted immediately when unpinned, otherwise deletion is deferred to
+// the last Unpin (in-flight scanners and readers finish safely against
+// the doomed file, while new scans no longer see it).
 func (l *Log) RemoveSegments(nums ...uint32) error {
 	l.mu.Lock()
 	remove := make(map[uint32]bool, len(nums))
@@ -371,35 +572,57 @@ func (l *Log) RemoveSegments(nums ...uint32) error {
 		}
 	}
 	l.order = kept
-	var errs []error
+	var deletable []uint32
 	for _, n := range nums {
-		if _, ok := l.segs[n]; !ok {
+		st, ok := l.segs[n]
+		if !ok || st.doomed {
 			continue
 		}
-		delete(l.segs, n)
-		if r, ok := l.readers[n]; ok {
-			r.Close()
-			delete(l.readers, n)
-		}
+		st.doomed = true
 		if l.cur == n {
 			l.curW.Close()
 			l.cur, l.curW = 0, nil
 		}
-		path := l.SegmentPath(n)
-		l.mu.Unlock()
-		if err := l.fs.Delete(path); err != nil {
-			errs = append(errs, err)
+		if st.pins == 0 {
+			deletable = append(deletable, n)
 		}
-		l.mu.Lock()
 	}
 	l.mu.Unlock()
+	var errs []error
+	for _, n := range deletable {
+		if err := l.finalizeRemove(n); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	return errors.Join(errs...)
+}
+
+// finalizeRemove deletes a doomed, unpinned segment's file and forgets
+// its state.
+func (l *Log) finalizeRemove(num uint32) error {
+	l.mu.Lock()
+	st, ok := l.segs[num]
+	if !ok || !st.doomed || st.pins != 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	delete(l.segs, num)
+	if r, ok := l.readers[num]; ok {
+		r.Close()
+		delete(l.readers, num)
+	}
+	l.mu.Unlock()
+	return l.fs.Delete(l.SegmentPath(num))
 }
 
 // Scanner iterates records in log order starting at a position. The
 // recovery redo pass and compaction both use it. Reads are buffered in
-// large chunks so scanning is sequential I/O, not one access per
-// record.
+// large chunks so scanning is sequential I/O: each refill continues
+// exactly where the previous read ended (the partial frame at the
+// buffer tail is carried over, not re-read), so a sweep costs one seek
+// per segment plus pure transfer. The scanner pins the segments it will
+// visit; they unpin automatically at end-of-log, or on Close for
+// early-exiting callers.
 type Scanner struct {
 	l    *Log
 	segs []uint32
@@ -408,8 +631,9 @@ type Scanner struct {
 	size int64
 	off  int64
 
-	buf      []byte
-	bufStart int64
+	win readWindow
+
+	pinned []uint32
 
 	rec Record
 	ptr Ptr
@@ -420,52 +644,39 @@ type Scanner struct {
 const scanChunkSize = 256 << 10
 
 // NewScanner returns a scanner positioned at from (zero value = start of
-// log). Only segments >= from.Seg are visited.
+// log). Only segments >= from.Seg are visited. Call Close when
+// abandoning the scan before the end of the log; a scan driven to
+// completion releases its segment pins automatically.
 func (l *Log) NewScanner(from Position) *Scanner {
 	l.mu.Lock()
 	var segs []uint32
 	for _, n := range l.order {
 		if n >= from.Seg {
 			segs = append(segs, n)
+			l.segs[n].pins++
 		}
 	}
 	l.mu.Unlock()
-	s := &Scanner{l: l, segs: segs}
+	s := &Scanner{l: l, segs: segs, pinned: append([]uint32(nil), segs...)}
 	if len(segs) > 0 && segs[0] == from.Seg && from.Off > segHeaderSize {
 		s.off = from.Off
 	}
 	return s
 }
 
-// window returns the bytes at the current offset, refilling the
-// read-ahead buffer so at least want bytes are available (or everything
-// up to end of segment).
+// Close releases the scanner's segment pins. Idempotent; Next returning
+// false calls it automatically.
+func (s *Scanner) Close() {
+	if s.pinned != nil {
+		s.l.Unpin(s.pinned...)
+		s.pinned = nil
+	}
+}
+
+// window returns the bytes at the current offset via the shared
+// contiguous read-ahead buffer (readWindow).
 func (s *Scanner) window(want int) ([]byte, error) {
-	have := func() []byte {
-		rel := s.off - s.bufStart
-		if s.buf == nil || rel < 0 || rel >= int64(len(s.buf)) {
-			return nil
-		}
-		return s.buf[rel:]
-	}
-	if w := have(); len(w) >= want {
-		return w, nil
-	}
-	n := int64(scanChunkSize)
-	if int64(want) > n {
-		n = int64(want)
-	}
-	if rem := s.size - s.off; n > rem {
-		n = rem
-	}
-	buf := make([]byte, n)
-	m, err := s.r.ReadAt(buf, s.off)
-	if err != nil && err != io.EOF {
-		return nil, err
-	}
-	s.buf = buf[:m]
-	s.bufStart = s.off
-	return have(), nil
+	return s.win.at(s.r, s.off, s.size, want, scanChunkSize)
 }
 
 // Next advances to the next record, returning false at end of log or on
@@ -474,16 +685,18 @@ func (s *Scanner) Next() bool {
 	for {
 		if s.r == nil {
 			if s.idx >= len(s.segs) {
+				s.Close()
 				return false
 			}
 			num := s.segs[s.idx]
 			r, err := s.l.reader(num)
 			if err != nil {
 				s.err = err
+				s.Close()
 				return false
 			}
 			s.l.mu.Lock()
-			size := s.l.segs[num].size
+			size := s.l.segs[num].dataEnd
 			s.l.mu.Unlock()
 			s.r = r
 			s.size = size
@@ -495,12 +708,13 @@ func (s *Scanner) Next() bool {
 			s.r = nil
 			s.idx++
 			s.off = 0
-			s.buf = nil
+			s.win.reset()
 			continue
 		}
 		frame, err := s.window(frameHeaderSize)
 		if err != nil {
 			s.err = err
+			s.Close()
 			return false
 		}
 		if len(frame) >= frameHeaderSize {
@@ -508,6 +722,7 @@ func (s *Scanner) Next() bool {
 			if len(frame) < frameHeaderSize+n {
 				if frame, err = s.window(frameHeaderSize + n); err != nil {
 					s.err = err
+					s.Close()
 					return false
 				}
 			}
@@ -516,9 +731,11 @@ func (s *Scanner) Next() bool {
 		if derr != nil {
 			if errors.Is(derr, ErrTorn) && s.idx == len(s.segs)-1 {
 				// Torn tail write: recovery truncates here.
+				s.Close()
 				return false
 			}
 			s.err = fmt.Errorf("wal: seg %d @%d: %w", s.segs[s.idx], s.off, derr)
+			s.Close()
 			return false
 		}
 		s.rec = rec

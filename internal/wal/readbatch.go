@@ -27,6 +27,17 @@ func (l *Log) ReadBatch(ptrs []Ptr) ([]Record, error) {
 	if len(ptrs) == 0 {
 		return out, nil
 	}
+	// Pin every segment the batch touches for the duration of the call:
+	// a compaction installing concurrently may doom these segments, and
+	// the pins keep the files on disk until the reads finish.
+	pinned := make([]uint32, 0, 4)
+	for _, p := range ptrs {
+		if len(pinned) == 0 || pinned[len(pinned)-1] != p.Seg {
+			pinned = append(pinned, p.Seg)
+		}
+	}
+	l.Pin(pinned...)
+	defer l.Unpin(pinned...)
 	// Index-ordered scans hand us pointers already in log order (keys
 	// were appended in key order); detect that and skip the sort.
 	sorted := true

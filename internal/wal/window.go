@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"io"
+
+	"repro/internal/dfs"
+)
+
+// readWindow is the contiguous read-ahead buffer shared by the log
+// Scanner and the SegmentScanner. Refills carry the unconsumed tail (a
+// partial frame) to the front and read the next chunk from exactly
+// where the previous physical read ended, so a sweep is contiguous I/O
+// — no per-chunk seek charge on the modelled disk, and no re-read of
+// the tail bytes.
+type readWindow struct {
+	buf      []byte
+	bufStart int64
+}
+
+// reset discards the buffer (called on segment switch).
+func (w *readWindow) reset() {
+	w.buf = nil
+	w.bufStart = 0
+}
+
+// at returns at least want bytes starting at off (or everything up to
+// end), refilling from r in chunk-sized contiguous reads.
+func (w *readWindow) at(r *dfs.Reader, off, end int64, want, chunk int) ([]byte, error) {
+	have := func() []byte {
+		rel := off - w.bufStart
+		if w.buf == nil || rel < 0 || rel >= int64(len(w.buf)) {
+			return nil
+		}
+		return w.buf[rel:]
+	}
+	if b := have(); len(b) >= want {
+		return b, nil
+	}
+	var tail []byte
+	readFrom := off
+	if rel := off - w.bufStart; w.buf != nil && rel >= 0 && rel < int64(len(w.buf)) {
+		tail = w.buf[rel:]
+		readFrom = w.bufStart + int64(len(w.buf))
+	}
+	n := int64(chunk)
+	if need := int64(want) - int64(len(tail)); need > n {
+		n = need
+	}
+	if rem := end - readFrom; n > rem {
+		n = rem
+	}
+	buf := make([]byte, int64(len(tail))+n)
+	copy(buf, tail)
+	m, err := r.ReadAt(buf[len(tail):], readFrom)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	w.buf = buf[:len(tail)+m]
+	w.bufStart = off
+	return have(), nil
+}

@@ -93,6 +93,13 @@ type Options struct {
 	// CompactKeepVersions bounds versions kept per key at compaction;
 	// 0 keeps all committed versions.
 	CompactKeepVersions int
+	// AutoCompact paces the background incremental compactor: unsorted
+	// tail segments and segments whose garbage ratio crosses
+	// AutoCompact.GarbageRatio are rewritten into sorted, footed
+	// segments every AutoCompact.Interval (zero interval disables the
+	// loop). This is what keeps the clustered scan fast path engaged
+	// under sustained write+scan load without manual Compact calls.
+	AutoCompact AutoCompactConfig
 	// IndexFlushUpdates triggers an index-file merge after this many
 	// updates per column group (0 = only explicit checkpoints).
 	IndexFlushUpdates int64
@@ -152,6 +159,7 @@ func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
 		GroupCommitDelay:    opts.GroupCommitDelay,
 		CompactKeepVersions: opts.CompactKeepVersions,
 		IndexFlushUpdates:   opts.IndexFlushUpdates,
+		AutoCompact:         opts.AutoCompact,
 	})
 	if err != nil {
 		return nil, err
@@ -486,10 +494,36 @@ func (db *DB) ScanSecondaryRange(name string, start, end []byte, fn func(secKey 
 // manifest.
 func (db *DB) Checkpoint() error { return db.server.Checkpoint() }
 
+// AutoCompactConfig tunes the background incremental compactor; see
+// Options.AutoCompact.
+type AutoCompactConfig = core.AutoCompactConfig
+
+// CompactionInfo is the storage-layout observability snapshot: see
+// DB.CompactionInfo and the STATS protocol command.
+type CompactionInfo = core.CompactionInfo
+
 // Compact vacuums the log: obsolete versions, deleted rows and
 // uncommitted transactional writes are dropped, survivors re-clustered
-// by (table, group, key, timestamp).
+// by (table, group, key, timestamp). With Options.AutoCompact enabled
+// this is rarely needed — the background compactor keeps the log
+// clustered incrementally.
 func (db *DB) Compact() (core.CompactionStats, error) { return db.server.Compact() }
+
+// CompactSegments rewrites only the given segments (incremental
+// compaction): records still live per the in-memory indexes are
+// re-clustered into fresh sorted segments and the inputs reclaimed,
+// while reads and writes keep flowing.
+func (db *DB) CompactSegments(nums []uint32) (core.CompactionStats, error) {
+	return db.server.CompactSegments(nums)
+}
+
+// CompactionInfo reports cumulative compaction counters and the
+// current segment layout (sorted fraction, per-segment garbage).
+func (db *DB) CompactionInfo() CompactionInfo { return db.server.CompactionInfo() }
+
+// SortedFraction is the fraction of live log bytes in sorted segments
+// (1.0 = fully clustered; analytical scans are sequential reads).
+func (db *DB) SortedFraction() float64 { return db.server.SortedFraction() }
 
 // Recover rebuilds in-memory state after Reopen: index files from the
 // last checkpoint plus a redo of the log tail.
