@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -35,8 +36,33 @@ func NewClusterClient(c *Cluster) *ClusterClient {
 // Cluster returns the underlying deployment (failover controls, stats).
 func (cc *ClusterClient) Cluster() *Cluster { return cc.c }
 
+// Metrics returns the registry shared by every tablet server in the
+// cluster (series carry a {server: id} label).
+func (cc *ClusterClient) Metrics() *obs.Registry { return cc.c.Metrics() }
+
+// Tracer returns the request tracer, or nil when the cluster was built
+// without a SlowOpLog.
+func (cc *ClusterClient) Tracer() *obs.Tracer { return cc.c.Tracer() }
+
 func (cc *ClusterClient) client() *cluster.Client    { return cc.pool.Get().(*cluster.Client) }
 func (cc *ClusterClient) release(cl *cluster.Client) { cc.pool.Put(cl) }
+
+// traced mints a root span for a point op and parks it on the pooled
+// routing client, so stale-routing retries annotate the trace. The
+// returned finish unparks and finishes; both are no-ops when tracing is
+// off.
+func (cc *ClusterClient) traced(ctx context.Context, cl *cluster.Client, name, table string) (finish func()) {
+	_, sp := cc.c.Tracer().Root(ctx, name)
+	if sp == nil {
+		return func() {}
+	}
+	sp.Label("table", table)
+	cl.SetSpan(sp)
+	return func() {
+		cl.SetSpan(nil)
+		sp.Finish()
+	}
+}
 
 // CreateTable declares a table with its column groups, one tablet per
 // server (use Cluster.CreateTable for explicit tablet counts).
@@ -53,6 +79,7 @@ func (cc *ClusterClient) Put(ctx context.Context, table, group string, key, valu
 	}
 	cl := cc.client()
 	defer cc.release(cl)
+	defer cc.traced(ctx, cl, "client.put", table)()
 	return cl.Put(table, group, key, value)
 }
 
@@ -64,6 +91,7 @@ func (cc *ClusterClient) Read(ctx context.Context, table, group string, key []by
 	}
 	cl := cc.client()
 	defer cc.release(cl)
+	defer cc.traced(ctx, cl, "client.read", table)()
 	return cl.Read(table, group, key, resolveReadOptions(opts))
 }
 
@@ -92,6 +120,7 @@ func (cc *ClusterClient) Delete(ctx context.Context, table, group string, key []
 	}
 	cl := cc.client()
 	defer cc.release(cl)
+	defer cc.traced(ctx, cl, "client.delete", table)()
 	return cl.Delete(table, group, key)
 }
 
@@ -115,6 +144,17 @@ func (cc *ClusterClient) Scan(ctx context.Context, table, group string, start, e
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		cl := cc.client()
 		defer cc.release(cl)
+		// Root span inside the producer: one trace tree stitches the whole
+		// scatter — every per-tablet server scan (and its WAL reads) hangs
+		// off this span via ictx; routing retries and split/migration
+		// resumes annotate it through the parked client span.
+		ictx, sp := cc.c.Tracer().Root(ictx, "client.scan")
+		sp.Label("table", table)
+		cl.SetSpan(sp)
+		defer func() {
+			cl.SetSpan(nil)
+			sp.Finish()
+		}()
 		fn, flush, failed := collectEmit(emit)
 		if err := cl.ScanOpts(ictx, table, group, start, end, ro, fn); err != nil {
 			return err
@@ -134,6 +174,13 @@ func (cc *ClusterClient) FullScan(ctx context.Context, table, group string, opts
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		cl := cc.client()
 		defer cc.release(cl)
+		ictx, sp := cc.c.Tracer().Root(ictx, "client.fullscan")
+		sp.Label("table", table)
+		cl.SetSpan(sp)
+		defer func() {
+			cl.SetSpan(nil)
+			sp.Finish()
+		}()
 		fn, flush, failed := collectEmit(emit)
 		if err := cl.FullScanOpts(ictx, table, group, ro, fn); err != nil {
 			return err

@@ -53,13 +53,14 @@ func main() {
 		fatalf("measure: %v", err)
 	}
 	rep := Report{Rows: s.Rows, Ops: s.Ops, ValueSize: s.ValueSize, KeyOps: ops}
-	fmt.Printf("%-18s %10s %16s %16s %14s\n", "op", "ops", "disk µs/op", "wall µs/op", "rows shipped")
+	fmt.Printf("%-18s %10s %16s %16s %12s %12s %14s\n", "op", "ops", "disk µs/op", "wall µs/op", "allocs/op", "B/op", "rows shipped")
 	for _, op := range ops {
 		shipped := "-"
 		if op.RowsShipped > 0 {
 			shipped = fmt.Sprint(op.RowsShipped)
 		}
-		fmt.Printf("%-18s %10d %16.2f %16.2f %14s\n", op.Name, op.Ops, op.DiskUSPerOp, op.WallUSPerOp, shipped)
+		fmt.Printf("%-18s %10d %16.2f %16.2f %12.1f %12.0f %14s\n",
+			op.Name, op.Ops, op.DiskUSPerOp, op.WallUSPerOp, op.AllocsPerOp, op.BytesPerOp, shipped)
 	}
 	if *out != "" {
 		if err := writeReport(*out, rep); err != nil {

@@ -1,20 +1,34 @@
 // Command logbase-cli is an interactive client for logbase-server: it
 // forwards each input line over TCP and prints response lines until the
 // server finishes (single-line replies, or ROW.../END for streams).
+//
+// Watch mode (`logbase-cli -watch`, or `logbase-cli stats --watch`)
+// polls STATS on an interval and renders per-server operation rates:
+// the first poll prints cumulative counters, every later poll prints
+// deltas divided by the elapsed interval (writes/s, reads/s, ...)
+// alongside the instantaneous layout gauges.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/textproto"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7420", "server address")
+	watch := flag.Bool("watch", false, "poll STATS and render per-server rates")
+	interval := flag.Duration("interval", time.Second, "watch polling interval")
+	count := flag.Int("count", 0, "watch polls before exiting (0 = forever)")
 	flag.Parse()
 
 	conn, err := net.Dial("tcp", *addr)
@@ -22,6 +36,20 @@ func main() {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
 	defer conn.Close()
+
+	// `logbase-cli stats --watch` is the spelled-out form of -watch.
+	args := flag.Args()
+	if *watch || (len(args) >= 2 && strings.EqualFold(args[0], "stats") && args[1] == "--watch") {
+		if err := watchStats(conn, os.Stdout, *interval, *count); err != nil {
+			log.Fatalf("watch: %v", err)
+		}
+		return
+	}
+
+	repl(conn)
+}
+
+func repl(conn net.Conn) {
 	server := bufio.NewScanner(conn)
 	server.Buffer(make([]byte, 1<<20), 1<<20)
 	stdin := bufio.NewScanner(os.Stdin)
@@ -58,4 +86,69 @@ func main() {
 			return
 		}
 	}
+}
+
+// rateKeys are the cumulative counters rendered as per-second rates;
+// everything else STATS reports is instantaneous and rendered as-is.
+var rateKeys = []string{"writes", "reads", "deletes", "log_reads", "cache_hits", "cache_misses", "compactions"}
+
+// watchStats polls STATS over rw every interval and writes one line per
+// server per poll to out. count bounds the polls (0 = until the
+// connection drops).
+func watchStats(rw io.ReadWriter, out io.Writer, interval time.Duration, count int) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prev := map[string]map[string]float64{}
+	prevAt := time.Now()
+	for poll := 0; count == 0 || poll < count; poll++ {
+		if poll > 0 {
+			time.Sleep(interval)
+		}
+		if _, err := fmt.Fprintln(rw, "STATS"); err != nil {
+			return err
+		}
+		cur := map[string]map[string]float64{}
+		var order []string
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "END ") {
+				break
+			}
+			if strings.HasPrefix(line, "ERR ") {
+				return fmt.Errorf("server: %s", line)
+			}
+			if srv, kv, ok := textproto.ParseStatLine(line); ok {
+				cur[srv] = kv
+				order = append(order, srv)
+			}
+		}
+		if len(cur) == 0 {
+			return fmt.Errorf("no STAT lines in STATS reply (connection closed?)")
+		}
+		now := time.Now()
+		elapsed := now.Sub(prevAt).Seconds()
+		sort.Strings(order)
+		for _, srv := range order {
+			kv := cur[srv]
+			var b strings.Builder
+			fmt.Fprintf(&b, "%-10s", srv)
+			if last, ok := prev[srv]; ok && elapsed > 0 {
+				for _, k := range rateKeys {
+					fmt.Fprintf(&b, " %s/s=%.1f", k, (kv[k]-last[k])/elapsed)
+				}
+			} else {
+				for _, k := range rateKeys {
+					fmt.Fprintf(&b, " %s=%.0f", k, kv[k])
+				}
+			}
+			fmt.Fprintf(&b, " sorted_frac=%.3f garbage_frac=%.3f segments=%.0f log_bytes=%.0f",
+				kv["sorted_frac"], kv["garbage_frac"], kv["segments"], kv["log_bytes"])
+			fmt.Fprintln(out, b.String())
+		}
+		prev, prevAt = cur, now
+	}
+	return nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchStats drives watch mode against a scripted STATS responder:
+// the first poll prints cumulative counters, the second prints
+// per-second deltas.
+func TestWatchStats(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		rd := bufio.NewScanner(srv)
+		writes := 100
+		for rd.Scan() {
+			if strings.TrimSpace(rd.Text()) != "STATS" {
+				fmt.Fprintln(srv, "ERR unexpected")
+				return
+			}
+			fmt.Fprintf(srv, "STAT ts01 writes=%d reads=50 deletes=0 log_reads=10 cache_hits=8 cache_misses=2 compactions=1 sorted_frac=0.500 garbage_frac=0.100 segments=3 log_bytes=4096\n", writes)
+			fmt.Fprintln(srv, "METRIC logbase_server_writes{server=\"ts01\"} 100")
+			fmt.Fprintln(srv, "END 2")
+			writes += 30
+		}
+	}()
+
+	var out bytes.Buffer
+	if err := watchStats(cli, &out, 10*time.Millisecond, 2); err != nil {
+		t.Fatalf("watchStats: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d output lines: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "writes=100") || !strings.Contains(lines[0], "sorted_frac=0.500") {
+		t.Errorf("first poll = %q, want cumulative counters", lines[0])
+	}
+	// Second poll: 30 more writes over >=10ms → a positive rate; the
+	// exact value depends on sleep jitter, so assert shape not number.
+	if !strings.Contains(lines[1], "writes/s=") || strings.Contains(lines[1], "writes/s=0.0 ") {
+		t.Errorf("second poll = %q, want a positive writes/s rate", lines[1])
+	}
+	if !strings.HasPrefix(lines[1], "ts01") {
+		t.Errorf("second poll = %q, want server column first", lines[1])
+	}
+}

@@ -29,9 +29,11 @@ import (
 	"flag"
 	"log"
 	"net"
+	"time"
 
 	logbase "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/readopt"
 	"repro/internal/textproto"
 )
@@ -141,7 +143,9 @@ func (a storeAdapter) Compact(context.Context) error {
 }
 
 // Stats snapshots every tablet server behind the store — one server
-// for the embedded DB, each live server for a cluster.
+// for the embedded DB, each live server for a cluster. Each snapshot is
+// one core.StatsView, taken in a single atomic pass per server, so the
+// compaction triple can never be observed half-applied mid-tick.
 func (a storeAdapter) Stats(context.Context) ([]textproto.StatsSnapshot, error) {
 	switch st := a.st.(type) {
 	case *logbase.DB:
@@ -158,25 +162,149 @@ func (a storeAdapter) Stats(context.Context) ([]textproto.StatsSnapshot, error) 
 }
 
 func snapshotOf(id string, srv *core.Server) textproto.StatsSnapshot {
-	st := srv.Stats()
-	cs := srv.CacheStats()
-	ci := srv.CompactionInfo()
+	v := srv.StatsView()
 	return textproto.StatsSnapshot{
 		Server:         id,
-		Writes:         st.Writes.Load(),
-		Reads:          st.Reads.Load(),
-		Deletes:        st.Deletes.Load(),
-		LogReads:       st.LogReads.Load(),
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		Compactions:    ci.Runs,
-		CompactDropped: ci.RecordsDropped,
-		BytesReclaimed: ci.BytesReclaimed,
-		SortedFraction: ci.SortedFraction,
-		GarbageRatio:   ci.GarbageRatio,
-		Segments:       len(ci.Segments),
-		LogBytes:       ci.LogBytes,
+		Writes:         v.Writes,
+		Reads:          v.Reads,
+		Deletes:        v.Deletes,
+		LogReads:       v.LogReads,
+		CacheHits:      v.CacheHits,
+		CacheMisses:    v.CacheMisses,
+		Compactions:    v.Compactions,
+		CompactDropped: v.CompactDropped,
+		BytesReclaimed: v.BytesReclaimed,
+		SortedFraction: v.SortedFraction,
+		GarbageRatio:   v.GarbageRatio,
+		Segments:       v.Segments,
+		LogBytes:       v.LogBytes,
 	}
+}
+
+// Metrics exposes the backend's registry to the STATS command.
+func (a storeAdapter) Metrics() *obs.Registry {
+	switch st := a.st.(type) {
+	case *logbase.DB:
+		return st.Metrics()
+	case *logbase.ClusterClient:
+		return st.Metrics()
+	}
+	return nil
+}
+
+// serverConfig is everything startServer needs; main fills it from
+// flags, tests fill it directly.
+type serverConfig struct {
+	addr    string
+	dir     string
+	cache   int64
+	servers int
+	// metricsAddr, when non-empty, serves Prometheus-text /metrics and
+	// net/http/pprof on its own listener (":0" picks a free port).
+	metricsAddr string
+	// slowOps < 0 disables the slow-op log; >= 0 logs every traced op
+	// whose root span took at least this long.
+	slowOps time.Duration
+}
+
+// server is a running logbase-server: the protocol listener, its accept
+// loop, and the optional metrics endpoint. Close tears all of it down.
+type server struct {
+	st      logbase.Store
+	ln      net.Listener
+	metrics *obs.MetricsServer
+}
+
+func startServer(cfg serverConfig) (*server, error) {
+	var slowLog func(string)
+	if cfg.slowOps >= 0 {
+		slowLog = func(tree string) { log.Printf("slow-op\n%s", tree) }
+	}
+	var st logbase.Store
+	if cfg.servers > 0 {
+		// Same knobs as the embedded path, applied to every tablet
+		// server: the two backends must behave alike behind one flag.
+		c, err := logbase.NewCluster(cfg.dir, logbase.ClusterConfig{
+			NumServers:      cfg.servers,
+			Server:          core.Config{ReadCacheBytes: cfg.cache, GroupCommit: true},
+			SlowOpLog:       slowLog,
+			SlowOpThreshold: cfg.slowOps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st = logbase.NewClusterClient(c)
+		log.Printf("serving a %d-server cluster", cfg.servers)
+	} else {
+		db, err := logbase.Open(cfg.dir, logbase.Options{
+			ReadCacheBytes:  cfg.cache,
+			GroupCommit:     true,
+			SlowOpLog:       slowLog,
+			SlowOpThreshold: cfg.slowOps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st = db
+		log.Print("serving an embedded DB")
+	}
+
+	srv := &server{st: st}
+	if cfg.metricsAddr != "" {
+		ms, err := obs.ListenAndServeMetrics(cfg.metricsAddr, storeAdapter{st}.Metrics())
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		srv.metrics = ms
+		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", ms.Addr())
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.ln = ln
+	log.Printf("logbase-server listening on %s (data in %s)", ln.Addr(), cfg.dir)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+func (s *server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			defer conn.Close()
+			if err := textproto.Serve(context.Background(), conn, storeAdapter{s.st}); err != nil {
+				log.Printf("session: %v", err)
+			}
+		}()
+	}
+}
+
+// Addr returns the protocol listener's bound address.
+func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr returns the metrics endpoint's address ("" when disabled).
+func (s *server) MetricsAddr() string {
+	if s.metrics == nil {
+		return ""
+	}
+	return s.metrics.Addr()
+}
+
+func (s *server) Close() error {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.metrics != nil {
+		s.metrics.Close()
+	}
+	return s.st.Close()
 }
 
 func main() {
@@ -184,47 +312,17 @@ func main() {
 	dir := flag.String("dir", "./logbase-data", "data directory")
 	cache := flag.Int64("cache", 32<<20, "read buffer bytes (0 disables)")
 	servers := flag.Int("servers", 0, "tablet servers; 0 = embedded single-server DB")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics + pprof on this address (empty disables)")
+	slowOps := flag.Duration("slow-ops", -1, "log trace trees for ops at least this slow (0 logs every op; negative disables)")
 	flag.Parse()
 
-	var st logbase.Store
-	if *servers > 0 {
-		// Same knobs as the embedded path, applied to every tablet
-		// server: the two backends must behave alike behind one flag.
-		c, err := logbase.NewCluster(*dir, logbase.ClusterConfig{
-			NumServers: *servers,
-			Server:     core.Config{ReadCacheBytes: *cache, GroupCommit: true},
-		})
-		if err != nil {
-			log.Fatalf("cluster: %v", err)
-		}
-		st = logbase.NewClusterClient(c)
-		log.Printf("serving a %d-server cluster", *servers)
-	} else {
-		db, err := logbase.Open(*dir, logbase.Options{ReadCacheBytes: *cache, GroupCommit: true})
-		if err != nil {
-			log.Fatalf("open: %v", err)
-		}
-		st = db
-		log.Print("serving an embedded DB")
-	}
-	defer st.Close()
-
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := startServer(serverConfig{
+		addr: *addr, dir: *dir, cache: *cache, servers: *servers,
+		metricsAddr: *metricsAddr, slowOps: *slowOps,
+	})
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		log.Fatalf("start: %v", err)
 	}
-	log.Printf("logbase-server listening on %s (data in %s)", *addr, *dir)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
-		go func() {
-			defer conn.Close()
-			if err := textproto.Serve(context.Background(), conn, storeAdapter{st}); err != nil {
-				log.Printf("session: %v", err)
-			}
-		}()
-	}
+	defer srv.Close()
+	select {} // serve until killed
 }

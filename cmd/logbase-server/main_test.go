@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerEndToEnd boots a real logbase-server (embedded backend,
+// metrics endpoint enabled), speaks the TCP protocol, and scrapes the
+// HTTP observability surface — the same path `logbase-server
+// -metrics-addr :0` exposes.
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := startServer(serverConfig{
+		addr:        "127.0.0.1:0",
+		dir:         t.TempDir(),
+		cache:       1 << 20,
+		metricsAddr: "127.0.0.1:0",
+		slowOps:     -1,
+	})
+	if err != nil {
+		t.Fatalf("startServer: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	rd := bufio.NewReader(conn)
+	send := func(cmd string) string {
+		t.Helper()
+		fmt.Fprintf(conn, "%s\n", cmd)
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: read: %v", cmd, err)
+		}
+		return strings.TrimSpace(line)
+	}
+
+	if got := send("CREATE t g"); got != "OK table t" {
+		t.Fatalf("CREATE = %q", got)
+	}
+	if got := send("PUT t g k hello"); got != "OK" {
+		t.Fatalf("PUT = %q", got)
+	}
+	if got := send("GET t g k"); !strings.HasSuffix(got, " hello") {
+		t.Fatalf("GET = %q", got)
+	}
+
+	// STATS streams STAT + METRIC lines, END-terminated. The write and
+	// read above must already be visible in both representations.
+	fmt.Fprintln(conn, "STATS")
+	var stat string
+	metrics := 0
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("STATS read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "STAT ") {
+			stat = line
+		}
+		if strings.HasPrefix(line, "METRIC ") {
+			metrics++
+		}
+		if strings.HasPrefix(line, "END ") {
+			break
+		}
+	}
+	if !strings.Contains(stat, "writes=1") || !strings.Contains(stat, "reads=1") {
+		t.Errorf("STAT line = %q, want writes=1 reads=1", stat)
+	}
+	if metrics == 0 {
+		t.Error("STATS emitted no METRIC lines")
+	}
+
+	// The HTTP endpoint serves the same registry in Prometheus text…
+	body := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE logbase_op_duration_seconds histogram",
+		`logbase_op_duration_seconds_count{op="put",server="embedded"} 1`,
+		"# TYPE logbase_compactions gauge",
+		"logbase_server_writes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// …and pprof next to it.
+	if idx := httpGet(t, "http://"+srv.MetricsAddr()+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: body: %v", url, err)
+	}
+	return string(b)
+}

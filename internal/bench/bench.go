@@ -136,6 +136,7 @@ func All() []Experiment {
 		{"elastic-hotrange", "Elasticity: balancer splits/migrates a hot key-range tablet", ElasticHotRange},
 		{"scan-clustered", "Clustered scan fast path vs index-driven path on a compacted log", ScanClustered},
 		{"autocompact", "Background incremental compaction holds SortedFraction under churn", AutoCompactChurn},
+		{"obs-overhead", "Observability overhead: instrumented vs disabled Put/Scan", ObsOverhead},
 	}
 }
 

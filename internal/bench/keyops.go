@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	logbase "repro"
@@ -34,6 +35,30 @@ type KeyOp struct {
 	// log to serve the op (the scan-pushdown experiments; 0 elsewhere).
 	// Deterministic, and gated alongside the disk number.
 	RowsShipped int64 `json:"rows_shipped,omitempty"`
+	// AllocsPerOp / BytesPerOp are heap allocations per operation
+	// (runtime.MemStats deltas across the measured run). Like wall
+	// time they are informational — recorded in BENCH_results.json so
+	// allocation regressions show up in CI artifacts, never gated.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+// allocMeter samples runtime.MemStats around a measured run so every
+// KeyOp carries allocations-per-op alongside its timing numbers.
+type allocMeter struct{ m0 runtime.MemStats }
+
+func startAllocMeter() *allocMeter {
+	a := &allocMeter{}
+	runtime.ReadMemStats(&a.m0)
+	return a
+}
+
+// perOp returns (allocs/op, bytes/op) since the meter started.
+func (a *allocMeter) perOp(ops int64) (allocs, bytes float64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-a.m0.Mallocs) / float64(ops),
+		float64(m1.TotalAlloc-a.m0.TotalAlloc) / float64(ops)
 }
 
 // newKeyOpsCluster builds the deterministic fixture: modelled disks,
@@ -59,17 +84,21 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	var out []KeyOp
 	measure := func(name string, c *cluster.Cluster, ops int64, fn func() error) error {
 		c.Clock().Reset()
+		am := startAllocMeter()
 		start := time.Now()
 		if err := fn(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		wall := time.Since(start)
+		allocs, bytes := am.perOp(ops)
 		disk := c.Clock().Elapsed()
 		out = append(out, KeyOp{
 			Name:        name,
 			Ops:         ops,
 			DiskUSPerOp: float64(disk) / float64(time.Microsecond) / float64(ops),
 			WallUSPerOp: float64(wall) / float64(time.Microsecond) / float64(ops),
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
 		})
 		return nil
 	}
@@ -173,6 +202,14 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, acOps...)
 
+	// Observability overhead: instrumented vs disabled Put/Scan must
+	// agree on modelled disk cost within 5%.
+	obsOps, err := ObsOverheadKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, obsOps...)
+
 	// Hot-range elastic scenario: skewed single-threaded workload with
 	// deterministic balancer ticks, measuring the post-rebalance phase.
 	hr, err := hotRangeKeyOp(s)
@@ -207,16 +244,20 @@ func hotRangeKeyOp(s Scale) (KeyOp, error) {
 		b.Tick()
 	}
 	c.Clock().Reset()
+	am := startAllocMeter()
 	start := time.Now()
 	if _, err := ycsb.Run(db, w, ops, 1, 99); err != nil {
 		return KeyOp{}, err
 	}
 	wall := time.Since(start)
+	allocs, bytes := am.perOp(ops)
 	disk := c.Clock().Elapsed()
 	return KeyOp{
 		Name:        "hotrange",
 		Ops:         ops,
 		DiskUSPerOp: float64(disk) / float64(time.Microsecond) / float64(ops),
 		WallUSPerOp: float64(wall) / float64(time.Microsecond) / float64(ops),
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
 	}, nil
 }

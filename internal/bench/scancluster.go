@@ -105,6 +105,7 @@ func scanClusteredPair(s Scale) (cl, idx KeyOp, err error) {
 		defer srv.Close()
 		before := srv.Stats().LogReads.Load()
 		clock.Reset()
+		am := startAllocMeter()
 		start := time.Now()
 		rows, err := scan(srv, n)
 		if err != nil {
@@ -114,6 +115,7 @@ func scanClusteredPair(s Scale) (cl, idx KeyOp, err error) {
 			return KeyOp{}, fmt.Errorf("%s saw %d rows, want %d", name, rows, n)
 		}
 		wall := time.Since(start)
+		allocs, bytes := am.perOp(int64(rows))
 		disk := clock.Elapsed()
 		return KeyOp{
 			Name:        name,
@@ -121,6 +123,8 @@ func scanClusteredPair(s Scale) (cl, idx KeyOp, err error) {
 			DiskUSPerOp: float64(disk) / float64(time.Microsecond) / float64(rows),
 			WallUSPerOp: float64(wall) / float64(time.Microsecond) / float64(rows),
 			RowsShipped: srv.Stats().LogReads.Load() - before,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
 		}, nil
 	}
 

@@ -45,6 +45,7 @@ func ScanPushdownKeyOps(c *cluster.Cluster, table, group string) ([]KeyOp, error
 	measure := func(name string, fn func() (int, error)) error {
 		c.Clock().Reset()
 		before := logReads()
+		am := startAllocMeter()
 		start := time.Now()
 		rows, err := fn()
 		if err != nil {
@@ -56,6 +57,7 @@ func ScanPushdownKeyOps(c *cluster.Cluster, table, group string) ([]KeyOp, error
 			return fmt.Errorf("%s delivered no rows", name)
 		}
 		wall := time.Since(start)
+		allocs, bytes := am.perOp(int64(rows))
 		disk := c.Clock().Elapsed()
 		out = append(out, KeyOp{
 			Name:        name,
@@ -63,6 +65,8 @@ func ScanPushdownKeyOps(c *cluster.Cluster, table, group string) ([]KeyOp, error
 			DiskUSPerOp: float64(disk) / float64(time.Microsecond) / float64(rows),
 			WallUSPerOp: float64(wall) / float64(time.Microsecond) / float64(rows),
 			RowsShipped: logReads() - before,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
 		})
 		return nil
 	}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"slices"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/readopt"
 	"repro/internal/txn"
@@ -28,7 +30,21 @@ type Client struct {
 
 	// Refreshes counts metadata cache refreshes (tests observe it).
 	Refreshes int
+
+	// span, when set, receives routing annotations (stale retries) for
+	// the operation in flight. Point ops carry no context, so the owner
+	// parks the active request span here around each call; clients are
+	// used by one goroutine at a time, which makes this safe.
+	span *obs.Span
 }
+
+// SetSpan parks the active request span for routing annotations; call
+// with nil when the operation completes.
+func (cl *Client) SetSpan(sp *obs.Span) { cl.span = sp }
+
+// Tracer returns the cluster's slow-op tracer (nil when tracing is
+// off).
+func (cl *Client) Tracer() *obs.Tracer { return cl.c.tracer }
 
 // NewClient creates a client with a warm metadata cache.
 func (c *Cluster) NewClient() *Client {
@@ -111,6 +127,8 @@ func (cl *Client) retryStale(table string, key []byte, op func(srv *core.Server,
 	for attempt := 0; attempt < staleRetries; attempt++ {
 		if attempt > 0 {
 			cl.refresh()
+			cl.c.obsStaleRetries.Inc()
+			cl.span.Label("retry", fmt.Sprintf("attempt=%d err=%v", attempt, err))
 			time.Sleep(time.Duration(attempt) * staleBackoff)
 		}
 		var srv *core.Server
@@ -285,6 +303,8 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 			// Resume from this tablet's slice of the request range:
 			// forward scans have fully streamed every tablet before it,
 			// reverse scans every tablet above it.
+			cl.c.obsScanResumes.Inc()
+			obs.FromContext(ctx).Label("resume", fmt.Sprintf("tablet=%s attempt=%d err=%v", tab.ID, attempt, err))
 			if ro.Reverse {
 				if tab.Range.End != nil && (end == nil || bytes.Compare(tab.Range.End, end) < 0) {
 					end = tab.Range.End
@@ -385,6 +405,8 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 			if !retryableRouting(err) || attempt >= staleRetries {
 				return err
 			}
+			cl.c.obsScanResumes.Inc()
+			obs.FromContext(ctx).Label("resume", fmt.Sprintf("tablet=%s attempt=%d err=%v", tab.ID, attempt, err))
 			stale = true
 			break
 		}

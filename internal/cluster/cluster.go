@@ -20,6 +20,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/simdisk"
 	"repro/internal/txn"
@@ -48,6 +49,17 @@ type Config struct {
 	// RPCLatency, when > 0, is slept on every client call to model the
 	// network hop.
 	RPCLatency time.Duration
+	// Metrics is the registry shared by every tablet server (each
+	// registers under its own {server: tsNN} label). Nil creates one;
+	// Server.Metrics, when set, takes precedence so callers can inject
+	// the registry either way.
+	Metrics *obs.Registry
+	// SlowOpLog enables request tracing: client operations mint trace
+	// trees spanning the scatter-gather, and completed roots taking at
+	// least SlowOpThreshold are rendered to this sink (threshold 0 =
+	// every traced op).
+	SlowOpLog       func(tree string)
+	SlowOpThreshold time.Duration
 }
 
 // ErrServerDown is returned for operations routed to a killed server.
@@ -84,6 +96,12 @@ type Cluster struct {
 	txns     *txn.Manager
 	balancer *Balancer
 
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	// scatter-gather client counters (shared by all clients).
+	obsStaleRetries *obs.Counter
+	obsScanResumes  *obs.Counter
+
 	secMu     sync.RWMutex
 	secondary map[string]secondaryReg // index name -> registration
 }
@@ -118,6 +136,17 @@ func New(dir string, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One registry for the whole cluster: servers distinguish their
+	// series with a {server} label, and the client-side counters live
+	// beside them.
+	if cfg.Server.Metrics == nil {
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		cfg.Server.Metrics = cfg.Metrics
+	} else {
+		cfg.Metrics = cfg.Server.Metrics
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		fs:          fs,
@@ -128,6 +157,18 @@ func New(dir string, cfg Config) (*Cluster, error) {
 		tableGroups: make(map[string][]string),
 		routers:     make(map[string]*partition.Router),
 		tabletSeq:   make(map[string]int),
+	}
+	c.metrics = cfg.Metrics
+	c.obsStaleRetries = c.metrics.Counter("logbase_client_stale_retries_total",
+		"client operations retried on stale routing (split/move/failover)", nil)
+	c.obsScanResumes = c.metrics.Counter("logbase_client_scan_resumes_total",
+		"scatter-gather scans resumed by range after a routing change", nil)
+	if cfg.SlowOpLog != nil {
+		c.tracer = &obs.Tracer{
+			Threshold: cfg.SlowOpThreshold,
+			Sink:      cfg.SlowOpLog,
+			SlowOps:   c.metrics.Counter("logbase_slow_ops_total", "trace trees emitted to the slow-op log", nil),
+		}
 	}
 	for i := 0; i < cfg.NumServers; i++ {
 		id := fmt.Sprintf("ts%02d", i)
@@ -165,6 +206,24 @@ func (c *Cluster) TxnManager() *txn.Manager { return c.txns }
 
 // Clock returns the shared virtual disk clock, if one was configured.
 func (c *Cluster) Clock() *simdisk.Clock { return c.cfg.DFS.Clock }
+
+// Metrics returns the registry shared by the cluster's servers and
+// clients.
+func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
+
+// Tracer returns the cluster's slow-op tracer (nil unless
+// Config.SlowOpLog was set).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// StatsViews returns each live server's mutually-consistent counter
+// snapshot (core.Server.StatsView), keyed by server id.
+func (c *Cluster) StatsViews() map[string]core.StatsView {
+	out := make(map[string]core.StatsView)
+	for _, id := range c.LiveServers() {
+		out[id] = c.Server(id).StatsView()
+	}
+	return out
+}
 
 // CreateTable declares a table and assigns its tablets round-robin over
 // live servers (the master's metadata duty, §3.3). Idempotent: a table

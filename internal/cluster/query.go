@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -50,6 +51,12 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 		// literal timestamp 0 sees nothing).
 		ts = c.svc.LastTimestamp()
 	}
+	// One root span covers planning, every scatter attempt, and the
+	// gather; re-planned attempts show up as repeated query.server
+	// children plus a retry label.
+	ctx, sp := c.tracer.Root(ctx, "cluster.query")
+	sp.Label("table", table)
+	defer sp.Finish()
 	// A balancer split/migration racing the query invalidates the plan
 	// (a tablet id vanishes between the router read and the scan). The
 	// whole scatter is side-effect free and pinned at ts, so re-planning
@@ -61,6 +68,7 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 		if err == nil || !retryableRouting(err) || attempt >= staleRetries {
 			return res, err
 		}
+		sp.Label("retry", err.Error())
 		time.Sleep(time.Duration(attempt+1) * staleBackoff)
 	}
 }
@@ -106,8 +114,12 @@ func (c *Cluster) queryAtOnce(ctx context.Context, table, group string, ts int64
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
+			sctx, sp := obs.StartSpan(cctx, "query.server")
+			sp.Label("server", sh.server.ID())
+			sp.LabelInt("tablets", int64(len(sh.targets)))
+			defer sp.Finish()
 			snap := query.NewSnapshot(ts, sh.targets...)
-			res, err := snap.Run(cctx, group, q)
+			res, err := snap.Run(sctx, group, q)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

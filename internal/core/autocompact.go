@@ -149,7 +149,11 @@ func (s *Server) compactionCandidates(max int, garbageRatio float64) []uint32 {
 func (s *Server) AutoCompactTick() (CompactionStats, bool, error) {
 	if !s.indexReady.Load() {
 		// Reopened server whose Recover has not run yet: the empty
-		// indexes would make every record look dead. Wait.
+		// indexes would make every record look dead. Wait. This is the
+		// compaction pacing stall the obs counter tracks.
+		if s.obs.enabled {
+			s.obs.compactStalls.Inc()
+		}
 		return CompactionStats{}, false, nil
 	}
 	if !s.garbageAudited.Swap(true) {
@@ -250,6 +254,7 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 	if !s.indexReady.Load() {
 		return st, errors.New("core: compact segments: indexes not recovered yet (run Recover first)")
 	}
+	defer s.obs.since(s.obs.compact, s.obs.start())
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -465,6 +470,9 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 	// later CommitTxn installs the right pointers.
 	s.repointPrepared(remap)
 	s.installMu.Unlock()
+	if s.obs.enabled {
+		s.obs.compactRepoints.Add(int64(len(repoints)))
+	}
 	// Secondary indexes repoint outside the writer-exclusion window and
 	// touch only the moved records (not a full tree walk): the replayed
 	// entries carry the original LSNs, so a concurrent write that

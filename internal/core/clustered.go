@@ -25,6 +25,7 @@ import (
 	"errors"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -205,11 +206,28 @@ func (s *Server) clusteredScan(ctx context.Context, t *Tablet, g *columnGroup, g
 		}
 	}
 
+	if s.obs.enabled {
+		s.obs.clusteredScans.Inc()
+		s.obs.clusteredSegments.Add(int64(len(streams)))
+	}
+	ctx, sp := obs.StartSpan(ctx, "scan.clustered")
+	sp.LabelInt("segments", int64(len(streams)))
+	defer sp.Finish()
+
 	batch := opt.Batch
 	if batch <= 0 {
 		batch = defaultScanBatch
 	}
 	overlay := &overlayCursor{g: g, set: sortedSet, ts: opt.TS, end: end, page: batch, cursor: start}
+	var overlayServed, rejects int64
+	defer func() {
+		sp.LabelInt("overlay_rows", overlayServed)
+		sp.LabelInt("validation_rejects", rejects)
+		if s.obs.enabled {
+			s.obs.overlayRows.Add(overlayServed)
+			s.obs.validationRejects.Add(rejects)
+		}
+	}()
 
 	// pending is one not-yet-emitted row; rows whose visible version
 	// must be fetched from the log carry fetch=true and resolve in one
@@ -326,8 +344,10 @@ func (s *Server) clusteredScan(ctx context.Context, t *Tablet, g *columnGroup, g
 				}
 			}
 		}
+		fromOverlay := false
 		if ovOK && bytes.Equal(ov.Key, key) {
 			overlay.next()
+			fromOverlay = true
 		}
 
 		// The index stays authoritative for visibility: deletes, racing
@@ -335,7 +355,11 @@ func (s *Server) clusteredScan(ctx context.Context, t *Tablet, g *columnGroup, g
 		// path agree with the index path row for row.
 		e, ok := tree.LatestAt(key, opt.TS)
 		if !ok {
+			rejects++
 			continue // deleted, or nothing visible at this snapshot
+		}
+		if fromOverlay {
+			overlayServed++
 		}
 		if opt.MinTS != 0 && e.TS < opt.MinTS {
 			continue

@@ -15,6 +15,7 @@ import (
 	"slices"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/readopt"
 	"repro/internal/wal"
 )
@@ -30,6 +31,7 @@ const maxTS = int64(^uint64(0) >> 1)
 // the visible version fails the value predicate); the AllVersions path
 // returns an empty slice instead.
 func (s *Server) ReadRow(tabletID, group string, key []byte, ro readopt.Options) ([]Row, error) {
+	defer s.obs.since(s.obs.read, s.obs.start())
 	ts := ro.Snapshot
 	if ts == 0 {
 		ts = maxTS
@@ -109,6 +111,11 @@ func (s *Server) FullScanOpts(ctx context.Context, tabletID, group string, ro re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer s.obs.since(s.obs.fullscan, s.obs.start())
+	ctx, sp := obs.StartSpan(ctx, "tablet.fullscan")
+	sp.Label("server", s.id)
+	sp.Label("tablet", tabletID)
+	defer sp.Finish()
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/readopt"
 	"repro/internal/wal"
 )
@@ -115,6 +116,11 @@ func (s *Server) ParallelScan(ctx context.Context, tabletID, group string, opt S
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer s.obs.since(s.obs.scan, s.obs.start())
+	ctx, sp := obs.StartSpan(ctx, "tablet.scan")
+	sp.Label("server", s.id)
+	sp.Label("tablet", tabletID)
+	defer sp.Finish()
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err
@@ -225,7 +231,7 @@ func (s *Server) scanShard(ctx context.Context, t *Tablet, g *columnGroup, group
 		if len(chunk) == 0 {
 			return 0, nil
 		}
-		rows, err := s.fetchRows(t, g, group, chunk, opt.UseCache)
+		rows, err := s.fetchRows(ctx, t, g, group, chunk, opt.UseCache)
 		if err != nil {
 			return 0, err
 		}
@@ -347,16 +353,17 @@ func (s *Server) readEntry(g *columnGroup, key []byte, ts int64, ptr wal.Ptr) (w
 // Entries whose records moved (or vanished) under a racing compaction
 // are re-resolved per row through readEntry; vanished rows are
 // dropped.
-func (s *Server) fetchRows(t *Tablet, g *columnGroup, group string, entries []index.Entry, useCache bool) ([]Row, error) {
+func (s *Server) fetchRows(ctx context.Context, t *Tablet, g *columnGroup, group string, entries []index.Entry, useCache bool) ([]Row, error) {
 	rows := make([]Row, len(entries))
 	var missIdx []int
 	var missPtrs []wal.Ptr
+	var cacheHits int64
 	for i, e := range entries {
 		if useCache {
 			if b, ok := s.readCache.Get(cacheKey(t.table, group, e.Key)); ok {
 				if cts, v := decodeCached(b); cts == e.TS {
 					rows[i] = Row{Key: e.Key, TS: cts, Value: append([]byte(nil), v...)}
-					s.stats.CacheHits.Add(1)
+					cacheHits++
 					continue
 				}
 			}
@@ -364,8 +371,15 @@ func (s *Server) fetchRows(t *Tablet, g *columnGroup, group string, entries []in
 		missIdx = append(missIdx, i)
 		missPtrs = append(missPtrs, e.Ptr)
 	}
+	if cacheHits > 0 {
+		s.stats.CacheHits.Add(cacheHits)
+	}
 	var dropped []int
 	if len(missPtrs) > 0 {
+		_, sp := obs.StartSpan(ctx, "wal.readbatch")
+		sp.LabelInt("entries", int64(len(missPtrs)))
+		sp.LabelInt("cache_hits", cacheHits)
+		defer sp.Finish()
 		recs, err := s.log.ReadBatch(missPtrs)
 		if err != nil {
 			// The batch hit a reclaimed segment; salvage row by row.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dfs"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/readopt"
 	"repro/internal/wal"
@@ -59,6 +60,15 @@ type Config struct {
 	// over sorted segments; benches use it to measure the clustered fast
 	// path against its fallback.
 	NoClusteredScan bool
+	// Metrics is the registry this server's metrics register into under
+	// a {server: id} label; nil gives the server a private registry
+	// (reachable via Server.Metrics). Clusters pass one shared registry
+	// to all servers.
+	Metrics *obs.Registry
+	// DisableMetrics turns off hot-path latency recording (histograms).
+	// Scrape-time gauges over the existing atomic counters stay
+	// registered either way — they cost the request paths nothing.
+	DisableMetrics bool
 }
 
 // ErrNotFound is returned when a key (or version) does not exist.
@@ -171,6 +181,7 @@ type Server struct {
 	secondary map[string]*secondaryIndex
 
 	stats ServerStats
+	obs   *serverObs
 }
 
 // ServerStats counts operations for bench output.
@@ -202,8 +213,15 @@ func NewServer(fs *dfs.DFS, id string, cfg Config) (*Server, error) {
 		tablets:   make(map[string]*Tablet),
 		readCache: cache.New(cfg.ReadCacheBytes, cfg.CachePolicy),
 	}
+	s.obs = newServerObs(s)
 	if cfg.GroupCommit {
 		s.batcher = wal.NewBatcher(log, cfg.GroupCommitBatch, cfg.GroupCommitDelay)
+		if !cfg.DisableMetrics {
+			s.batcher.SetMetrics(
+				s.obs.reg.Histogram("logbase_wal_flush_seconds", "group-commit flush latency", obs.Labels{"server": id}),
+				s.obs.reg.Histogram("logbase_wal_flush_records", "records per group-commit flush", obs.Labels{"server": id}),
+			)
+		}
 	}
 	s.indexReady.Store(log.Size() == 0)
 	s.garbageAudited.Store(log.Size() == 0)
@@ -303,10 +321,16 @@ func boundedRange(r partition.Range) bool {
 }
 
 func (s *Server) append(recs ...*wal.Record) ([]wal.Ptr, error) {
+	t0 := s.obs.start()
+	var ptrs []wal.Ptr
+	var err error
 	if s.batcher != nil {
-		return s.batcher.Append(recs...)
+		ptrs, err = s.batcher.Append(recs...)
+	} else {
+		ptrs, err = s.log.Append(recs...)
 	}
-	return s.log.Append(recs...)
+	s.obs.since(s.obs.walAppend, t0)
+	return ptrs, err
 }
 
 func cacheKey(table, group string, key []byte) string {
@@ -362,6 +386,7 @@ func decodeCached(b []byte) (int64, []byte) {
 // timestamp ts. It is the auto-commit path (single-row ACID): durable
 // once the log append returns.
 func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byte) error {
+	defer s.obs.since(s.obs.put, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	t, err := s.tablet(tabletID)
@@ -421,6 +446,7 @@ func (s *Server) Get(tabletID, group string, key []byte) (Row, error) {
 // GetAt returns the latest version of key visible at snapshot ts
 // (paper §3.6.2: a Get with an attached timestamp).
 func (s *Server) GetAt(tabletID, group string, key []byte, ts int64) (Row, error) {
+	defer s.obs.since(s.obs.get, s.obs.start())
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return Row{}, err
@@ -502,6 +528,7 @@ func (s *Server) Versions(tabletID, group string, key []byte) ([]Row, error) {
 // and persists an invalidated log entry so the deletion survives
 // recovery from an older checkpoint (paper §3.6.3).
 func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
+	defer s.obs.since(s.obs.del, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	t, err := s.tablet(tabletID)
@@ -545,6 +572,7 @@ func (s *Server) Scan(ctx context.Context, tabletID, group string, start, end []
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer s.obs.since(s.obs.scan, s.obs.start())
 	t, err := s.tablet(tabletID)
 	if err != nil {
 		return err
@@ -632,6 +660,7 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 	if len(writes) == 0 {
 		return nil
 	}
+	defer s.obs.since(s.obs.applyTxn, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	recs := make([]*wal.Record, 0, len(writes)+1)
@@ -706,6 +735,7 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 	if len(writes) == 0 {
 		return nil
 	}
+	defer s.obs.since(s.obs.applyBatch, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	recs := make([]*wal.Record, 0, len(writes))

@@ -26,6 +26,7 @@ type Prepared struct {
 // side of the cross-server commit; single-server transactions use
 // ApplyTxn's one-batch fast path instead.
 func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*Prepared, error) {
+	defer s.obs.since(s.obs.prepareTxn, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	recs := make([]*wal.Record, 0, len(writes))
@@ -71,6 +72,7 @@ func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*P
 // CommitTxn persists the commit record for a prepared transaction and
 // reflects its writes in the in-memory indexes and read buffer.
 func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
+	defer s.obs.since(s.obs.commitTxn, s.obs.start())
 	s.installMu.RLock()
 	defer s.installMu.RUnlock()
 	// A tablet frozen for migration must not gain a commit record: the

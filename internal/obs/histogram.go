@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-scale histogram: fixed sub-bucketed power-of-two buckets over
+// non-negative int64 values (latencies are recorded in nanoseconds,
+// sizes as plain counts). Values below 8 get exact buckets; above that
+// each power-of-two octave is split into 4 sub-buckets, so a recorded
+// value lands in a bucket whose width is at most 25% of its magnitude
+// — quantile estimates are within that bound of the true sample
+// quantile (histogram_test.go checks this against a sorted-sample
+// oracle). Recording is four atomic operations and allocation-free,
+// cheap enough for per-operation hot paths.
+
+// histBuckets is the fixed bucket count: 8 exact small-value buckets
+// plus 4 sub-buckets for each octave 2^3..2^62.
+const histBuckets = 8 + 60*4
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 (durations can only go negative on clock steps; losing them
+// to the smallest bucket is fine).
+func bucketOf(v int64) int {
+	if v < 8 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
+	sub := int(v>>(uint(exp)-2)) & 3 // which quarter of the octave
+	b := 8 + (exp-3)*4 + sub
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the exclusive upper bound of bucket b — the
+// value reported for quantiles that land in it.
+func bucketUpper(b int) int64 {
+	if b < 8 {
+		return int64(b) + 1
+	}
+	if b >= histBuckets-1 {
+		// The top bucket's nominal bound (2^63) overflows int64.
+		return math.MaxInt64
+	}
+	exp := (b-8)/4 + 3
+	sub := (b - 8) % 4
+	return 1<<uint(exp) + int64(sub+1)<<(uint(exp)-2)
+}
+
+// Histogram is a concurrency-safe log-scale histogram.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one duration (stored in nanoseconds).
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records one raw value.
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a histogram. Quantile
+// values are bucket upper bounds (within 25% of the true sample
+// quantile); units match what was observed (nanoseconds for Observe).
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+	// Buckets holds the non-empty (upper bound, cumulative count)
+	// pairs, for Prometheus-text export.
+	Buckets []HistBucket
+}
+
+// HistBucket is one cumulative histogram bucket.
+type HistBucket struct {
+	Upper int64
+	Count int64
+}
+
+// Mean returns the snapshot's average value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot summarises the histogram. Concurrent Observe calls may or
+// may not be included; the snapshot is internally consistent enough
+// for monitoring (quantiles are computed from one pass over the bucket
+// counts).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	snap := HistSnapshot{Count: total, Sum: h.sum.Load(), Max: h.max.Load()}
+	if total == 0 {
+		return snap
+	}
+	quantile := func(q float64) int64 {
+		rank := int64(q*float64(total) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= rank {
+				return bucketUpper(i)
+			}
+		}
+		return bucketUpper(histBuckets - 1)
+	}
+	snap.P50 = quantile(0.50)
+	snap.P95 = quantile(0.95)
+	snap.P99 = quantile(0.99)
+	var cum int64
+	for i := range counts {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		snap.Buckets = append(snap.Buckets, HistBucket{Upper: bucketUpper(i), Count: cum})
+	}
+	return snap
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Small values get exact buckets; larger ones land in a bucket whose
+// bounds bracket them.
+func TestBucketBoundaries(t *testing.T) {
+	for v := int64(0); v < 8; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+	// Every value must fall inside [lower, upper) of its bucket, where
+	// lower is the previous bucket's upper bound.
+	probe := []int64{8, 9, 15, 16, 17, 100, 1023, 1024, 1025, 1 << 20, 1<<40 + 12345, 1<<62 + 99}
+	for _, v := range probe {
+		b := bucketOf(v)
+		upper := bucketUpper(b)
+		var lower int64
+		if b > 0 {
+			lower = bucketUpper(b - 1)
+		}
+		if v < lower || v >= upper {
+			t.Fatalf("value %d in bucket %d with bounds [%d,%d)", v, b, lower, upper)
+		}
+	}
+}
+
+// bucketOf must be monotone and bucketUpper strictly increasing, or
+// quantile walks would misorder.
+func TestBucketMonotone(t *testing.T) {
+	for b := 1; b < histBuckets; b++ {
+		if bucketUpper(b) <= bucketUpper(b-1) {
+			t.Fatalf("bucketUpper not strictly increasing at %d: %d <= %d", b, bucketUpper(b), bucketUpper(b-1))
+		}
+	}
+	prev := 0
+	for v := int64(0); v < 1<<16; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+// Quantile snapshots must agree with a sorted-sample oracle to within
+// the bucket's 25% relative-error guarantee.
+func TestQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform-ish spread across 6 decades, like latencies.
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v)
+		h.ObserveValue(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := h.Snapshot()
+	if snap.Count != int64(len(samples)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+	}
+	if snap.Max != samples[len(samples)-1] {
+		t.Fatalf("max = %d, want %d", snap.Max, samples[len(samples)-1])
+	}
+	check := func(name string, got int64, q float64) {
+		oracle := samples[int(q*float64(len(samples)-1))]
+		rel := float64(got-oracle) / float64(oracle)
+		if rel < -0.26 || rel > 0.26 {
+			t.Errorf("%s = %d, oracle %d, relative error %.3f exceeds bucket bound", name, got, oracle, rel)
+		}
+	}
+	check("p50", snap.P50, 0.50)
+	check("p95", snap.P95, 0.95)
+	check("p99", snap.P99, 0.99)
+}
+
+// Concurrent recording must be race-free and lose no observations.
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(1 << 30)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	var cum int64
+	for _, b := range snap.Buckets {
+		if b.Count <= cum {
+			t.Fatalf("bucket counts must be cumulative and increasing: %v", snap.Buckets)
+		}
+		cum = b.Count
+	}
+	if cum != snap.Count {
+		t.Fatalf("last cumulative bucket %d != count %d", cum, snap.Count)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.Mean() != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", snap)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry as
+// Prometheus-text at /metrics plus the standard net/http/pprof
+// endpoints under /debug/pprof/. It builds its own mux rather than
+// touching http.DefaultServeMux so embedding processes keep control of
+// their global handler space.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsServer is a running /metrics + pprof HTTP listener.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServeMetrics binds addr (":0" picks a free port) and serves
+// Handler(reg) in a background goroutine until Close.
+func ListenAndServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound address (host:port).
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/readopt"
 )
 
@@ -61,8 +62,13 @@ type Store interface {
 	// Stats returns one observability snapshot per tablet server (the
 	// STATS command): operation counters, read-buffer hit rates, and
 	// the compaction/storage-layout gauges operators watch to see the
-	// background compactor keeping up.
+	// background compactor keeping up. Each snapshot must be mutually
+	// consistent (taken in one pass, not counter-by-counter).
 	Stats(ctx context.Context) ([]StatsSnapshot, error)
+	// Metrics returns the engine's metrics registry, or nil when the
+	// backend exposes none. A non-nil registry makes STATS stream the
+	// whole registry as METRIC lines after the per-server STAT lines.
+	Metrics() *obs.Registry
 	// Compact runs whole-log compaction on every tablet server (the
 	// COMPACT command).
 	Compact(ctx context.Context) error
@@ -333,6 +339,7 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				err = reply("ERR %v", serr)
 				break
 			}
+			lines := 0
 			for _, sn := range snaps {
 				if err = reply("STAT %s writes=%d reads=%d deletes=%d log_reads=%d cache_hits=%d cache_misses=%d "+
 					"compactions=%d dropped=%d reclaimed=%d sorted_frac=%.3f garbage_frac=%.3f segments=%d log_bytes=%d",
@@ -341,9 +348,33 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 					sn.Segments, sn.LogBytes); err != nil {
 					break
 				}
+				lines++
+			}
+			// The expanded registry rides behind the legacy STAT lines so
+			// old clients keep parsing; histograms ship their quantile
+			// snapshot, _seconds series scaled to seconds.
+			if reg := db.Metrics(); err == nil && reg != nil {
+				for _, m := range reg.Snapshot() {
+					if m.Kind == "histogram" {
+						scale := 1.0
+						if strings.HasSuffix(m.Name, "_seconds") {
+							scale = 1e-9
+						}
+						err = reply("METRIC %s%s count=%d p50=%g p95=%g p99=%g max=%g",
+							m.Name, m.Labels, m.Hist.Count,
+							float64(m.Hist.P50)*scale, float64(m.Hist.P95)*scale,
+							float64(m.Hist.P99)*scale, float64(m.Hist.Max)*scale)
+					} else {
+						err = reply("METRIC %s%s %g", m.Name, m.Labels, m.Value)
+					}
+					if err != nil {
+						break
+					}
+					lines++
+				}
 			}
 			if err == nil {
-				err = reply("END %d", len(snaps))
+				err = reply("END %d", lines)
 			}
 		default:
 			err = reply("ERR unknown or malformed command %q", line)
@@ -418,4 +449,29 @@ func parseScanOptions(rest []string) (readopt.Options, string) {
 		}
 	}
 	return opt, ""
+}
+
+// ParseStatLine decodes one "STAT <server> k=v ..." response line into
+// the server id and its counter map (values parsed as floats; malformed
+// pairs are skipped). ok is false for lines that are not STAT lines —
+// callers polling STATS feed every response line through and keep the
+// hits, which is how logbase-cli's watch mode computes deltas.
+func ParseStatLine(line string) (server string, kv map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "STAT" {
+		return "", nil, false
+	}
+	kv = make(map[string]float64, len(fields)-2)
+	for _, f := range fields[2:] {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			continue
+		}
+		kv[k] = n
+	}
+	return fields[1], kv, true
 }

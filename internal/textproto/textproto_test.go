@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/readopt"
 )
 
@@ -17,6 +18,7 @@ import (
 type fakeStore struct {
 	tables map[string]map[string]map[string][]versioned // table -> group -> key
 	clock  int64
+	reg    *obs.Registry // nil = backend without a registry
 }
 
 type versioned struct {
@@ -239,6 +241,8 @@ func (f *fakeStore) Compact(context.Context) error { return nil }
 func (f *fakeStore) Stats(context.Context) ([]StatsSnapshot, error) {
 	return []StatsSnapshot{{Server: "fake", Writes: 7, SortedFraction: 0.5, Segments: 2}}, nil
 }
+
+func (f *fakeStore) Metrics() *obs.Registry { return f.reg }
 
 // session runs a script through Serve and returns response lines.
 func session(t *testing.T, db Store, script ...string) []string {
@@ -501,5 +505,52 @@ func TestStatsAndCompact(t *testing.T) {
 	}
 	if lines[2] != "OK compact" {
 		t.Fatalf("COMPACT reply = %q", lines[2])
+	}
+}
+
+// TestStatsMetricLines covers the expanded STATS command: a backend
+// with a registry streams the whole registry as METRIC lines behind
+// the STAT lines, and END counts every emitted line.
+func TestStatsMetricLines(t *testing.T) {
+	db := newFake()
+	db.reg = obs.NewRegistry()
+	db.reg.Counter("ops_total", "", obs.Labels{"server": "fake"}).Add(3)
+	db.reg.GaugeFunc("frac", "", nil, func() float64 { return 0.25 })
+	h := db.reg.Histogram("lat_seconds", "", nil)
+	h.ObserveValue(1e9) // 1s in ns: scaled to seconds on the wire
+	lines := session(t, db, "STATS")
+	want := []string{
+		"STAT fake ",
+		`METRIC ops_total{server="fake"} 3`,
+		"METRIC frac 0.25",
+		"METRIC lat_seconds count=1 p50=1",
+		"END 4",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(lines[i], w) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestParseStatLine(t *testing.T) {
+	srv, kv, ok := ParseStatLine("STAT ts03 writes=12 sorted_frac=0.750 bogus garbage=x")
+	if !ok || srv != "ts03" {
+		t.Fatalf("ParseStatLine: ok=%v srv=%q", ok, srv)
+	}
+	if kv["writes"] != 12 || kv["sorted_frac"] != 0.75 {
+		t.Errorf("kv = %v", kv)
+	}
+	if _, bad := kv["garbage"]; bad {
+		t.Errorf("malformed pair kept: %v", kv)
+	}
+	if _, _, ok := ParseStatLine("METRIC x 1"); ok {
+		t.Error("non-STAT line accepted")
+	}
+	if _, _, ok := ParseStatLine(""); ok {
+		t.Error("empty line accepted")
 	}
 }

@@ -3,6 +3,8 @@ package wal
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Batcher implements group commit (paper §3.7.2): concurrent appenders
@@ -29,6 +31,11 @@ type Batcher struct {
 	quit      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// flushDur / flushRecords, when set via SetMetrics, record each
+	// group-commit flush's latency and coalesced record count.
+	flushDur     *obs.Histogram
+	flushRecords *obs.Histogram
 }
 
 type batchEntry struct {
@@ -112,6 +119,15 @@ func (b *Batcher) collect(first batchEntry) {
 	b.flush(batch)
 }
 
+// SetMetrics wires flush instrumentation. Call before the first
+// Append: the collector goroutine reads these fields only after
+// receiving an entry, and the channel send orders that read after any
+// writes the appending side (transitively) performed.
+func (b *Batcher) SetMetrics(flushDur, flushRecords *obs.Histogram) {
+	b.flushDur = flushDur
+	b.flushRecords = flushRecords
+}
+
 // flush appends every entry's records as one log write and hands each
 // appender its pointers.
 func (b *Batcher) flush(batch []batchEntry) {
@@ -119,7 +135,15 @@ func (b *Batcher) flush(batch []batchEntry) {
 	for _, e := range batch {
 		all = append(all, e.recs...)
 	}
+	var t0 time.Time
+	if b.flushDur != nil {
+		t0 = time.Now()
+	}
 	ptrs, err := b.log.Append(all...)
+	if b.flushDur != nil {
+		b.flushDur.Observe(time.Since(t0))
+		b.flushRecords.ObserveValue(int64(len(all)))
+	}
 	off := 0
 	for _, e := range batch {
 		var res batchResult

@@ -65,6 +65,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -108,6 +109,22 @@ type Options struct {
 	Replication int
 	// DataNodes is the simulated DFS size (default 3).
 	DataNodes int
+	// Metrics, when set, is the registry the engine registers its
+	// counters, gauges, and latency histograms into (nil = the DB creates
+	// a private registry, reachable via DB.Metrics).
+	Metrics *obs.Registry
+	// DisableMetrics turns off hot-path latency recording. Scrape-time
+	// gauges over the existing atomic counters stay registered — they
+	// cost the request paths nothing.
+	DisableMetrics bool
+	// SlowOpLog, when set, receives one rendered trace tree per traced
+	// operation whose root span took at least SlowOpThreshold (zero
+	// threshold = every traced op). Enabling it turns on request
+	// tracing; leaving it nil keeps tracing completely off.
+	SlowOpLog func(tree string)
+	// SlowOpThreshold is the minimum root-span duration for emission to
+	// SlowOpLog.
+	SlowOpThreshold time.Duration
 }
 
 // DB is an embedded single-server LogBase instance. It implements
@@ -118,6 +135,7 @@ type DB struct {
 	svc    *coord.Service
 	server *core.Server
 	txns   *txn.Manager
+	tracer *obs.Tracer
 	tmu    sync.RWMutex
 	tables map[string]tableMeta
 	opts   Options
@@ -160,6 +178,8 @@ func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
 		CompactKeepVersions: opts.CompactKeepVersions,
 		IndexFlushUpdates:   opts.IndexFlushUpdates,
 		AutoCompact:         opts.AutoCompact,
+		Metrics:             opts.Metrics,
+		DisableMetrics:      opts.DisableMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +191,13 @@ func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
 		tables: make(map[string]tableMeta),
 		opts:   opts,
 		dir:    dir,
+	}
+	if opts.SlowOpLog != nil {
+		db.tracer = &obs.Tracer{
+			Threshold: opts.SlowOpThreshold,
+			Sink:      opts.SlowOpLog,
+			SlowOps:   server.Metrics().Counter("logbase_slow_ops_total", "traces emitted to the slow-op log", nil),
+		}
 	}
 	db.txns = txn.NewManager(db.svc, txn.ResolverFunc(func(string) (*core.Server, error) {
 		return db.server, nil
@@ -226,6 +253,9 @@ func (db *DB) Put(ctx context.Context, table, group string, key, value []byte) e
 	if err != nil {
 		return err
 	}
+	_, sp := db.tracer.Root(ctx, "db.put")
+	sp.Label("table", table)
+	defer sp.Finish()
 	return db.server.Write(tm.tablet, group, key, db.svc.NextTimestamp(), value)
 }
 
@@ -242,6 +272,9 @@ func (db *DB) Read(ctx context.Context, table, group string, key []byte, opts ..
 	if err != nil {
 		return nil, err
 	}
+	_, sp := db.tracer.Root(ctx, "db.read")
+	sp.Label("table", table)
+	defer sp.Finish()
 	return db.server.ReadRow(tm.tablet, group, key, resolveReadOptions(opts))
 }
 
@@ -282,6 +315,9 @@ func (db *DB) Delete(ctx context.Context, table, group string, key []byte) error
 	if err != nil {
 		return err
 	}
+	_, sp := db.tracer.Root(ctx, "db.delete")
+	sp.Label("table", table)
+	defer sp.Finish()
 	return db.server.Delete(tm.tablet, group, key, db.svc.NextTimestamp())
 }
 
@@ -305,6 +341,11 @@ func (db *DB) Scan(ctx context.Context, table, group string, start, end []byte, 
 		ro.BatchSize = defaultIterBatch
 	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		// The root span lives inside the producer so it covers the whole
+		// streamed scan (the Scan call itself returns immediately).
+		ictx, sp := db.tracer.Root(ictx, "db.scan")
+		sp.Label("table", table)
+		defer sp.Finish()
 		return db.server.ParallelScan(ictx, tm.tablet, group, core.ReadScanOptions(start, end, ts, ro), emit)
 	})
 }
@@ -325,6 +366,9 @@ func (db *DB) FullScan(ctx context.Context, table, group string, opts ...ReadOpt
 		ro.Snapshot = db.svc.LastTimestamp()
 	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
+		ictx, sp := db.tracer.Root(ictx, "db.fullscan")
+		sp.Label("table", table)
+		defer sp.Finish()
 		fn, flush, failed := collectEmit(emit)
 		if err := db.server.FullScanOpts(ictx, tm.tablet, group, ro, fn); err != nil {
 			return err
@@ -531,6 +575,19 @@ func (db *DB) Recover() (core.RecoveryStats, error) { return db.server.Recover()
 
 // Stats exposes engine counters.
 func (db *DB) Stats() *core.ServerStats { return db.server.Stats() }
+
+// StatsView returns one mutually-consistent snapshot of the server's
+// cumulative counters (see core.StatsView).
+func (db *DB) StatsView() core.StatsView { return db.server.StatsView() }
+
+// Metrics returns the registry holding the engine's counters, gauges,
+// and latency histograms (Options.Metrics, or the DB's private
+// registry). Serve it over HTTP with obs.Handler / obs.ListenAndServeMetrics.
+func (db *DB) Metrics() *obs.Registry { return db.server.Metrics() }
+
+// Tracer returns the request tracer, or nil when Options.SlowOpLog was
+// not set.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 
 // IndexMemBytes estimates in-memory index size (the paper budgets ~24
 // bytes per entry).

@@ -69,6 +69,9 @@ func (db *DB) QueryAt(ctx context.Context, table, group string, ts int64, q Quer
 	if err != nil {
 		return QueryResult{}, err
 	}
+	ctx, sp := db.tracer.Root(ctx, "db.query")
+	sp.Label("table", table)
+	defer sp.Finish()
 	return snap.Run(ctx, group, q)
 }
 

@@ -1,0 +1,261 @@
+package logbase_test
+
+// End-to-end observability tests: one traced operation produces ONE
+// trace tree spanning client → per-tablet servers → WAL reads, the
+// slow-op log honours its threshold, and routing upheavals (a tablet
+// split racing a scan) annotate the same tree instead of losing it.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	logbase "repro"
+)
+
+// treeLog is a concurrency-safe slow-op sink.
+type treeLog struct {
+	mu    sync.Mutex
+	trees []string
+}
+
+func (l *treeLog) add(tree string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trees = append(l.trees, tree)
+}
+
+func (l *treeLog) all() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.trees...)
+}
+
+func (l *treeLog) containing(substr string) []string {
+	var out []string
+	for _, tr := range l.all() {
+		if strings.Contains(tr, substr) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TestClusterScanTraceTree: a cluster scan with push-down options
+// yields one tree stitching the client root, every per-tablet server
+// scan, and the WAL read batches under them — retrievable through the
+// slow-op log at threshold 0.
+func TestClusterScanTraceTree(t *testing.T) {
+	log := &treeLog{}
+	c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{
+		NumServers:      2,
+		Tables:          []logbase.TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 4}},
+		SlowOpLog:       log.add,
+		SlowOpThreshold: 0,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl := logbase.NewClusterClient(c)
+	defer cl.Close()
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		key := []byte{byte(i * 256 / n), byte(i)}
+		if err := cl.Put(bg, "t", "g", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	rows := 0
+	it := cl.Scan(bg, "t", "g", nil, nil, logbase.WithLimit(n))
+	for it.Next() {
+		rows++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if rows != n {
+		t.Fatalf("scan returned %d rows, want %d", rows, n)
+	}
+
+	scans := log.containing("client.scan")
+	if len(scans) != 1 {
+		t.Fatalf("want exactly 1 client.scan tree, got %d (all: %v)", len(scans), log.all())
+	}
+	tree := scans[0]
+	if !strings.HasPrefix(tree, "trace=") {
+		t.Errorf("tree missing trace id: %q", tree)
+	}
+	for _, srv := range []string{`server=ts00`, `server=ts01`} {
+		if !strings.Contains(tree, "tablet.scan dur=") || !strings.Contains(tree, srv) {
+			t.Errorf("tree missing per-server tablet.scan (%s):\n%s", srv, tree)
+		}
+	}
+	if strings.Count(tree, "tablet.scan") < 2 {
+		t.Errorf("want >=2 tablet.scan spans in one tree:\n%s", tree)
+	}
+	if !strings.Contains(tree, "wal.readbatch") {
+		t.Errorf("tree missing wal.readbatch span:\n%s", tree)
+	}
+	// Point ops trace too, as their own roots.
+	if len(log.containing("client.put")) != n {
+		t.Errorf("want %d client.put trees, got %d", n, len(log.containing("client.put")))
+	}
+}
+
+// TestTraceSurvivesMidScanSplit: a tablet split landing mid-scan makes
+// the scatter resume by range — the SAME trace tree records the resume
+// annotation and the scan still returns every row.
+func TestTraceSurvivesMidScanSplit(t *testing.T) {
+	log := &treeLog{}
+	c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{
+		NumServers:      2,
+		Tables:          []logbase.TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 2}},
+		SlowOpLog:       log.add,
+		SlowOpThreshold: 0,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	wcl := c.NewClient()
+	// Enough keys that every tablet spans several index leaves —
+	// SplitTablet needs leaf boundaries to pick a population midpoint.
+	const n = 600
+	for i := 0; i < n; i++ {
+		key := []byte{byte(i * 256 / n), byte(i >> 8), byte(i)}
+		if err := wcl.Put("t", "g", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	router, err := c.Router("t")
+	if err != nil {
+		t.Fatalf("Router: %v", err)
+	}
+	tabs := router.Tablets()
+	victim := tabs[len(tabs)-1].ID
+
+	// Drive the low-level scatter directly so the split lands at a
+	// deterministic point: after the first row streams (the routing plan
+	// is already fixed), before the scan reaches the victim tablet.
+	cl := c.NewClient()
+	ctx, sp := c.Tracer().Root(context.Background(), "client.scan")
+	cl.SetSpan(sp)
+	rows, split := 0, false
+	err = cl.ScanOpts(ctx, "t", "g", nil, nil, logbase.ReadOptions{}, func(r logbase.Row) bool {
+		rows++
+		if !split {
+			split = true
+			if _, _, serr := c.SplitTablet(victim); serr != nil {
+				t.Errorf("SplitTablet: %v", serr)
+			}
+		}
+		return true
+	})
+	cl.SetSpan(nil)
+	sp.Finish()
+	if err != nil {
+		t.Fatalf("ScanOpts across split: %v", err)
+	}
+	if rows != n {
+		t.Fatalf("scan across split returned %d rows, want %d", rows, n)
+	}
+
+	scans := log.containing("client.scan")
+	if len(scans) != 1 {
+		t.Fatalf("want 1 scan tree, got %d", len(scans))
+	}
+	tree := scans[0]
+	if !strings.Contains(tree, "resume=tablet="+victim) {
+		t.Errorf("tree missing split-resume annotation for %s:\n%s", victim, tree)
+	}
+	if strings.Count(tree, "tablet.scan") < 3 {
+		// Two tablets planned + at least the resumed halves of the split.
+		t.Errorf("want tablet.scan spans from before AND after the split:\n%s", tree)
+	}
+	if cl.Tracer() != c.Tracer() {
+		t.Error("client tracer accessor disagrees with cluster")
+	}
+}
+
+// TestEmbeddedSlowOpThreshold: the embedded DB honours
+// Options.SlowOpThreshold — an unreachable threshold logs nothing, a
+// zero threshold logs complete trees for every entry point.
+func TestEmbeddedSlowOpThreshold(t *testing.T) {
+	quiet := &treeLog{}
+	db, err := logbase.Open(t.TempDir(), logbase.Options{
+		SlowOpLog:       quiet.add,
+		SlowOpThreshold: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	db.CreateTable("t", "g")
+	if err := db.Put(bg, "t", "g", []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got := quiet.all(); len(got) != 0 {
+		t.Fatalf("threshold 1h still logged %d trees: %v", len(got), got)
+	}
+	db.Close()
+
+	log := &treeLog{}
+	db, err = logbase.Open(t.TempDir(), logbase.Options{
+		SlowOpLog: log.add, // threshold 0: every traced op
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	db.CreateTable("t", "g")
+	for i := 0; i < 10; i++ {
+		if err := db.Put(bg, "t", "g", []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := db.Get(bg, "t", "g", []byte{3}); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	it := db.Scan(bg, "t", "g", nil, nil)
+	for it.Next() {
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+
+	if n := len(log.containing("db.put")); n != 10 {
+		t.Errorf("want 10 db.put trees, got %d", n)
+	}
+	if n := len(log.containing("db.read")); n != 1 {
+		t.Errorf("want 1 db.read tree, got %d", n)
+	}
+	scans := log.containing("db.scan")
+	if len(scans) != 1 {
+		t.Fatalf("want 1 db.scan tree, got %d", len(scans))
+	}
+	if !strings.Contains(scans[0], "tablet.scan") {
+		t.Errorf("embedded scan tree missing tablet.scan child:\n%s", scans[0])
+	}
+	// Slow-op counter in the shared registry matches emissions.
+	var slow float64
+	for _, m := range db.Metrics().Snapshot() {
+		if m.Name == "logbase_slow_ops_total" {
+			slow = m.Value
+		}
+	}
+	if int(slow) != len(log.all()) {
+		t.Errorf("logbase_slow_ops_total=%v, emitted %d trees", slow, len(log.all()))
+	}
+	if db.Tracer() == nil {
+		t.Error("DB.Tracer() nil with SlowOpLog set")
+	}
+
+	if db.Metrics() == nil {
+		t.Error("DB.Metrics() nil")
+	}
+}
