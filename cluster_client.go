@@ -9,8 +9,10 @@ package logbase
 
 import (
 	"context"
+	"errors"
 	"sync"
 
+	"repro/internal/cdc"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -20,8 +22,9 @@ import (
 // ClusterClient is the Store implementation over a simulated cluster.
 // Safe for concurrent use.
 type ClusterClient struct {
-	c    *Cluster
-	pool sync.Pool // of *cluster.Client
+	c     *Cluster
+	pool  sync.Pool // of *cluster.Client
+	views viewSet
 }
 
 var _ Store = (*ClusterClient)(nil)
@@ -214,6 +217,28 @@ func (cc *ClusterClient) QueryAt(ctx context.Context, table, group string, ts in
 	return cc.c.QueryAt(ctx, table, group, ts, q)
 }
 
+// Watch subscribes a cluster-wide changefeed: committed Put/Delete
+// events for keys in [start, end) across every tablet server owning a
+// piece of the table, each key's events in commit-timestamp order. The
+// feed spans tablet splits, live migrations and server failovers
+// (heirs are re-subscribed and replayed history deduplicated by commit
+// timestamp). Cluster feeds are not LSN-addressable — per-server LSN
+// spaces are not comparable — so fromLSN must be 0; event Cursor/LSN
+// fields are the origin server's values and cannot be used to resume.
+func (cc *ClusterClient) Watch(ctx context.Context, table, group string, start, end []byte, fromLSN uint64, opts ...WatchOptions) (ChangeFeed, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if fromLSN != 0 {
+		return nil, errors.New("logbase: cluster changefeeds are not LSN-addressable; Watch with fromLSN 0 and dedupe by event TS")
+	}
+	var o cdc.Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return cc.c.Watch(ctx, table, group, start, end, o)
+}
+
 // SnapshotAt pins a cluster-wide snapshot at ts (0 = now).
 func (cc *ClusterClient) SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot, error) {
 	if err := ctxErr(ctx); err != nil {
@@ -279,9 +304,13 @@ func (cc *ClusterClient) ScanSecondaryRange(name string, start, end []byte, fn f
 	return cl.ScanSecondaryRange(name, start, end, fn)
 }
 
-// Close releases every tablet server's background resources. The
-// cluster is not usable afterwards.
-func (cc *ClusterClient) Close() error { return cc.c.Close() }
+// Close stops this client's materialized-view feeds and releases every
+// tablet server's background resources. The cluster is not usable
+// afterwards.
+func (cc *ClusterClient) Close() error {
+	cc.views.closeAll()
+	return cc.c.Close()
+}
 
 // clusterTxn adapts a cluster transaction (tablet-addressed) to the
 // table-addressed Tx interface by routing keys through the cluster

@@ -7,6 +7,14 @@
 // the first poll prints cumulative counters, every later poll prints
 // deltas divided by the elapsed interval (writes/s, reads/s, ...)
 // alongside the instantaneous layout gauges.
+//
+// Feed mode (`logbase-cli watch <table> [group|*] [start|*] [end|*]`)
+// subscribes a changefeed with the WATCH command and prints each EVENT
+// line as it arrives. -from-lsn resumes after a previously observed
+// cursor (pass cursor+1), and a dropped connection is redialled
+// automatically, resuming from the last printed event's cursor — the
+// LSN-cursor resume contract end to end. -count bounds the events
+// printed (0 = stream forever).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,8 +37,27 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7420", "server address")
 	watch := flag.Bool("watch", false, "poll STATS and render per-server rates")
 	interval := flag.Duration("interval", time.Second, "watch polling interval")
-	count := flag.Int("count", 0, "watch polls before exiting (0 = forever)")
+	count := flag.Int("count", 0, "watch polls (or feed events) before exiting (0 = forever)")
+	fromLSN := flag.Uint64("from-lsn", 0, "feed mode: resume the changefeed after this cursor (0 = from the beginning of the retained log)")
 	flag.Parse()
+	args := flag.Args()
+
+	// `logbase-cli watch <table> ...` streams a changefeed, redialling
+	// and resuming from the last delivered cursor if the connection
+	// drops.
+	if !*watch && len(args) >= 2 && strings.EqualFold(args[0], "watch") {
+		pos := func(i int) string {
+			if i < len(args) {
+				return args[i]
+			}
+			return "*"
+		}
+		dial := func() (io.ReadWriteCloser, error) { return net.Dial("tcp", *addr) }
+		if err := watchFeed(dial, os.Stdout, args[1], pos(2), pos(3), pos(4), *fromLSN, *count); err != nil {
+			log.Fatalf("watch: %v", err)
+		}
+		return
+	}
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -38,7 +66,6 @@ func main() {
 	defer conn.Close()
 
 	// `logbase-cli stats --watch` is the spelled-out form of -watch.
-	args := flag.Args()
 	if *watch || (len(args) >= 2 && strings.EqualFold(args[0], "stats") && args[1] == "--watch") {
 		if err := watchStats(conn, os.Stdout, *interval, *count); err != nil {
 			log.Fatalf("watch: %v", err)
@@ -54,10 +81,12 @@ func repl(conn net.Conn) {
 	server.Buffer(make([]byte, 1<<20), 1<<20)
 	stdin := bufio.NewScanner(os.Stdin)
 
-	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY CHECKPOINT COMPACT STATS QUIT")
+	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY WATCH MVIEW CHECKPOINT COMPACT STATS QUIT")
 	fmt.Println("  SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>] [PREFIX <p>]")
 	fmt.Println("       [FILTER KEY|VAL PREFIX|CONTAINS <op>] [FILTER KEY|VAL RANGE <lo|*> <hi|*>]   (options run server-side)")
 	fmt.Println("  QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]")
+	fmt.Println("  WATCH <table> <group|*> <start|*> <end|*> [FROM <lsn>] [LIMIT <n>]   (use `logbase-cli watch` for auto-resume)")
+	fmt.Println("  MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY <n>] | MVIEW QUERY <name> | MVIEW STATS <name>")
 	for {
 		fmt.Print("> ")
 		if !stdin.Scan() {
@@ -72,13 +101,15 @@ func repl(conn net.Conn) {
 		}
 		streaming := false
 		switch strings.ToUpper(strings.Fields(line)[0]) {
-		case "SCAN", "VERSIONS", "QUERY", "STATS":
+		case "SCAN", "VERSIONS", "QUERY", "STATS", "WATCH", "MVIEW":
 			streaming = true
 		}
 		for server.Scan() {
 			resp := server.Text()
 			fmt.Println(resp)
-			if !streaming || strings.HasPrefix(resp, "END ") || strings.HasPrefix(resp, "ERR ") {
+			// A streamed response ends with END/ERR; a single-line OK
+			// (e.g. MVIEW CREATE) is complete on its own.
+			if !streaming || strings.HasPrefix(resp, "END ") || strings.HasPrefix(resp, "ERR ") || strings.HasPrefix(resp, "OK ") {
 				break
 			}
 		}
@@ -86,6 +117,87 @@ func repl(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// reconnectDelay paces feed-mode redials after a dropped connection
+// (shortened in tests).
+var reconnectDelay = 200 * time.Millisecond
+
+// watchFeed streams a changefeed: it dials, issues WATCH, and prints
+// every EVENT line. If the connection drops mid-stream it redials and
+// resumes with FROM <last cursor>+1, so the printed stream never skips
+// or repeats an event across reconnects — the wire form of the
+// LSN-cursor resume contract. maxEvents bounds the events printed (0 =
+// forever); an ERR reply (e.g. a cursor fallen behind the compaction
+// horizon) is terminal.
+func watchFeed(dial func() (io.ReadWriteCloser, error), out io.Writer, table, group, start, end string, fromLSN uint64, maxEvents int) error {
+	next := fromLSN
+	seen := 0
+	for first := true; ; first = false {
+		if !first {
+			time.Sleep(reconnectDelay)
+		}
+		conn, err := dial()
+		if err != nil {
+			return err
+		}
+		cmd := fmt.Sprintf("WATCH %s %s %s %s", table, group, start, end)
+		if next > 0 {
+			cmd += fmt.Sprintf(" FROM %d", next)
+		}
+		if maxEvents > 0 {
+			cmd += fmt.Sprintf(" LIMIT %d", maxEvents-seen)
+		}
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			conn.Close()
+			continue // server bounced between dial and write: redial
+		}
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		done := false
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "ERR "):
+				conn.Close()
+				return fmt.Errorf("server: %s", line)
+			case strings.HasPrefix(line, "EVENT "):
+				fmt.Fprintln(out, line)
+				if cur, ok := eventCursor(line); ok {
+					next = cur + 1
+				}
+				seen++
+				if maxEvents > 0 && seen >= maxEvents {
+					done = true
+				}
+			case strings.HasPrefix(line, "END "):
+				done = done || (maxEvents > 0 && seen >= maxEvents)
+			}
+			if done {
+				break
+			}
+		}
+		conn.Close()
+		if done {
+			return nil
+		}
+		// Stream ended without satisfying the request (connection
+		// dropped): redial and resume from the cursor.
+	}
+}
+
+// eventCursor extracts the cursor column from an EVENT line
+// ("EVENT <kind> <group> <key> <ts> <lsn> <cursor> [value]").
+func eventCursor(line string) (uint64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 7 {
+		return 0, false
+	}
+	cur, err := strconv.ParseUint(fields[6], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return cur, true
 }
 
 // rateKeys are the cumulative counters rendered as per-second rates;

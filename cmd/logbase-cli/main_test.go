@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -50,5 +51,79 @@ func TestWatchStats(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "ts01") {
 		t.Errorf("second poll = %q, want server column first", lines[1])
+	}
+}
+
+// TestWatchFeedResume drives feed mode across a dropped connection: the
+// first scripted server streams two events and dies mid-stream; the
+// second must receive a WATCH that resumes FROM the last cursor + 1,
+// streams the rest, and satisfies the LIMIT.
+func TestWatchFeedResume(t *testing.T) {
+	old := reconnectDelay
+	reconnectDelay = time.Millisecond
+	defer func() { reconnectDelay = old }()
+
+	cli := make([]net.Conn, 2)
+	srv := make([]net.Conn, 2)
+	for i := range cli {
+		cli[i], srv[i] = net.Pipe()
+	}
+
+	cmdCh := make(chan string, 2)
+	go func() {
+		// First connection: stream events with cursors 5 and 6, then
+		// drop without END — the client must redial and resume.
+		rd := bufio.NewScanner(srv[0])
+		rd.Scan()
+		cmdCh <- rd.Text()
+		fmt.Fprintln(srv[0], "EVENT PUT views /a 1 5 5 v1")
+		fmt.Fprintln(srv[0], "EVENT PUT views /b 2 6 6 v2")
+		srv[0].Close()
+
+		// Second connection: the resumed WATCH finishes the stream.
+		rd = bufio.NewScanner(srv[1])
+		rd.Scan()
+		cmdCh <- rd.Text()
+		fmt.Fprintln(srv[1], "EVENT DELETE views /a 3 7 7")
+		fmt.Fprintln(srv[1], "END 1")
+		srv[1].Close()
+	}()
+
+	dials := 0
+	dial := func() (io.ReadWriteCloser, error) {
+		if dials >= len(cli) {
+			return nil, fmt.Errorf("unexpected dial %d", dials+1)
+		}
+		dials++
+		return cli[dials-1], nil
+	}
+
+	var out bytes.Buffer
+	if err := watchFeed(dial, &out, "pages", "views", "*", "*", 5, 3); err != nil {
+		t.Fatalf("watchFeed: %v", err)
+	}
+	cmds := []string{<-cmdCh, <-cmdCh}
+
+	if want := "WATCH pages views * * FROM 5 LIMIT 3"; cmds[0] != want {
+		t.Errorf("first command = %q, want %q", cmds[0], want)
+	}
+	// Cursor 6 was the last delivered event, so the resume must start
+	// FROM 7 and only ask for the single missing event.
+	if want := "WATCH pages views * * FROM 7 LIMIT 1"; cmds[1] != want {
+		t.Errorf("resume command = %q, want %q", cmds[1], want)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	wantLines := []string{
+		"EVENT PUT views /a 1 5 5 v1",
+		"EVENT PUT views /b 2 6 6 v2",
+		"EVENT DELETE views /a 3 7 7",
+	}
+	if len(lines) != len(wantLines) {
+		t.Fatalf("got %d lines %q, want %d", len(lines), lines, len(wantLines))
+	}
+	for i := range wantLines {
+		if lines[i] != wantLines[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], wantLines[i])
+		}
 	}
 }

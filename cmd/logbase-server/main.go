@@ -12,6 +12,10 @@
 //	     [PREFIX <p>] [FILTER KEY|VAL PREFIX|CONTAINS <op>]
 //	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>]
 //	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
+//	WATCH <table> <group|*> <start|*> <end|*> [FROM <lsn>] [LIMIT <n>]
+//	MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY <prefix>]
+//	MVIEW QUERY <name>
+//	MVIEW STATS <name>
 //	STATS | COMPACT | CHECKPOINT | QUIT
 //
 // SCAN options ride the wire to the tablet servers: limits, reverse
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	logbase "repro"
+	"repro/internal/cdc"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/readopt"
@@ -87,19 +92,10 @@ func (a storeAdapter) Query(ctx context.Context, table, group, agg string, start
 	if err != nil {
 		return textproto.QueryReply{}, err
 	}
-	q := logbase.Query{
-		Filter: logbase.QueryFilter{Start: start, End: end},
-		Aggs:   []logbase.Agg{{Kind: kind, Extract: extractFor(kind)}},
-	}
-	if groupPrefix > 0 {
-		q.GroupBy = func(r logbase.Row) string {
-			if len(r.Key) <= groupPrefix {
-				return string(r.Key)
-			}
-			return string(r.Key[:groupPrefix])
-		}
-	}
-	res, err := a.st.QueryAt(ctx, table, group, ts, q)
+	// The declarative path: a registered materialized view matching the
+	// query answers it without scanning; otherwise the store runs the
+	// equivalent snapshot scan.
+	res, err := a.st.AggQuery(ctx, table, group, kind, start, end, ts, groupPrefix)
 	if err != nil {
 		return textproto.QueryReply{}, err
 	}
@@ -112,13 +108,61 @@ func (a storeAdapter) Query(ctx context.Context, table, group, agg string, start
 	return rep, nil
 }
 
-// extractFor picks the value projection: COUNT counts every row, the
-// numeric aggregates parse the row value as a decimal number.
-func extractFor(kind logbase.AggKind) func(logbase.Row) (float64, bool) {
-	if kind == logbase.Count {
-		return nil
+// Watch passes the changefeed subscription straight through: the
+// protocol and the Store speak the same cdc.Feed.
+func (a storeAdapter) Watch(ctx context.Context, table, group string, start, end []byte, fromLSN uint64) (cdc.Feed, error) {
+	return a.st.Watch(ctx, table, group, start, end, fromLSN)
+}
+
+func (a storeAdapter) MViewCreate(ctx context.Context, name, table, group string, start, end []byte, aggs []string, groupPrefix int) error {
+	kinds := make([]logbase.AggKind, len(aggs))
+	for i, s := range aggs {
+		k, err := logbase.ParseAggKind(s)
+		if err != nil {
+			return err
+		}
+		kinds[i] = k
 	}
-	return logbase.FloatValue
+	return a.st.CreateMView(ctx, logbase.MViewSpec{
+		Name: name, Table: table, Group: group,
+		Start: start, End: end, GroupPrefix: groupPrefix, Aggs: kinds,
+	})
+}
+
+func (a storeAdapter) MViewQuery(ctx context.Context, name string) (textproto.MViewReply, error) {
+	st, err := a.st.MViewStats(name)
+	if err != nil {
+		return textproto.MViewReply{}, err
+	}
+	res, err := a.st.MViewQuery(ctx, name)
+	if err != nil {
+		return textproto.MViewReply{}, err
+	}
+	rep := textproto.MViewReply{TS: res.TS}
+	for _, k := range st.Spec.Aggs {
+		rep.Aggs = append(rep.Aggs, k.String())
+	}
+	for _, g := range res.Groups {
+		vals := make([]float64, len(st.Spec.Aggs))
+		for i, k := range st.Spec.Aggs {
+			vals[i] = g.Aggs[i].Value(k)
+		}
+		rep.Groups = append(rep.Groups, textproto.MViewGroup{Key: g.Key, Rows: g.Rows, Values: vals})
+	}
+	return rep, nil
+}
+
+func (a storeAdapter) MViewStats(ctx context.Context, name string) (textproto.MViewStatsReply, error) {
+	st, err := a.st.MViewStats(name)
+	if err != nil {
+		return textproto.MViewStatsReply{}, err
+	}
+	return textproto.MViewStatsReply{
+		Name: st.Spec.Name, Table: st.Spec.Table, Group: st.Spec.Group,
+		WatermarkLSN: st.WatermarkLSN, WatermarkTS: st.WatermarkTS,
+		Events: st.Events, SnapshotRows: st.SnapshotRows, Skipped: st.Skipped,
+		Groups: st.Groups, Keys: st.Keys,
+	}, nil
 }
 
 func (a storeAdapter) Checkpoint() error {

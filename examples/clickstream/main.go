@@ -1,12 +1,13 @@
-// Clickstream: the paper's "logging user activity" workload (§1) on a
-// simulated multi-server cluster. Events are bulk-ingested through a
-// WriteBatch (one append sweep per tablet server), keyed with
-// entity-group prefixes so one user's data stays on one tablet (§3.2);
-// push-down reads (WithPrefix / WithLimit / WithReverse / value
-// filters) are evaluated at the tablet servers so only the rows the
-// client consumes cross the wire; a cancelled context abandons a full
-// scan mid-flight; a tablet-server failure is healed by the master
-// reassigning and recovering tablets from the shared DFS (§3.8).
+// Clickstream: the paper's "logging user activity" workload (§1) as a
+// LIVE DASHBOARD. Because the log is the only repository, a dashboard
+// needs no second pipeline: a changefeed (Watch) streams every
+// committed click straight off the log — historical catch-up, then the
+// live tail — and a registered materialized view keeps the per-page
+// COUNT aggregate fresh incrementally, so the dashboard's "page totals"
+// query is answered from the view in O(groups) instead of re-scanning
+// the table. The same code runs on both backends (embedded *DB and
+// cluster *ClusterClient) through the Store interface; on the cluster
+// the dashboard keeps streaming through a tablet-server failover.
 //
 //	go run ./examples/clickstream
 package main
@@ -18,26 +19,49 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	logbase "repro"
 )
 
+// pages maps the 2-byte key prefix (the view's GROUP BY) to the page it
+// stands for. Keys are "<code>/<user>/<seq>", so all hits of one page
+// share a prefix.
+var pages = map[string]string{
+	"hm": "/home", "se": "/search", "it": "/item", "ca": "/cart", "ck": "/checkout",
+}
+
 func main() {
-	ctx := context.Background()
-	dir, err := os.MkdirTemp("", "logbase-clicks-")
+	// The identical dashboard against both deployments of the engine.
+	embedded()
+	cluster()
+}
+
+func embedded() {
+	dir, err := os.MkdirTemp("", "logbase-clicks-embedded-")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
+	db, err := logbase.Open(dir, logbase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	runDashboard("embedded", db, nil)
+}
 
-	// A 4-server cluster; each server also runs a DFS datanode, and the
-	// shared log storage is 3-way replicated. The client implements the
-	// same Store interface as an embedded DB.
+func cluster() {
+	dir, err := os.MkdirTemp("", "logbase-clicks-cluster-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
 	c, err := logbase.NewCluster(dir, logbase.ClusterConfig{
-		NumServers: 4,
+		NumServers: 3,
 		Tables: []logbase.TableSpec{
-			{Name: "events", Groups: []string{"click"}, Tablets: 8},
+			{Name: "hits", Groups: []string{"click"}, Tablets: 6},
 		},
 	})
 	if err != nil {
@@ -45,108 +69,142 @@ func main() {
 	}
 	client := logbase.NewClusterClient(c)
 	defer client.Close()
+	runDashboard("cluster", client, c)
+}
 
-	// Ingest: 50 users x 200 events, batched 500 at a time. Keys are
-	// "user/<id>/<seq>" so all of a user's events share a prefix and
-	// land on one tablet.
-	pages := []string{"/home", "/search", "/item", "/cart", "/checkout"}
-	rng := rand.New(rand.NewSource(1))
-	start := time.Now()
-	const users, perUser = 50, 200
-	batch := client.Batch()
-	for u := 0; u < users; u++ {
-		for s := 0; s < perUser; s++ {
-			key := []byte(fmt.Sprintf("user/%03d/%06d", u, s))
-			batch.Put("events", "click", key, []byte(pages[rng.Intn(len(pages))]))
-			if batch.Len() >= 500 {
-				if err := batch.Flush(ctx); err != nil {
-					log.Fatal(err)
-				}
+// runDashboard ingests bootstrap traffic, registers the per-page COUNT
+// view, subscribes the dashboard's changefeed, then streams live
+// traffic in rounds — printing each round's page-hit DELTAS straight
+// from the feed. On the cluster a tablet server dies mid-run and the
+// dashboard keeps counting.
+func runDashboard(name string, st logbase.Store, c *logbase.Cluster) {
+	ctx := context.Background()
+	fmt.Printf("=== %s dashboard ===\n", name)
+	if err := st.CreateTable("hits", "click"); err != nil {
+		log.Fatal(err)
+	}
+
+	codes := make([]string, 0, len(pages))
+	for code := range pages {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	rng := rand.New(rand.NewSource(7))
+	seq := 0
+	click := func(b *logbase.WriteBatch) {
+		code := codes[rng.Intn(len(codes))]
+		key := []byte(fmt.Sprintf("%s/%03d/%06d", code, rng.Intn(50), seq))
+		seq++
+		b.Put("hits", "click", key, []byte(pages[code]))
+	}
+
+	// Bootstrap traffic: the history the view and the feed catch up on.
+	b := st.Batch()
+	for i := 0; i < 2000; i++ {
+		click(b)
+	}
+	if err := b.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// The materialized view: COUNT grouped by the 2-byte page prefix.
+	// Bootstrap = changefeed subscription + snapshot scan; afterwards
+	// every committed click folds in incrementally off the log.
+	if err := st.CreateMView(ctx, logbase.MViewSpec{
+		Name: "pageviews", Table: "hits", Group: "click",
+		GroupPrefix: 2,
+		Aggs:        []logbase.AggKind{logbase.Count},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The dashboard's own feed, from the beginning of the retained log.
+	feed, err := st.Watch(ctx, "hits", "click", nil, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer feed.Close()
+	totals := map[string]int{}
+	deltas := map[string]int{}
+	drain := func() {
+		for {
+			evCtx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+			ev, err := feed.Next(evCtx)
+			cancel()
+			if errors.Is(err, context.DeadlineExceeded) {
+				return // idle: caught up
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			page := pages[string(ev.Key[:2])]
+			totals[page]++
+			deltas[page]++
+		}
+	}
+	printDeltas := func(label string) {
+		var line string
+		for _, code := range codes {
+			p := pages[code]
+			if deltas[p] != 0 {
+				line += fmt.Sprintf("  %s +%d (=%d)", p, deltas[p], totals[p])
+			}
+			delete(deltas, p)
+		}
+		fmt.Printf("%-22s%s\n", label+":", line)
+	}
+	drain()
+	printDeltas("catch-up")
+
+	// Live traffic in rounds: each round's events stream off the log and
+	// show up as per-page deltas.
+	for round := 1; round <= 3; round++ {
+		lb := st.Batch()
+		for i := 0; i < 500; i++ {
+			click(lb)
+		}
+		if err := lb.Flush(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if c != nil && round == 2 {
+			victim := c.LiveServers()[0]
+			fmt.Printf("killing tablet server %s mid-stream...\n", victim)
+			if err := c.KillServer(victim); err != nil {
+				log.Fatal(err)
 			}
 		}
+		drain()
+		printDeltas(fmt.Sprintf("round %d", round))
 	}
-	if err := batch.Flush(ctx); err != nil {
+
+	// The dashboard's totals query is answered FROM THE VIEW — no scan.
+	// (Wait for the view's own feed to fold in the tail first.)
+	for {
+		stats, err := st.MViewStats("pageviews")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.Events >= uint64(seq) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res, err := st.AggQuery(ctx, "hits", "click", logbase.Count, nil, nil, 0, 2)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ingested %d events across %d servers in %v\n",
-		users*perUser, len(c.LiveServers()), time.Since(start).Round(time.Millisecond))
-
-	// Session replay with push-down reads: WithPrefix routes the scan to
-	// the single tablet holding user 007, and WithLimit(5) is enforced
-	// INSIDE that tablet server — it fetches five rows from the log and
-	// stops, instead of streaming the whole session for the client to
-	// truncate.
-	var session []string
-	it := client.Scan(ctx, "events", "click", nil, nil,
-		logbase.WithPrefix([]byte("user/007/")), logbase.WithLimit(5))
-	for it.Next() {
-		session = append(session, string(it.Row().Value))
-	}
-	if err := it.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("user 007 session starts: %v\n", session)
-
-	// "Last checkout events" — reverse scan + server-side value filter:
-	// only matching rows cross the wire, newest keys first.
-	var checkouts []string
-	rev := client.Scan(ctx, "events", "click", nil, nil,
-		logbase.WithReverse(), logbase.WithLimit(3),
-		logbase.WithValueFilter(logbase.MatchContains([]byte("/checkout"))))
-	for rev.Next() {
-		checkouts = append(checkouts, string(rev.Row().Key))
-	}
-	if err := rev.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("last 3 checkout events: %v\n", checkouts)
-
-	// Funnel analytics: full scan counting page hits (the MapReduce-ish
-	// batch path, §3.6.4).
-	counts := map[string]int{}
-	full := client.FullScan(ctx, "events", "click")
-	for full.Next() {
-		counts[string(full.Row().Value)]++
-	}
-	if err := full.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("page hits: %v\n", counts)
-
-	// Cancellation: a deadline abandons the same full scan mid-flight;
-	// the iterator reports the context error and leaks nothing.
-	shortCtx, cancel := context.WithCancel(ctx)
-	aborted := client.FullScan(shortCtx, "events", "click")
-	n := 0
-	for aborted.Next() {
-		if n++; n == 100 {
-			cancel() // e.g. the request handler timed out
+	fmt.Print("view totals:        ")
+	for _, g := range res.Groups {
+		fmt.Printf("  %s=%d", pages[g.Key], g.Rows)
+		if int(g.Rows) != totals[pages[g.Key]] {
+			log.Fatalf("view says %s=%d, feed counted %d", pages[g.Key], g.Rows, totals[pages[g.Key]])
 		}
 	}
-	if err := aborted.Err(); !errors.Is(err, context.Canceled) {
-		log.Fatalf("expected context.Canceled, got %v", err)
-	}
-	aborted.Close()
-	fmt.Printf("cancelled full scan stopped after ~%d rows with %v\n", n, context.Canceled)
-
-	// Kill a tablet server: the master reassigns its tablets to the
-	// survivors and recovers the data from the dead server's log in the
-	// shared DFS. All reads keep working.
-	victim := c.LiveServers()[0]
-	fmt.Printf("killing tablet server %s...\n", victim)
-	if err := c.KillServer(victim); err != nil {
+	fmt.Println()
+	stats, err := st.MViewStats("pageviews")
+	if err != nil {
 		log.Fatal(err)
 	}
-	missing := 0
-	for u := 0; u < users; u++ {
-		key := []byte(fmt.Sprintf("user/%03d/%06d", u, perUser-1))
-		if _, err := client.Get(ctx, "events", "click", key); err != nil {
-			missing++
-		}
-	}
-	fmt.Printf("after failover: %d live servers, %d of %d probes missing\n",
-		len(c.LiveServers()), missing, users)
-	if missing > 0 {
-		log.Fatal("data lost in failover")
-	}
+	fmt.Printf("view stats:           events=%d snapshot_rows=%d groups=%d keys=%d watermark_ts=%d\n\n",
+		stats.Events, stats.SnapshotRows, stats.Groups, stats.Keys, stats.WatermarkTS)
 }

@@ -137,6 +137,7 @@ func All() []Experiment {
 		{"scan-clustered", "Clustered scan fast path vs index-driven path on a compacted log", ScanClustered},
 		{"autocompact", "Background incremental compaction holds SortedFraction under churn", AutoCompactChurn},
 		{"obs-overhead", "Observability overhead: instrumented vs disabled Put/Scan", ObsOverhead},
+		{"cdc-tail", "Changefeed: historical catch-up vs live tail off the log", CDCTail},
 	}
 }
 

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestCDCTailShape pins the changefeed cost model: catch-up pays real
+// modelled disk (it sweeps segments), the live tail stays within the
+// enforced ceiling of bare writes (the publish path never touches
+// disk), and every phase delivers its full event count.
+func TestCDCTailShape(t *testing.T) {
+	ops, err := CDCTailKeyOps(Scale{Rows: 800, Ops: 400, ValueSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]KeyOp{}
+	for _, op := range ops {
+		byName[op.Name] = op
+	}
+	catch, ok := byName["cdc-catchup"]
+	if !ok || catch.Ops != 801 { // history rows + the fixture's warm-up write
+		t.Fatalf("cdc-catchup = %+v, want 801 events", catch)
+	}
+	if catch.DiskUSPerOp <= 0 {
+		t.Errorf("catch-up reported zero modelled disk — it must sweep segments")
+	}
+	tail, base := byName["cdc-tail"], byName["cdc-writes-base"]
+	if tail.Ops != 400 || base.Ops != 400 {
+		t.Fatalf("tail/base ops = %d/%d, want 400", tail.Ops, base.Ops)
+	}
+	// CDCTailKeyOps already enforces the ceiling; re-state it here so
+	// the test names the contract.
+	if base.DiskUSPerOp > 0 && tail.DiskUSPerOp > base.DiskUSPerOp*(1+cdcTailTolerance) {
+		t.Errorf("live tail %.2f vs bare writes %.2f disk us/op: subscriber is paying I/O",
+			tail.DiskUSPerOp, base.DiskUSPerOp)
+	}
+}

@@ -210,6 +210,14 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, obsOps...)
 
+	// Changefeed: catch-up sweep cost plus the live-tail ceiling (a
+	// subscribed feed must add ~zero modelled disk over bare writes).
+	cdcOps, err := CDCTailKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cdcOps...)
+
 	// Hot-range elastic scenario: skewed single-threaded workload with
 	// deterministic balancer ticks, measuring the post-rebalance phase.
 	hr, err := hotRangeKeyOp(s)

@@ -297,6 +297,20 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 	s.installMu.Lock()
 	s.installMu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
 
+	// Changefeed truncation bookkeeping: everything this run drops (or
+	// rewrites in a cursor-changing way) raises the prune horizon, so a
+	// feed resuming at or below it is refused instead of silently
+	// missing records. lsnBound caps any commit LSN a record in the
+	// input could reference.
+	var maxDropped uint64
+	droppedWrite := func(lsn uint64) {
+		if lsn > maxDropped {
+			maxDropped = lsn
+		}
+	}
+	txnCleared := false
+	lsnBound := s.log.NextLSN()
+
 	// Registered 2PC preparations: their records are durable but
 	// deliberately not in the indexes until CommitTxn; they must be
 	// carried (TxnID intact) and their cached locations repointed.
@@ -330,10 +344,12 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 				st.RecordsIn++
 				t, ok := s.resolveTablet(rec.Table, rec.Tablet, rec.Key)
 				if !ok {
+					droppedWrite(rec.LSN)
 					continue
 				}
 				g, gerr := t.group(rec.Group)
 				if gerr != nil {
+					droppedWrite(rec.LSN)
 					continue
 				}
 				e, ok := g.tree().Get(rec.Key, rec.TS)
@@ -341,6 +357,8 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 					if rec.TxnID != 0 && regTxns[rec.TxnID] {
 						// Prepared, awaiting its commit: carry verbatim.
 						keep = append(keep, survivor{rec: rec, oldPtr: sc.Ptr(), prepared: true})
+					} else {
+						droppedWrite(rec.LSN)
 					}
 					continue // deleted, superseded, or never committed
 				}
@@ -360,8 +378,17 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 							table: rec.Table, tablet: rec.Tablet, group: rec.Group,
 							key: rec.Key, ts: rec.TS, lsn: rec.LSN, old: sc.Ptr(),
 						})
+						droppedWrite(rec.LSN)
 						continue
 					}
+				}
+				if rec.TxnID != 0 {
+					// The rewrite below clears the TxnID, silently moving
+					// the record's cursor from its commit's LSN to its own;
+					// a feed resuming in between would skip it. The commit's
+					// LSN is unknown here (it may sit in a non-input
+					// segment), so the horizon jumps to the log tip.
+					txnCleared = true
 				}
 				keep = append(keep, survivor{rec: rec, oldPtr: sc.Ptr()})
 			case wal.KindDelete, wal.KindCommit:
@@ -377,6 +404,16 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 	}
 	st.RecordsKept = len(keep)
 	st.Dropped = st.RecordsIn - st.RecordsKept
+
+	// Raise the feed prune horizon BEFORE the inputs can disappear
+	// (conservatively early: an error below leaves the horizon high,
+	// which refuses some resumable cursors but never serves a gap).
+	if txnCleared {
+		if lsnBound > 0 && lsnBound-1 > maxDropped {
+			maxDropped = lsnBound - 1
+		}
+	}
+	s.raisePruneHorizon(maxDropped)
 
 	// Cluster by (table, group, key, ts); ties (same composite key) by
 	// LSN so replay order stays deterministic. Commit records sort by

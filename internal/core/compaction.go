@@ -40,6 +40,14 @@ func (s *Server) Compact() (CompactionStats, error) {
 	// write racing into the still-open tail segment would be deleted
 	// along with the compaction input.)
 	s.log.Rotate()
+	// The whole-log rewrite vacuums tombstones and commit records and
+	// strips TxnIDs — a feed resuming anywhere inside the input could
+	// miss deletes or mis-attribute transactional cursors. The prune
+	// horizon therefore jumps past every LSN assigned so far; only
+	// from-zero re-bootstraps replay across a whole-log compaction.
+	if next := s.log.NextLSN(); next > 0 {
+		s.raisePruneHorizon(next - 1)
+	}
 	inputInfos := s.log.Segments()
 	inputSet := make(map[uint32]bool, len(inputInfos))
 	var inputNums []uint32

@@ -39,6 +39,10 @@ type serverObs struct {
 	// Compaction counters beyond the ServerStats atomics.
 	compactRepoints *obs.Counter
 	compactStalls   *obs.Counter
+
+	// Changefeed counters (events/sec derives from the counter at
+	// scrape time; feed count and lag are scrape-time gauges).
+	cdcEvents *obs.Counter
 }
 
 // newServerObs registers the server's metrics into cfg.Metrics (or a
@@ -76,6 +80,7 @@ func newServerObs(s *Server) *serverObs {
 	o.validationRejects = reg.Counter("logbase_clustered_validation_rejects_total", "clustered-scan keys rejected by MVCC index validation", sl)
 	o.compactRepoints = reg.Counter("logbase_compact_repoints_total", "index entries repointed by compaction", sl)
 	o.compactStalls = reg.Counter("logbase_compact_stalls_total", "compaction ticks stalled waiting for index recovery", sl)
+	o.cdcEvents = reg.Counter("logbase_cdc_events_total", "changefeed events delivered to consumers", sl)
 
 	// Existing atomics surfaced as scrape-time gauges: zero hot-path
 	// cost, so these register even when latency recording is disabled.
@@ -95,6 +100,11 @@ func newServerObs(s *Server) *serverObs {
 	gauge("logbase_sorted_fraction", "fraction of log bytes in sorted segments", func() float64 { return s.SortedFraction() })
 	gauge("logbase_garbage_ratio", "garbage bytes / log bytes", func() float64 { return s.CompactionInfo().GarbageRatio })
 	gauge("logbase_index_mem_bytes", "in-memory index bytes", func() float64 { return float64(s.IndexMemBytes()) })
+	gauge("logbase_cdc_feeds", "open changefeed subscriptions", func() float64 { return float64(s.cdc.count()) })
+	gauge("logbase_cdc_feed_lag_lsns", "largest LSN distance between the log tip and any feed's delivered cursor",
+		func() float64 { return float64(s.cdc.maxLag(s.log.NextLSN())) })
+	gauge("logbase_cdc_prune_horizon", "highest LSN at or below which compaction reclaimed records",
+		func() float64 { return float64(s.pruneHorizon.Load()) })
 	return o
 }
 

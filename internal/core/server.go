@@ -176,6 +176,13 @@ type Server struct {
 
 	readCache *cache.Cache
 
+	// cdc is the changefeed hub (watch.go): live subscriptions fed from
+	// the wal append hook. pruneHorizon is the highest LSN at or below
+	// which compaction may have reclaimed records — feeds cannot resume
+	// there (cdc.ErrCursorTruncated).
+	cdc          cdcHub
+	pruneHorizon atomic.Uint64
+
 	// secondary indexes (the §5 future-work extension; secondary.go).
 	secMu     sync.RWMutex
 	secondary map[string]*secondaryIndex
@@ -214,6 +221,10 @@ func NewServer(fs *dfs.DFS, id string, cfg Config) (*Server, error) {
 		readCache: cache.New(cfg.ReadCacheBytes, cfg.CachePolicy),
 	}
 	s.obs = newServerObs(s)
+	// Changefeed live tail: every durable append publishes to the hub
+	// (under the append lock, so publications are LSN-ordered). Both the
+	// direct and the group-commit path funnel through log.Append.
+	log.SetAppendHook(s.cdc.publish)
 	if cfg.GroupCommit {
 		s.batcher = wal.NewBatcher(log, cfg.GroupCommitBatch, cfg.GroupCommitDelay)
 		if !cfg.DisableMetrics {
@@ -801,6 +812,7 @@ func (s *Server) Close() error {
 			close(s.autoStop)
 			s.autoWG.Wait()
 		}
+		s.cdc.closeAll()
 	})
 	if s.batcher != nil {
 		s.batcher.Close()

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cdc"
+)
+
+// nextEvent pulls one event with a deadline so a broken feed fails the
+// test instead of hanging it.
+func nextEvent(t *testing.T, f *Feed) cdc.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ev, err := f.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return ev
+}
+
+// drainEvents pulls events until the feed errors, returning the events
+// and the terminal error.
+func drainEvents(f *Feed, max int) ([]cdc.Event, error) {
+	var evs []cdc.Event
+	for len(evs) < max {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ev, err := f.Next(ctx)
+		cancel()
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+func TestWatchCatchUpThenLive(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+	s.Write(testTablet, testGroup, []byte("alice"), 10, []byte("v1"))
+	s.Write(testTablet, testGroup, []byte("bob"), 20, []byte("v2"))
+
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer f.Close()
+
+	// Historical catch-up: the two pre-subscribe writes, in LSN order,
+	// auto-commit cursor == LSN.
+	ev1, ev2 := nextEvent(t, f), nextEvent(t, f)
+	if ev1.Kind != cdc.Put || string(ev1.Key) != "alice" || string(ev1.Value) != "v1" || ev1.TS != 10 {
+		t.Errorf("catch-up event 1 = %+v", ev1)
+	}
+	if string(ev2.Key) != "bob" || ev2.Cursor <= ev1.Cursor {
+		t.Errorf("catch-up event 2 = %+v (after %+v)", ev2, ev1)
+	}
+	if ev1.Cursor != ev1.LSN || ev2.Cursor != ev2.LSN {
+		t.Errorf("auto-commit cursors should equal LSNs: %+v %+v", ev1, ev2)
+	}
+
+	// Live tail: a write after subscribe streams with no missed gap.
+	s.Write(testTablet, testGroup, []byte("carol"), 30, []byte("v3"))
+	s.Delete(testTablet, testGroup, []byte("alice"), 40)
+	ev3, ev4 := nextEvent(t, f), nextEvent(t, f)
+	if string(ev3.Key) != "carol" || ev3.Cursor <= ev2.Cursor {
+		t.Errorf("live event = %+v", ev3)
+	}
+	if ev4.Kind != cdc.Delete || string(ev4.Key) != "alice" || ev4.TS != 40 {
+		t.Errorf("live delete = %+v", ev4)
+	}
+	if ev4.Table != "users" || ev4.Group != testGroup {
+		t.Errorf("event labels = %+v", ev4)
+	}
+}
+
+func TestWatchFilters(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+	s.Write(testTablet, testGroup, []byte("a"), 1, []byte("pa"))
+	s.Write(testTablet, "activity", []byte("a"), 2, []byte("xa"))
+	s.Write(testTablet, testGroup, []byte("b"), 3, []byte("pb"))
+	s.Write(testTablet, testGroup, []byte("c"), 4, []byte("pc"))
+
+	// Group filter.
+	f, err := s.Watch("users", "activity", nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	ev := nextEvent(t, f)
+	if ev.Group != "activity" || string(ev.Key) != "a" {
+		t.Errorf("group-filtered event = %+v", ev)
+	}
+	f.Close()
+
+	// Key range [b, c): only b, across all groups.
+	f, err = s.Watch("users", "", []byte("b"), []byte("c"), 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	ev = nextEvent(t, f)
+	if string(ev.Key) != "b" || string(ev.Value) != "pb" {
+		t.Errorf("range-filtered event = %+v", ev)
+	}
+	f.Close()
+}
+
+func TestWatchResumeFromCursor(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Write(testTablet, testGroup, []byte{byte('a' + i)}, int64(i+1), []byte("v"))
+	}
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	evs, _ := drainEvents(f, 5)
+	f.Close()
+	if len(evs) != 5 {
+		t.Fatalf("got %d catch-up events, want 5", len(evs))
+	}
+	last := evs[4].Cursor
+
+	// Resume after the last cursor: only later writes appear, exactly
+	// once.
+	s.Write(testTablet, testGroup, []byte("z"), 99, []byte("zz"))
+	f2, err := s.Watch("users", testGroup, nil, nil, last+1, cdc.Options{})
+	if err != nil {
+		t.Fatalf("resume Watch: %v", err)
+	}
+	defer f2.Close()
+	ev := nextEvent(t, f2)
+	if string(ev.Key) != "z" || ev.Cursor <= last {
+		t.Errorf("resumed event = %+v, want key z after cursor %d", ev, last)
+	}
+}
+
+func TestWatchTxnCommitCursor(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+
+	// Transaction committed before subscribe: catch-up path.
+	if err := s.ApplyTxn(7, 100, []TxnWrite{
+		{Tablet: testTablet, Group: testGroup, Key: []byte("t1"), Value: []byte("a")},
+		{Tablet: testTablet, Group: testGroup, Key: []byte("t2"), Value: []byte("b")},
+	}); err != nil {
+		t.Fatalf("ApplyTxn: %v", err)
+	}
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	ev1, ev2 := nextEvent(t, f), nextEvent(t, f)
+	if ev1.Cursor != ev2.Cursor {
+		t.Errorf("txn events should share the commit cursor: %d vs %d", ev1.Cursor, ev2.Cursor)
+	}
+	if ev1.Cursor <= ev1.LSN || ev1.Cursor <= ev2.LSN {
+		t.Errorf("commit cursor %d should be past both record LSNs %d, %d", ev1.Cursor, ev1.LSN, ev2.LSN)
+	}
+	if string(ev1.Key) != "t1" || string(ev2.Key) != "t2" {
+		t.Errorf("txn events out of record order: %q, %q", ev1.Key, ev2.Key)
+	}
+
+	// Transaction committed after subscribe: records buffer until the
+	// commit lands on the live tail.
+	if err := s.ApplyTxn(8, 200, []TxnWrite{
+		{Tablet: testTablet, Group: testGroup, Key: []byte("t3"), Value: []byte("c")},
+		{Tablet: testTablet, Group: testGroup, Key: []byte("t4"), Delete: true},
+	}); err != nil {
+		t.Fatalf("ApplyTxn: %v", err)
+	}
+	ev3, ev4 := nextEvent(t, f), nextEvent(t, f)
+	if ev3.Cursor != ev4.Cursor || ev3.Cursor <= ev1.Cursor {
+		t.Errorf("live txn cursors = %d, %d (after %d)", ev3.Cursor, ev4.Cursor, ev1.Cursor)
+	}
+	if ev4.Kind != cdc.Delete || string(ev4.Key) != "t4" {
+		t.Errorf("live txn delete = %+v", ev4)
+	}
+	f.Close()
+
+	// Resuming at commitCursor+1 replays neither txn; at commitCursor
+	// the whole second txn replays (a resume point never splits one).
+	f2, err := s.Watch("users", testGroup, nil, nil, ev3.Cursor, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	evs, _ := drainEvents(f2, 2)
+	f2.Close()
+	if len(evs) != 2 || string(evs[0].Key) != "t3" || string(evs[1].Key) != "t4" {
+		t.Errorf("resume at commit cursor replayed %+v, want t3,t4", evs)
+	}
+}
+
+func TestWatchCursorTruncated(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		s.Write(testTablet, testGroup, []byte("k"), int64(i+1), []byte{byte('0' + i)})
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if s.PruneHorizon() == 0 {
+		t.Fatal("whole-log compaction should raise the prune horizon")
+	}
+
+	// An exact resume at or below the horizon is refused...
+	if _, err := s.Watch("users", testGroup, nil, nil, 2, cdc.Options{}); !errors.Is(err, cdc.ErrCursorTruncated) {
+		t.Fatalf("Watch below horizon: err = %v, want ErrCursorTruncated", err)
+	}
+
+	// ...but fromLSN 0 still replays the retained (coalesced) history
+	// and reconstructs the current state.
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch from 0: %v", err)
+	}
+	defer f.Close()
+	var last cdc.Event
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		ev, nerr := f.Next(ctx)
+		cancel()
+		if nerr != nil {
+			break // idle: retained history exhausted
+		}
+		if ev.TS < last.TS {
+			t.Errorf("replay out of version order: %+v after %+v", ev, last)
+		}
+		last = ev
+	}
+	if string(last.Key) != "k" || string(last.Value) != "3" || last.TS != 4 {
+		t.Errorf("folded replay = %+v, want latest version (ts 4)", last)
+	}
+}
+
+func TestWatchSlowConsumer(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	defer s.Close()
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{Buffer: 4})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer f.Close()
+	// Nobody consumes: the live buffer (4) plus the feed's event channel
+	// eventually overflow and the subscription dies with a typed error.
+	for i := 0; i < 2000; i++ {
+		s.Write(testTablet, testGroup, []byte(fmt.Sprintf("k%04d", i)), int64(i+1), []byte("v"))
+	}
+	evs, err := drainEvents(f, 5000)
+	if !errors.Is(err, cdc.ErrSlowConsumer) {
+		t.Fatalf("drained %d events, err = %v, want ErrSlowConsumer", len(evs), err)
+	}
+	if len(evs) == 0 {
+		t.Error("expected some events before the overflow")
+	}
+	// The delivered prefix is gap-free: strictly ascending cursors.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cursor <= evs[i-1].Cursor {
+			t.Fatalf("cursor regression at %d: %d -> %d", i, evs[i-1].Cursor, evs[i].Cursor)
+		}
+	}
+}
+
+// TestWatchReplayMatchesOracle is the delete-semantics regression: a
+// history of writes and deletes — including versions beyond the
+// CompactKeepVersions retention window — is compacted, then replayed
+// from LSN 0; folding the replayed events must reconstruct exactly the
+// server's live state (coalesced, never wrong).
+func TestWatchReplayMatchesOracle(t *testing.T) {
+	s, _ := newTestServer(t, Config{CompactKeepVersions: 1})
+	defer s.Close()
+	type kv struct {
+		val string
+		ok  bool
+	}
+	oracle := map[string]kv{}
+	ts := int64(0)
+	put := func(k, v string) {
+		ts++
+		s.Write(testTablet, testGroup, []byte(k), ts, []byte(v))
+		oracle[k] = kv{v, true}
+	}
+	del := func(k string) {
+		ts++
+		s.Delete(testTablet, testGroup, []byte(k), ts)
+		oracle[k] = kv{"", false}
+	}
+	for i := 0; i < 6; i++ {
+		put("a", fmt.Sprintf("a%d", i)) // retention-pruned overwrites
+	}
+	put("b", "b0")
+	del("b") // tombstoned key
+	put("c", "c0")
+	del("c")
+	put("c", "c1") // deleted then rewritten
+	if _, err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+
+	f, err := s.Watch("users", testGroup, nil, nil, 0, cdc.Options{})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer f.Close()
+	replay := map[string]kv{}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		ev, nerr := f.Next(ctx)
+		cancel()
+		if nerr != nil {
+			break // idle: caught up through the retained history
+		}
+		if ev.Kind == cdc.Delete {
+			replay[string(ev.Key)] = kv{"", false}
+		} else {
+			replay[string(ev.Key)] = kv{string(ev.Value), true}
+		}
+	}
+	for k, want := range oracle {
+		got, live := replay[k]
+		if want.ok != (live && got.ok) {
+			t.Errorf("key %s: replay liveness = %v/%v, oracle %v", k, live, got.ok, want.ok)
+			continue
+		}
+		if want.ok && got.val != want.val {
+			t.Errorf("key %s: replay value %q, oracle %q", k, got.val, want.val)
+		}
+	}
+}

@@ -22,16 +22,42 @@
 // (sorted_frac, garbage_frac, per-run drops/reclaims) operators watch
 // to confirm background compaction is keeping up. COMPACT forces a
 // whole-log compaction on every server.
+//
+// WATCH subscribes a changefeed and streams it down the session:
+//
+//	WATCH <table> <group|*> <start|*> <end|*> [FROM lsn] [LIMIT n]
+//
+// One "EVENT <PUT|DELETE> <group> <key> <ts> <lsn> <cursor> [value]"
+// line per committed mutation — historical catch-up from the retained
+// log first, then a live tail. FROM resumes after a previously
+// observed cursor (embedded backend; pass cursor+1). The stream ends
+// with "END <n>" after LIMIT events; without LIMIT it runs until the
+// client disconnects. A resume below the compaction reclaim horizon
+// fails with an ERR naming the truncation — re-subscribe from 0.
+//
+// MVIEW manages materialized aggregate views:
+//
+//	MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY n]
+//	MVIEW QUERY <name>
+//	MVIEW STATS <name>
+//
+// CREATE bootstraps the view (snapshot scan + changefeed) and returns
+// once it is registered; QUERY answers "AGG <group> <op> <value>
+// rows=<n>" per group × aggregate from the incrementally maintained
+// state (no scan), ending "END <groups> <watermark-ts>"; STATS reports
+// the view's watermark and apply counters as one STAT line.
 package textproto
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"repro/internal/cdc"
 	"repro/internal/obs"
 	"repro/internal/readopt"
 )
@@ -72,6 +98,49 @@ type Store interface {
 	// Compact runs whole-log compaction on every tablet server (the
 	// COMPACT command).
 	Compact(ctx context.Context) error
+	// Watch subscribes a changefeed (the WATCH command): committed
+	// Put/Delete events for keys in [start, end) (nil = open; group ""
+	// = all column groups) from fromLSN (0 = beginning of the retained
+	// log). The session streams the feed and Closes it.
+	Watch(ctx context.Context, table, group string, start, end []byte, fromLSN uint64) (cdc.Feed, error)
+	// MViewCreate registers and bootstraps a materialized aggregate
+	// view (aggs named like QUERY operators; groupPrefix mirrors BY).
+	MViewCreate(ctx context.Context, name, table, group string, start, end []byte, aggs []string, groupPrefix int) error
+	// MViewQuery materialises a registered view without scanning.
+	MViewQuery(ctx context.Context, name string) (MViewReply, error)
+	// MViewStats reports a view's watermark and apply counters.
+	MViewStats(ctx context.Context, name string) (MViewStatsReply, error)
+}
+
+// MViewReply is a materialized view's current result: the watermark
+// timestamp it is exact at, the aggregate operator names in view
+// order, and one entry per group carrying a value per aggregate.
+type MViewReply struct {
+	TS     int64
+	Aggs   []string
+	Groups []MViewGroup
+}
+
+// MViewGroup is one group of an MViewReply; Values aligns with
+// MViewReply.Aggs.
+type MViewGroup struct {
+	Key    string
+	Rows   int64
+	Values []float64
+}
+
+// MViewStatsReply is the MVIEW STATS snapshot.
+type MViewStatsReply struct {
+	Name         string
+	Table        string
+	Group        string
+	WatermarkLSN uint64
+	WatermarkTS  int64
+	Events       uint64
+	SnapshotRows uint64
+	Skipped      uint64
+	Groups       int
+	Keys         int
 }
 
 // StatsSnapshot is one tablet server's STATS line.
@@ -320,6 +389,167 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 			}
 			if err == nil {
 				err = reply("END %d %d", len(rep.Groups), rep.TS)
+			}
+		case cmd == "WATCH" && len(fields) >= 5:
+			// WATCH <table> <group|*> <start|*> <end|*> [FROM lsn] [LIMIT n]
+			// streams one EVENT line per committed mutation: catch-up
+			// through the retained log, then the live tail. Without LIMIT
+			// the stream runs until the client disconnects (each EVENT is
+			// flushed, so a closed peer surfaces as a write error).
+			args := strings.Fields(line)
+			group := args[2]
+			if group == "*" {
+				group = ""
+			}
+			var start, end []byte
+			if args[3] != "*" {
+				start = []byte(args[3])
+			}
+			if args[4] != "*" {
+				end = []byte(args[4])
+			}
+			var fromLSN uint64
+			limit := 0
+			bad := ""
+			rest := args[5:]
+			for len(rest) > 0 && bad == "" {
+				switch kw := strings.ToUpper(rest[0]); kw {
+				case "FROM", "LIMIT":
+					if len(rest) < 2 {
+						bad = kw + " needs a value"
+						break
+					}
+					v, perr := strconv.ParseUint(rest[1], 10, 64)
+					if perr != nil {
+						bad = "bad " + kw + " value " + rest[1]
+						break
+					}
+					if kw == "FROM" {
+						fromLSN = v
+					} else {
+						limit = int(v)
+					}
+					rest = rest[2:]
+				default:
+					bad = "unexpected operand " + rest[0]
+				}
+			}
+			if bad != "" {
+				err = reply("ERR %s", bad)
+				break
+			}
+			feed, werr := db.Watch(ctx, args[1], group, start, end, fromLSN)
+			if werr != nil {
+				err = reply("ERR %v", werr)
+				break
+			}
+			n := 0
+			var ferr error
+			for limit <= 0 || n < limit {
+				var ev cdc.Event
+				if ev, ferr = feed.Next(ctx); ferr != nil {
+					break
+				}
+				if ev.Kind == cdc.Delete {
+					err = reply("EVENT DELETE %s %s %d %d %d", ev.Group, ev.Key, ev.TS, ev.LSN, ev.Cursor)
+				} else {
+					err = reply("EVENT PUT %s %s %d %d %d %s", ev.Group, ev.Key, ev.TS, ev.LSN, ev.Cursor, ev.Value)
+				}
+				if err != nil {
+					break
+				}
+				n++
+			}
+			feed.Close()
+			if err == nil {
+				if ferr != nil && !errors.Is(ferr, cdc.ErrFeedClosed) {
+					err = reply("ERR %v", ferr)
+				} else {
+					err = reply("END %d", n)
+				}
+			}
+		case cmd == "MVIEW" && len(fields) >= 3:
+			args := strings.Fields(line)
+			switch sub := strings.ToUpper(args[1]); {
+			case sub == "CREATE" && len(args) >= 6:
+				// MVIEW CREATE <name> <table> <group> <agg[,agg...]>
+				// [start|*] [end|*] [BY n]
+				name, table, group := args[2], args[3], args[4]
+				aggs := strings.Split(strings.ToUpper(args[5]), ",")
+				var start, end []byte
+				prefix := 0
+				rest := args[6:]
+				bad := ""
+				for pos := 0; pos < 2 && len(rest) > 0; pos++ {
+					if strings.ToUpper(rest[0]) == "BY" {
+						break
+					}
+					if rest[0] != "*" {
+						if pos == 0 {
+							start = []byte(rest[0])
+						} else {
+							end = []byte(rest[0])
+						}
+					}
+					rest = rest[1:]
+				}
+				if len(rest) > 0 && strings.ToUpper(rest[0]) == "BY" {
+					if len(rest) < 2 {
+						bad = "BY needs a value"
+					} else if v, perr := strconv.Atoi(rest[1]); perr != nil {
+						bad = "bad prefix length " + rest[1]
+					} else {
+						prefix = v
+						rest = rest[2:]
+					}
+				}
+				if bad == "" && len(rest) > 0 {
+					bad = "unexpected operand " + rest[0]
+				}
+				if bad != "" {
+					err = reply("ERR %s", bad)
+					break
+				}
+				if cerr := db.MViewCreate(ctx, name, table, group, start, end, aggs, prefix); cerr != nil {
+					err = reply("ERR %v", cerr)
+				} else {
+					err = reply("OK view %s", name)
+				}
+			case sub == "QUERY" && len(args) >= 3:
+				rep, qerr := db.MViewQuery(ctx, args[2])
+				if qerr != nil {
+					err = reply("ERR %v", qerr)
+					break
+				}
+				for _, g := range rep.Groups {
+					key := g.Key
+					if key == "" {
+						key = "-"
+					}
+					for i, op := range rep.Aggs {
+						if err = reply("AGG %s %s %g rows=%d", key, op, g.Values[i], g.Rows); err != nil {
+							break
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+				if err == nil {
+					err = reply("END %d %d", len(rep.Groups), rep.TS)
+				}
+			case sub == "STATS" && len(args) >= 3:
+				st, serr := db.MViewStats(ctx, args[2])
+				if serr != nil {
+					err = reply("ERR %v", serr)
+					break
+				}
+				if err = reply("STAT %s watermark_lsn=%d watermark_ts=%d events=%d snapshot_rows=%d skipped=%d groups=%d keys=%d",
+					st.Name, st.WatermarkLSN, st.WatermarkTS, st.Events, st.SnapshotRows, st.Skipped, st.Groups, st.Keys); err == nil {
+					err = reply("END 1")
+				}
+			default:
+				err = reply("ERR unknown or malformed MVIEW subcommand %q", line)
 			}
 		case cmd == "CHECKPOINT":
 			if cerr := db.Checkpoint(); cerr != nil {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cdc"
 	"repro/internal/obs"
 	"repro/internal/readopt"
 )
@@ -19,6 +20,17 @@ type fakeStore struct {
 	tables map[string]map[string]map[string][]versioned // table -> group -> key
 	clock  int64
 	reg    *obs.Registry // nil = backend without a registry
+	events []cdc.Event   // every committed mutation, in LSN order
+	views  map[string]*fakeView
+}
+
+// fakeView records an MVIEW CREATE; queries are computed live from the
+// table state (the fake has no incremental maintenance to test).
+type fakeView struct {
+	table, group string
+	start, end   []byte
+	aggs         []string
+	prefix       int
 }
 
 type versioned struct {
@@ -62,7 +74,23 @@ func (f *fakeStore) Put(_ context.Context, table, group string, key, value []byt
 	}
 	f.clock++
 	g[string(key)] = append(g[string(key)], versioned{f.clock, append([]byte(nil), value...)})
+	f.record(cdc.Put, table, group, key, value)
 	return nil
+}
+
+// record appends a changefeed event mirroring a committed mutation.
+func (f *fakeStore) record(kind cdc.EventKind, table, group string, key, value []byte) {
+	lsn := uint64(len(f.events) + 1)
+	f.events = append(f.events, cdc.Event{
+		Kind:   kind,
+		Table:  table,
+		Group:  group,
+		Key:    append([]byte(nil), key...),
+		Value:  append([]byte(nil), value...),
+		TS:     f.clock,
+		LSN:    lsn,
+		Cursor: lsn,
+	})
 }
 
 func (f *fakeStore) Get(_ context.Context, table, group string, key []byte) (Row, error) {
@@ -114,6 +142,7 @@ func (f *fakeStore) Delete(_ context.Context, table, group string, key []byte) e
 		return err
 	}
 	delete(g, string(key))
+	f.record(cdc.Delete, table, group, key, nil)
 	return nil
 }
 
@@ -243,6 +272,102 @@ func (f *fakeStore) Stats(context.Context) ([]StatsSnapshot, error) {
 }
 
 func (f *fakeStore) Metrics() *obs.Registry { return f.reg }
+
+// Watch replays the recorded events matching the filter and then ends
+// the feed — a finite stream, so WATCH sessions terminate with END.
+func (f *fakeStore) Watch(_ context.Context, table, group string, start, end []byte, fromLSN uint64) (cdc.Feed, error) {
+	if _, ok := f.tables[table]; !ok {
+		return nil, fmt.Errorf("no table %s", table)
+	}
+	ff := &fakeFeed{}
+	for _, ev := range f.events {
+		if ev.Table != table || ev.Cursor < fromLSN {
+			continue
+		}
+		if group != "" && ev.Group != group {
+			continue
+		}
+		if len(start) > 0 && string(ev.Key) < string(start) {
+			continue
+		}
+		if len(end) > 0 && string(ev.Key) >= string(end) {
+			continue
+		}
+		ff.events = append(ff.events, ev)
+	}
+	return ff, nil
+}
+
+// fakeFeed is a finite replay of recorded events.
+type fakeFeed struct {
+	events []cdc.Event
+	pos    int
+	closed bool
+}
+
+func (ff *fakeFeed) Next(ctx context.Context) (cdc.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return cdc.Event{}, err
+	}
+	if ff.closed || ff.pos >= len(ff.events) {
+		return cdc.Event{}, cdc.ErrFeedClosed
+	}
+	ev := ff.events[ff.pos]
+	ff.pos++
+	return ev, nil
+}
+
+func (ff *fakeFeed) Close() error {
+	ff.closed = true
+	return nil
+}
+
+func (f *fakeStore) MViewCreate(_ context.Context, name, table, group string, start, end []byte, aggs []string, groupPrefix int) error {
+	if _, err := f.groupMap(table, group); err != nil {
+		return err
+	}
+	if _, exists := f.views[name]; exists {
+		return fmt.Errorf("view %s already exists", name)
+	}
+	if f.views == nil {
+		f.views = map[string]*fakeView{}
+	}
+	f.views[name] = &fakeView{table: table, group: group, start: start, end: end, aggs: aggs, prefix: groupPrefix}
+	return nil
+}
+
+func (f *fakeStore) MViewQuery(ctx context.Context, name string) (MViewReply, error) {
+	v, ok := f.views[name]
+	if !ok {
+		return MViewReply{}, fmt.Errorf("no view %s", name)
+	}
+	rep := MViewReply{TS: f.clock, Aggs: v.aggs}
+	for i, agg := range v.aggs {
+		qr, err := f.Query(ctx, v.table, v.group, agg, v.start, v.end, 0, v.prefix)
+		if err != nil {
+			return MViewReply{}, err
+		}
+		for j, g := range qr.Groups {
+			if i == 0 {
+				rep.Groups = append(rep.Groups, MViewGroup{Key: g.Key, Rows: g.Rows})
+			}
+			rep.Groups[j].Values = append(rep.Groups[j].Values, g.Value)
+		}
+	}
+	return rep, nil
+}
+
+func (f *fakeStore) MViewStats(_ context.Context, name string) (MViewStatsReply, error) {
+	v, ok := f.views[name]
+	if !ok {
+		return MViewStatsReply{}, fmt.Errorf("no view %s", name)
+	}
+	return MViewStatsReply{
+		Name: name, Table: v.table, Group: v.group,
+		WatermarkLSN: uint64(len(f.events)), WatermarkTS: f.clock,
+		Events: uint64(len(f.events)), Groups: 1, Keys: 1,
+	}, nil
+}
 
 // session runs a script through Serve and returns response lines.
 func session(t *testing.T, db Store, script ...string) []string {
@@ -552,5 +677,136 @@ func TestParseStatLine(t *testing.T) {
 	}
 	if _, _, ok := ParseStatLine(""); ok {
 		t.Error("empty line accepted")
+	}
+}
+
+func TestWatchCommand(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE pages views",
+		"PUT pages views /a 1",
+		"PUT pages views /b 2",
+		"DEL pages views /a",
+		"WATCH pages views * *",
+	)
+	want := []string{
+		"OK table pages",
+		"OK", "OK", "OK",
+		"EVENT PUT views /a 1 1 1 1",
+		"EVENT PUT views /b 2 2 2 2",
+		"EVENT DELETE views /a 2 3 3",
+		"END 3",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestWatchFromAndLimit(t *testing.T) {
+	db := newFake()
+	setup := []string{
+		"CREATE pages views",
+		"PUT pages views /a 1",
+		"PUT pages views /b 2",
+		"DEL pages views /a",
+	}
+
+	// FROM resumes after a cursor: only events with cursor >= 2.
+	lines := session(t, db, append(setup, "WATCH pages * * * FROM 2")...)
+	tail := lines[len(setup):]
+	want := []string{
+		"EVENT PUT views /b 2 2 2 2",
+		"EVENT DELETE views /a 2 3 3",
+		"END 2",
+	}
+	if len(tail) != len(want) {
+		t.Fatalf("FROM 2: got %v, want %v", tail, want)
+	}
+	for i := range want {
+		if tail[i] != want[i] {
+			t.Errorf("FROM 2 line %d = %q, want %q", i, tail[i], want[i])
+		}
+	}
+
+	// LIMIT bounds the stream.
+	lines = session(t, newFakeFrom(t, setup), "WATCH pages * * * LIMIT 1")
+	if len(lines) != 2 || lines[0] != "EVENT PUT views /a 1 1 1 1" || lines[1] != "END 1" {
+		t.Errorf("LIMIT 1: got %v", lines)
+	}
+
+	// Key-range filter.
+	lines = session(t, newFakeFrom(t, setup), "WATCH pages * /b *")
+	if len(lines) != 2 || lines[0] != "EVENT PUT views /b 2 2 2 2" || lines[1] != "END 1" {
+		t.Errorf("range [/b, nil): got %v", lines)
+	}
+
+	// Malformed operand and unknown table are ERRs, not stream output.
+	lines = session(t, newFakeFrom(t, setup), "WATCH pages * * * FROM x")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Errorf("bad FROM: got %v", lines)
+	}
+	lines = session(t, newFakeFrom(t, setup), "WATCH nosuch * * *")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Errorf("unknown table: got %v", lines)
+	}
+}
+
+// newFakeFrom builds a fresh fake store pre-loaded via a script.
+func newFakeFrom(t *testing.T, script []string) *fakeStore {
+	t.Helper()
+	db := newFake()
+	session(t, db, script...)
+	return db
+}
+
+func TestMViewCommands(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE pages views",
+		"PUT pages views /a/x 1",
+		"PUT pages views /a/y 2",
+		"PUT pages views /b/z 3",
+		"MVIEW CREATE pv pages views COUNT,SUM * * BY 2",
+		"MVIEW QUERY pv",
+		"MVIEW STATS pv",
+	)
+	want := []string{
+		"OK table pages",
+		"OK", "OK", "OK",
+		"OK view pv",
+		"AGG /a COUNT 2 rows=2",
+		"AGG /a SUM 3 rows=2",
+		"AGG /b COUNT 1 rows=1",
+		"AGG /b SUM 3 rows=1",
+		"END 2 3",
+		"STAT pv watermark_lsn=3 watermark_ts=3 events=3 snapshot_rows=0 skipped=0 groups=1 keys=1",
+		"END 1",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+
+	// Duplicate name, unknown view, malformed subcommand.
+	lines = session(t, db, "MVIEW CREATE pv pages views COUNT")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Errorf("duplicate view: got %v", lines)
+	}
+	lines = session(t, db, "MVIEW QUERY nada")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Errorf("unknown view: got %v", lines)
+	}
+	lines = session(t, db, "MVIEW BOGUS pv")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Errorf("bad subcommand: got %v", lines)
 	}
 }

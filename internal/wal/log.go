@@ -68,6 +68,7 @@ type Log struct {
 	nextSeg uint32
 	nextLSN uint64
 	readers map[uint32]*dfs.Reader
+	hook    func([]Record)
 }
 
 type segState struct {
@@ -239,7 +240,25 @@ func (l *Log) Append(recs ...*Record) ([]Ptr, error) {
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	if l.hook != nil {
+		published := make([]Record, len(recs))
+		for i, r := range recs {
+			published[i] = *r
+		}
+		l.hook(published)
+	}
 	return ptrs, nil
+}
+
+// SetAppendHook installs a callback invoked with every durably appended
+// record batch, while the append lock is still held — so invocations
+// across concurrent writers are serialised in strict LSN order, which
+// is what a changefeed's live tail needs. The hook must be fast, must
+// not block, and must not call back into the Log. Pass nil to remove.
+func (l *Log) SetAppendHook(hook func([]Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = hook
 }
 
 // Rotate forces the next append into a new segment.

@@ -138,6 +138,7 @@ type DB struct {
 	tracer *obs.Tracer
 	tmu    sync.RWMutex
 	tables map[string]tableMeta
+	views  viewSet
 	opts   Options
 	dir    string
 }
@@ -599,11 +600,15 @@ func (db *DB) LogSize() int64 { return db.server.Log().Size() }
 // Server exposes the underlying tablet server for advanced use.
 func (db *DB) Server() *core.Server { return db.server }
 
-// Close releases the DB's background resources: the group-commit
-// batcher goroutine is stopped (flushing in-flight appends first).
-// Data is already durable (appends are synchronous); an explicit
-// Checkpoint before Close speeds up the next Recover. Idempotent.
-func (db *DB) Close() error { return db.server.Close() }
+// Close releases the DB's background resources: materialized-view
+// apply goroutines and the group-commit batcher are stopped (flushing
+// in-flight appends first), and open changefeeds are closed. Data is
+// already durable (appends are synchronous); an explicit Checkpoint
+// before Close speeds up the next Recover. Idempotent.
+func (db *DB) Close() error {
+	db.views.closeAll()
+	return db.server.Close()
+}
 
 // Cluster re-exports the simulated multi-server deployment.
 type Cluster = cluster.Cluster

@@ -73,6 +73,29 @@ type Store interface {
 	QueryAt(ctx context.Context, table, group string, ts int64, q Query) (QueryResult, error)
 	// SnapshotAt pins a reusable snapshot of the table at ts (0 = now).
 	SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot, error)
+	// Watch subscribes a changefeed: committed Put/Delete events for
+	// keys in [start, end) (nil = open; group "" = all column groups)
+	// streamed in commit order — historical catch-up from the retained
+	// log, then a live tail. fromLSN 0 starts at the beginning of the
+	// retained log; fromLSN > 0 resumes after a previous event's Cursor
+	// (embedded backend only — cluster feeds are not LSN-addressable
+	// across servers and reject a non-zero fromLSN). Always Close the
+	// feed.
+	Watch(ctx context.Context, table, group string, start, end []byte, fromLSN uint64, opts ...WatchOptions) (ChangeFeed, error)
+	// CreateMView registers a materialized aggregate view and
+	// bootstraps it (changefeed subscription, then snapshot scan, then
+	// incremental maintenance until Close).
+	CreateMView(ctx context.Context, spec MViewSpec) error
+	// MViewQuery materialises a registered view: every spec aggregate
+	// per group, stamped with the view's watermark timestamp.
+	MViewQuery(ctx context.Context, name string) (QueryResult, error)
+	// MViewStats snapshots a registered view's counters and watermark.
+	MViewStats(name string) (MViewStats, error)
+	// AggQuery executes the declarative aggregate form (the wire
+	// protocol's QUERY shape): answered from a matching registered
+	// materialized view when one exists at a compatible snapshot,
+	// otherwise by the snapshot scan path.
+	AggQuery(ctx context.Context, table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) (QueryResult, error)
 	// Begin starts a snapshot-isolation transaction.
 	Begin(ctx context.Context) Tx
 	// Batch returns an empty WriteBatch bound to this store.
