@@ -84,7 +84,9 @@ func repl(conn net.Conn) {
 	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY WATCH MVIEW CHECKPOINT COMPACT STATS QUIT")
 	fmt.Println("  SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>] [PREFIX <p>]")
 	fmt.Println("       [FILTER KEY|VAL PREFIX|CONTAINS <op>] [FILTER KEY|VAL RANGE <lo|*> <hi|*>]   (options run server-side)")
-	fmt.Println("  QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]")
+	fmt.Println("  QUERY <table> <group> [COUNT|SUM|MIN|MAX|AVG [start|*] [end|*]] [FROM <k>] [TO <k>] [FILTER KEY|VAL <pred>]")
+	fmt.Println("        [JOIN <table> <group> ON <ltable> <lexpr> <rexpr> [VIA <index>] [FROM <k>] [TO <k>] [FILTER ...]]")
+	fmt.Println("        [AT <ts>] [BY <prefix> | BY <table> <expr> <prefix>] [AGG <agg> <table> <expr|*>]   (exprs: KEY VAL KEY[i] VAL[i])")
 	fmt.Println("  WATCH <table> <group|*> <start|*> <end|*> [FROM <lsn>] [LIMIT <n>]   (use `logbase-cli watch` for auto-resume)")
 	fmt.Println("  MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY <n>] | MVIEW QUERY <name> | MVIEW STATS <name>")
 	for {

@@ -11,7 +11,12 @@
 //	SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>]
 //	     [PREFIX <p>] [FILTER KEY|VAL PREFIX|CONTAINS <op>]
 //	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>]
-//	QUERY <table> <group> <COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*] [AT <ts>] [BY <prefix>]
+//	QUERY <table> <group> [<COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*]]
+//	      [FILTER KEY|VAL <pred>]
+//	      [JOIN <table> <group> ON <ltable> <lexpr> <rexpr> [VIA <index>]
+//	           [FROM <k>] [TO <k>] [FILTER KEY|VAL <pred>]]
+//	      [AT <ts>] [BY <prefix> | BY <table> <expr> <prefix>]
+//	      [AGG <agg> <table> <expr|*>]
 //	WATCH <table> <group|*> <start|*> <end|*> [FROM <lsn>] [LIMIT <n>]
 //	MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY <prefix>]
 //	MVIEW QUERY <name>
@@ -39,6 +44,7 @@ import (
 	"repro/internal/cdc"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/readopt"
 	"repro/internal/textproto"
 )
@@ -87,23 +93,28 @@ func (ia iterAdapter) Row() textproto.Row { return textproto.Row(ia.it.Row()) }
 func (ia iterAdapter) Err() error         { return ia.it.Err() }
 func (ia iterAdapter) Close() error       { return ia.it.Close() }
 
-func (a storeAdapter) Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (textproto.QueryReply, error) {
-	kind, err := logbase.ParseAggKind(agg)
-	if err != nil {
-		return textproto.QueryReply{}, err
-	}
-	// The declarative path: a registered materialized view matching the
-	// query answers it without scanning; otherwise the store runs the
-	// equivalent snapshot scan.
-	res, err := a.st.AggQuery(ctx, table, group, kind, start, end, ts, groupPrefix)
+func (a storeAdapter) Exec(ctx context.Context, stmt *query.Statement) (textproto.QueryReply, error) {
+	// The unified statement path: a registered materialized view
+	// matching the statement answers it without scanning, join-free
+	// statements scatter-gather, joins run the greedy-ordered executor.
+	res, err := a.st.Exec(ctx, stmt)
 	if err != nil {
 		return textproto.QueryReply{}, err
 	}
 	rep := textproto.QueryReply{TS: res.TS}
+	for _, s := range stmt.Aggs {
+		name := s.Name
+		if name == "" {
+			name = s.Kind.String()
+		}
+		rep.Aggs = append(rep.Aggs, name)
+	}
 	for _, g := range res.Groups {
-		rep.Groups = append(rep.Groups, textproto.QueryGroup{
-			Key: g.Key, Rows: g.Rows, Value: g.Aggs[0].Value(kind),
-		})
+		vals := make([]float64, len(stmt.Aggs))
+		for i, s := range stmt.Aggs {
+			vals[i] = g.Aggs[i].Value(s.Kind)
+		}
+		rep.Groups = append(rep.Groups, textproto.QueryGroup{Key: g.Key, Rows: g.Rows, Values: vals})
 	}
 	return rep, nil
 }

@@ -189,7 +189,7 @@ func runDashboard(name string, st logbase.Store, c *logbase.Cluster) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	res, err := st.AggQuery(ctx, "hits", "click", logbase.Count, nil, nil, 0, 2)
+	res, err := st.Exec(ctx, logbase.Q("hits").Group("click").GroupBy(2).Agg(logbase.Count))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -138,6 +138,7 @@ func All() []Experiment {
 		{"autocompact", "Background incremental compaction holds SortedFraction under churn", AutoCompactChurn},
 		{"obs-overhead", "Observability overhead: instrumented vs disabled Put/Scan", ObsOverhead},
 		{"cdc-tail", "Changefeed: historical catch-up vs live tail off the log", CDCTail},
+		{"join-greedy", "Three-table equi-join: greedy planned vs worst-order naive", JoinGreedy},
 	}
 }
 

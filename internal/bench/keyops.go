@@ -210,6 +210,15 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, obsOps...)
 
+	// Join planner: greedy order + broadcast push-down vs the
+	// worst-order naive nested-loop plan on a three-table join (asserts
+	// the >=2x modelled-disk win and identical results).
+	joinOps, err := JoinKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, joinOps...)
+
 	// Changefeed: catch-up sweep cost plus the live-tail ceiling (a
 	// subscribed feed must add ~zero modelled disk over bare writes).
 	cdcOps, err := CDCTailKeyOps(s)

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ExprSrc names which half of a row an Expr projects from.
+type ExprSrc uint8
+
+const (
+	// SrcKey projects from the row key.
+	SrcKey ExprSrc = iota + 1
+	// SrcValue projects from the row value.
+	SrcValue
+)
+
+// Expr is a serializable attribute projection over a row: the whole
+// key, the whole value, or one comma-separated field of either. It is
+// the join/grouping/aggregation vocabulary of a Statement — like
+// readopt.Predicate it is data, not code, so a statement carrying
+// exprs crosses the wire unchanged.
+//
+// The zero Expr is "no projection" (IsZero reports true); aggregates
+// use it for the COUNT(*) shape.
+type Expr struct {
+	Src ExprSrc
+	// Field selects the Field'th comma-separated field (0-based);
+	// -1 projects the whole key/value.
+	Field int
+}
+
+// KeyExpr projects the whole row key.
+func KeyExpr() Expr { return Expr{Src: SrcKey, Field: -1} }
+
+// KeyField projects the i'th comma-separated field of the key.
+func KeyField(i int) Expr { return Expr{Src: SrcKey, Field: i} }
+
+// ValExpr projects the whole row value.
+func ValExpr() Expr { return Expr{Src: SrcValue, Field: -1} }
+
+// ValField projects the i'th comma-separated field of the value.
+func ValField(i int) Expr { return Expr{Src: SrcValue, Field: i} }
+
+// IsZero reports whether e is the zero "no projection" expr.
+func (e Expr) IsZero() bool { return e.Src == 0 }
+
+// WholeKey reports whether e projects the entire row key — the shape
+// whose equi-join values can be broadcast as a key-set push-down.
+func (e Expr) WholeKey() bool { return e.Src == SrcKey && e.Field < 0 }
+
+// WholeValue reports whether e projects the entire row value.
+func (e Expr) WholeValue() bool { return e.Src == SrcValue && e.Field < 0 }
+
+// Eval projects the attribute out of r. ok=false means the row has no
+// such attribute (a field index past the last separator) and behaves
+// like SQL NULL: the row joins with nothing and aggregates skip it.
+func (e Expr) Eval(r core.Row) ([]byte, bool) {
+	var b []byte
+	switch e.Src {
+	case SrcKey:
+		b = r.Key
+	case SrcValue:
+		b = r.Value
+	default:
+		return nil, false
+	}
+	if e.Field < 0 {
+		return b, true
+	}
+	field := e.Field
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i == len(b) || b[i] == ',' {
+			if field == 0 {
+				return b[start:i], true
+			}
+			field--
+			start = i + 1
+		}
+	}
+	return nil, false
+}
+
+// EncodeWire renders the expr as one wire token: KEY, VAL, KEY[i], or
+// VAL[i].
+func (e Expr) EncodeWire() string {
+	src := "KEY"
+	if e.Src == SrcValue {
+		src = "VAL"
+	}
+	if e.Field < 0 {
+		return src
+	}
+	return fmt.Sprintf("%s[%d]", src, e.Field)
+}
+
+// ParseExpr parses one wire token produced by EncodeWire.
+func ParseExpr(tok string) (Expr, error) {
+	up := strings.ToUpper(tok)
+	src, rest := ExprSrc(0), ""
+	switch {
+	case strings.HasPrefix(up, "KEY"):
+		src, rest = SrcKey, up[3:]
+	case strings.HasPrefix(up, "VAL"):
+		src, rest = SrcValue, up[3:]
+	default:
+		return Expr{}, fmt.Errorf("query: bad expr %q (want KEY, VAL, KEY[i], VAL[i])", tok)
+	}
+	if rest == "" {
+		return Expr{Src: src, Field: -1}, nil
+	}
+	if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+		return Expr{}, fmt.Errorf("query: bad expr %q", tok)
+	}
+	i, err := strconv.Atoi(rest[1 : len(rest)-1])
+	if err != nil || i < 0 {
+		return Expr{}, fmt.Errorf("query: bad expr field in %q", tok)
+	}
+	return Expr{Src: src, Field: i}, nil
+}

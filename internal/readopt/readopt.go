@@ -7,13 +7,15 @@
 // instead of dragging every row across the cluster.
 //
 // Everything here is data, not code: predicates are a small closed set
-// (prefix / contains / range) with a textual wire form, NOT Go
+// (prefix / contains / range / set) with a textual wire form, NOT Go
 // closures, which is what lets them cross a process boundary.
 package readopt
 
 import (
 	"bytes"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -27,6 +29,11 @@ const (
 	PredContains
 	// PredRange matches operands in [A, B); nil bounds are open.
 	PredRange
+	// PredSet matches operands equal to any member of Set. This is the
+	// broadcast form the join executor ships to the far side of a
+	// distributed equi-join: the small side's matched keys, evaluated on
+	// index entries at the tablet server before any log read.
+	PredSet
 )
 
 // String names the operator in the wire form (PREFIX, CONTAINS, RANGE).
@@ -38,6 +45,8 @@ func (k PredKind) String() string {
 		return "CONTAINS"
 	case PredRange:
 		return "RANGE"
+	case PredSet:
+		return "SET"
 	}
 	return fmt.Sprintf("PredKind(%d)", uint8(k))
 }
@@ -52,6 +61,9 @@ type Predicate struct {
 	// B is the range high bound (exclusive; nil = open). Unused by
 	// PredPrefix and PredContains.
 	B []byte
+	// Set holds the PredSet membership list, sorted and deduplicated by
+	// the InSet constructor. Unused by the other kinds.
+	Set [][]byte
 }
 
 // Prefix matches byte strings starting with p.
@@ -62,6 +74,24 @@ func Contains(sub []byte) *Predicate { return &Predicate{Kind: PredContains, A: 
 
 // Range matches byte strings in [lo, hi); nil bounds are open.
 func Range(lo, hi []byte) *Predicate { return &Predicate{Kind: PredRange, A: cp(lo), B: cp(hi)} }
+
+// InSet matches byte strings equal to any member of vals. The set is
+// copied, sorted, and deduplicated, so Match can binary-search and the
+// wire form is canonical regardless of the caller's ordering.
+func InSet(vals [][]byte) *Predicate {
+	set := make([][]byte, 0, len(vals))
+	for _, v := range vals {
+		set = append(set, cp(v))
+	}
+	sort.Slice(set, func(i, j int) bool { return bytes.Compare(set[i], set[j]) < 0 })
+	dedup := set[:0]
+	for _, v := range set {
+		if len(dedup) == 0 || !bytes.Equal(dedup[len(dedup)-1], v) {
+			dedup = append(dedup, v)
+		}
+	}
+	return &Predicate{Kind: PredSet, Set: dedup}
+}
 
 func cp(b []byte) []byte {
 	if b == nil {
@@ -86,8 +116,24 @@ func (p *Predicate) Match(b []byte) bool {
 			return false
 		}
 		return p.B == nil || bytes.Compare(b, p.B) < 0
+	case PredSet:
+		i := sort.Search(len(p.Set), func(i int) bool { return bytes.Compare(p.Set[i], b) >= 0 })
+		return i < len(p.Set) && bytes.Equal(p.Set[i], b)
 	}
 	return false
+}
+
+// SetBounds returns the smallest range [lo, hi) covering every member
+// of a PredSet (ok=false for other kinds or an empty set). Callers use
+// it to clamp the scan bounds shipped alongside the predicate.
+func (p *Predicate) SetBounds() (lo, hi []byte, ok bool) {
+	if p == nil || p.Kind != PredSet || len(p.Set) == 0 {
+		return nil, nil, false
+	}
+	lo = p.Set[0]
+	last := p.Set[len(p.Set)-1]
+	hi = append(cp(last), 0)
+	return lo, hi, true
 }
 
 // Wire form: predicates serialise to space-separated tokens with %-
@@ -114,6 +160,14 @@ func (p *Predicate) EncodeWire() string {
 			hi = EscapeOperand(p.B)
 		}
 		return "RANGE " + lo + " " + hi
+	case PredSet:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "SET %d", len(p.Set))
+		for _, v := range p.Set {
+			sb.WriteByte(' ')
+			sb.WriteString(EscapeOperand(v))
+		}
+		return sb.String()
 	}
 	return ""
 }
@@ -158,6 +212,26 @@ func ParsePredicate(tokens []string) (*Predicate, []string, error) {
 			}
 		}
 		return &Predicate{Kind: PredRange, A: lo, B: hi}, tokens[3:], nil
+	case "SET":
+		if len(tokens) < 2 {
+			return nil, tokens, fmt.Errorf("readopt: SET needs a count")
+		}
+		n, err := strconv.Atoi(tokens[1])
+		if err != nil || n < 0 {
+			return nil, tokens, fmt.Errorf("readopt: bad SET count %q", tokens[1])
+		}
+		if len(tokens) < 2+n {
+			return nil, tokens, fmt.Errorf("readopt: SET %d wants %d operands, have %d", n, n, len(tokens)-2)
+		}
+		vals := make([][]byte, 0, n)
+		for _, tok := range tokens[2 : 2+n] {
+			v, err := UnescapeOperand(tok)
+			if err != nil {
+				return nil, tokens, err
+			}
+			vals = append(vals, v)
+		}
+		return InSet(vals), tokens[2+n:], nil
 	}
 	return nil, tokens, fmt.Errorf("readopt: unknown predicate %q", tokens[0])
 }

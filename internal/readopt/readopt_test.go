@@ -23,6 +23,10 @@ func TestPredicateMatch(t *testing.T) {
 		{"range below", Range([]byte("b"), []byte("d")), []byte("a"), false},
 		{"range open low", Range(nil, []byte("d")), []byte("a"), true},
 		{"range open high", Range([]byte("b"), nil), []byte("zzz"), true},
+		{"set hit", InSet([][]byte{[]byte("c3"), []byte("a1"), []byte("b2")}), []byte("b2"), true},
+		{"set miss", InSet([][]byte{[]byte("c3"), []byte("a1")}), []byte("b2"), false},
+		{"set empty", InSet(nil), []byte("x"), false},
+		{"set dup input", InSet([][]byte{[]byte("k"), []byte("k")}), []byte("k"), true},
 	}
 	for _, c := range cases {
 		if got := c.p.Match(c.in); got != c.want {
@@ -39,6 +43,8 @@ func TestPredicateWireRoundTrip(t *testing.T) {
 		Range([]byte("a"), []byte("q")),
 		Range(nil, []byte("q")),
 		Range([]byte("a"), nil),
+		InSet([][]byte{[]byte("k one"), []byte("k*two"), {0x00, 0xff}}),
+		InSet(nil),
 	}
 	for _, p := range preds {
 		wire := p.EncodeWire()
@@ -52,6 +58,28 @@ func TestPredicateWireRoundTrip(t *testing.T) {
 		if got.Kind != p.Kind || !bytes.Equal(got.A, p.A) || !bytes.Equal(got.B, p.B) {
 			t.Fatalf("round trip %q: got %+v, want %+v", wire, got, p)
 		}
+		if len(got.Set) != len(p.Set) {
+			t.Fatalf("round trip %q: set %d members, want %d", wire, len(got.Set), len(p.Set))
+		}
+		for i := range p.Set {
+			if !bytes.Equal(got.Set[i], p.Set[i]) {
+				t.Fatalf("round trip %q: set[%d] = %q, want %q", wire, i, got.Set[i], p.Set[i])
+			}
+		}
+	}
+}
+
+func TestSetBounds(t *testing.T) {
+	p := InSet([][]byte{[]byte("m"), []byte("b"), []byte("x")})
+	lo, hi, ok := p.SetBounds()
+	if !ok || !bytes.Equal(lo, []byte("b")) || !bytes.Equal(hi, []byte("x\x00")) {
+		t.Fatalf("SetBounds = %q, %q, %v", lo, hi, ok)
+	}
+	if _, _, ok := Prefix([]byte("p")).SetBounds(); ok {
+		t.Fatal("SetBounds on PREFIX should report !ok")
+	}
+	if _, _, ok := InSet(nil).SetBounds(); ok {
+		t.Fatal("SetBounds on empty set should report !ok")
 	}
 }
 
@@ -71,6 +99,9 @@ func TestParsePredicateErrors(t *testing.T) {
 		{"NOPE", "x"},
 		{"PREFIX", "%zz"},
 		{"PREFIX", "abc%2"},
+		{"SET"},
+		{"SET", "x"},
+		{"SET", "2", "only-one"},
 	} {
 		if _, _, err := ParsePredicate(tokens); err == nil {
 			t.Errorf("ParsePredicate(%v): expected error", tokens)

@@ -35,6 +35,32 @@
 // client disconnects. A resume below the compaction reclaim horizon
 // fails with an ERR naming the truncation — re-subscribe from 0.
 //
+// QUERY runs one compiled query statement per line — the legacy
+// positional aggregate form, now extended with the statement grammar
+// (select push-down, multi-table equi-joins, expression grouping,
+// extra aggregates):
+//
+//	QUERY <table> <group> [<agg> [start|*] [end|*]]
+//	      [FROM k] [TO k] [FILTER KEY|VAL <predicate>]*
+//	      [JOIN <table> <group> ON <ltable> <lexpr> <rexpr> [VIA index]
+//	           [FROM k] [TO k] [FILTER KEY|VAL <predicate>]*]*
+//	      [AT ts] [BY n | BY <table> <expr> <n>]
+//	      [AGG <agg> <table> <expr|*>]*
+//
+// where <expr> is KEY, VAL, KEY[i] or VAL[i] (comma-separated field i)
+// and FROM/TO operands are %-escaped. The whole line is translated
+// onto the serializable statement wire form (internal/query) and
+// executed as ONE statement. In the legacy positional prefix the
+// <agg> becomes the first aggregate (COUNT counts tuples, others
+// aggregate the row value) and the raw [start] [end] bounds are
+// escaped for the caller; a statement keyword in the <agg> position
+// means the pure statement form (bring your own AGG clauses, escape
+// your own FROM/TO operands). The legacy "BY n" shorthand groups on
+// an n-byte base-key prefix in either form. Join order is chosen
+// greedily by the engine. The reply is one "AGG <group|-> <op>
+// <value> rows=<n>" line per group × aggregate, then "END <groups>
+// <ts>".
+//
 // MVIEW manages materialized aggregate views:
 //
 //	MVIEW CREATE <name> <table> <group> <agg[,agg...]> [start|*] [end|*] [BY n]
@@ -59,6 +85,7 @@ import (
 
 	"repro/internal/cdc"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/readopt"
 )
 
@@ -79,11 +106,12 @@ type Store interface {
 	// the storage layer; the session streams it to exhaustion (opt
 	// carries the row limit) and Closes it.
 	Scan(ctx context.Context, table, group string, start, end []byte, opt readopt.Options) Iterator
-	// Query runs a snapshot-consistent aggregate (COUNT/SUM/MIN/MAX/AVG;
-	// values parsed as decimal numbers) over [start, end); nil bounds
-	// are open. ts 0 means "latest"; groupPrefix > 0 groups rows by that
-	// many leading key bytes.
-	Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error)
+	// Exec runs one compiled query statement (the QUERY command):
+	// snapshot-consistent aggregates, select push-down, key-prefix or
+	// expression grouping, and multi-table equi-joins, at AtTS (0 =
+	// latest). The reply carries one value per statement aggregate per
+	// group.
+	Exec(ctx context.Context, stmt *query.Statement) (QueryReply, error)
 	Checkpoint() error
 	// Stats returns one observability snapshot per tablet server (the
 	// STATS command): operation counters, read-buffer hit rates, and
@@ -176,19 +204,23 @@ type Iterator interface {
 	Close() error
 }
 
-// QueryReply is the result of a Store.Query: the pinned snapshot
-// timestamp and one line per group (a single group keyed "" when no
-// grouping was requested).
+// QueryReply is the result of a Store.Exec: the pinned snapshot
+// timestamp, the aggregate column names in statement order, and one
+// entry per group (a single group keyed "" when no grouping was
+// requested). It mirrors MViewReply so the QUERY response generalises
+// to multi-aggregate join statements.
 type QueryReply struct {
 	TS     int64
+	Aggs   []string
 	Groups []QueryGroup
 }
 
-// QueryGroup is one aggregated group.
+// QueryGroup is one aggregated group; Values aligns with
+// QueryReply.Aggs.
 type QueryGroup struct {
-	Key   string
-	Rows  int64
-	Value float64
+	Key    string
+	Rows   int64
+	Values []float64
 }
 
 // Row mirrors logbase.Row without importing the root package (which
@@ -316,64 +348,66 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				}
 			}
 		case cmd == "QUERY" && len(fields) >= 4:
-			// QUERY <table> <group> <agg> [start|*] [end|*] [AT ts] [BY n]
-			// runs a snapshot aggregate; AT pins a historical timestamp,
-			// BY groups on an n-byte key prefix. Re-split the full line:
-			// QUERY takes more operands than the common commands.
+			// QUERY <table> <group> <agg> [start|*] [end|*] followed by
+			// the statement grammar (FILTER/JOIN/AT/BY/AGG — see the
+			// package doc). The legacy positional prefix is translated
+			// onto the statement wire form and the whole line compiles to
+			// ONE statement executed by Store.Exec. Re-split the full
+			// line: QUERY takes more operands than the common commands.
 			args := strings.Fields(line)
-			agg := strings.ToUpper(args[3])
-			var start, end []byte
-			var ts int64
-			prefix := 0
-			rest := args[4:]
-			bad := ""
-			// Positional bounds first ("*" = open); the AT/BY keywords end
-			// the positional section so a dangling keyword can never be
-			// swallowed as a key bound.
-			for pos := 0; pos < 2 && len(rest) > 0; pos++ {
-				kw := strings.ToUpper(rest[0])
-				if kw == "AT" || kw == "BY" {
-					break
-				}
-				if rest[0] != "*" {
-					if pos == 0 {
-						start = []byte(rest[0])
-					} else {
-						end = []byte(rest[0])
-					}
-				}
-				rest = rest[1:]
-			}
-			for len(rest) > 0 && bad == "" {
-				switch kw := strings.ToUpper(rest[0]); kw {
-				case "AT", "BY":
-					if len(rest) < 2 {
-						bad = kw + " needs a value"
+			tokens := []string{args[1], args[2]}
+			rest := args[3:]
+			// A statement keyword right after the group means the pure
+			// statement form: no positional aggregate or bounds, the
+			// operands already follow the statement wire grammar.
+			if !stmtKeyword(args[3]) {
+				rest = args[4:]
+				// Positional bounds first ("*" = open); any statement
+				// keyword ends the positional section so a dangling keyword
+				// can never be swallowed as a key bound. Raw bounds are
+				// escaped so they round-trip through the statement parser's
+				// unescape.
+				for pos := 0; pos < 2 && len(rest) > 0; pos++ {
+					if stmtKeyword(rest[0]) {
 						break
 					}
-					if kw == "AT" {
-						v, aerr := strconv.ParseInt(rest[1], 10, 64)
-						if aerr != nil {
-							bad = "bad timestamp " + rest[1]
+					if rest[0] != "*" {
+						kw := "FROM"
+						if pos == 1 {
+							kw = "TO"
 						}
-						ts = v
-					} else {
-						v, aerr := strconv.Atoi(rest[1])
-						if aerr != nil {
-							bad = "bad prefix length " + rest[1]
-						}
-						prefix = v
+						tokens = append(tokens, kw, readopt.EscapeOperand([]byte(rest[0])))
 					}
-					rest = rest[2:]
-				default:
-					bad = "unexpected operand " + rest[0]
+					rest = rest[1:]
 				}
+				// The positional aggregate becomes the statement's first
+				// AGG: COUNT counts tuples, everything else aggregates the
+				// row value parsed as a decimal number.
+				aggExpr := "VAL"
+				if strings.ToUpper(args[3]) == "COUNT" {
+					aggExpr = "*"
+				}
+				tokens = append(tokens, "AGG", strings.ToUpper(args[3]), args[1], aggExpr)
 			}
-			if bad != "" {
-				err = reply("ERR %s", bad)
+			for len(rest) > 0 {
+				// Legacy "BY <n>" is shorthand for grouping on an n-byte
+				// prefix of the base relation's key.
+				if strings.EqualFold(rest[0], "BY") && len(rest) >= 2 {
+					if _, aerr := strconv.Atoi(rest[1]); aerr == nil {
+						tokens = append(tokens, "BY", args[1], "KEY", rest[1])
+						rest = rest[2:]
+						continue
+					}
+				}
+				tokens = append(tokens, rest[0])
+				rest = rest[1:]
+			}
+			stmt, perr := query.ParseStatementTokens(tokens)
+			if perr != nil {
+				err = reply("ERR %v", perr)
 				break
 			}
-			rep, qerr := db.Query(ctx, fields[1], fields[2], agg, start, end, ts, prefix)
+			rep, qerr := db.Exec(ctx, stmt)
 			if qerr != nil {
 				err = reply("ERR %v", qerr)
 				break
@@ -383,7 +417,12 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				if key == "" {
 					key = "-"
 				}
-				if err = reply("AGG %s %s %g rows=%d", key, agg, g.Value, g.Rows); err != nil {
+				for i, op := range rep.Aggs {
+					if err = reply("AGG %s %s %g rows=%d", key, op, g.Values[i], g.Rows); err != nil {
+						break
+					}
+				}
+				if err != nil {
 					break
 				}
 			}
@@ -614,6 +653,16 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 		}
 	}
 	return sc.Err()
+}
+
+// stmtKeyword reports whether tok opens a statement clause — the words
+// that end QUERY's legacy positional bounds section.
+func stmtKeyword(tok string) bool {
+	switch strings.ToUpper(tok) {
+	case "AT", "BY", "JOIN", "FILTER", "FROM", "TO", "AGG":
+		return true
+	}
+	return false
 }
 
 // parseScanOptions decodes the SCAN option operands (everything after

@@ -11,7 +11,9 @@ import (
 	"testing"
 
 	"repro/internal/cdc"
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/readopt"
 )
 
@@ -208,59 +210,68 @@ func (it *sliceIter) Row() Row     { return it.rows[it.pos-1] }
 func (it *sliceIter) Err() error   { return it.err }
 func (it *sliceIter) Close() error { return it.err }
 
-func (f *fakeStore) Query(ctx context.Context, table, group, agg string, start, end []byte, ts int64, groupPrefix int) (QueryReply, error) {
-	g, err := f.groupMap(table, group)
-	if err != nil {
+// Exec runs a query statement through the real relational executor
+// (internal/query) over the fake's in-memory state, so protocol tests
+// exercise joins, grouping and multi-aggregate statements end to end.
+func (f *fakeStore) Exec(ctx context.Context, stmt *query.Statement) (QueryReply, error) {
+	if err := stmt.Validate(); err != nil {
 		return QueryReply{}, err
 	}
+	for _, r := range stmt.Rels() {
+		if _, err := f.groupMap(r.Table, r.Group); err != nil {
+			return QueryReply{}, err
+		}
+	}
+	ts := stmt.AtTS
 	if ts == 0 {
 		ts = f.clock
 	}
-	groups := map[string]*QueryGroup{}
-	for k := range g {
-		if len(start) > 0 && k < string(start) {
-			continue
-		}
-		if len(end) > 0 && k >= string(end) {
-			continue
-		}
-		row, rerr := f.GetAt(ctx, table, group, []byte(k), ts)
-		if rerr != nil {
-			continue
-		}
-		gk := ""
-		if groupPrefix > 0 && len(k) > groupPrefix {
-			gk = k[:groupPrefix]
-		} else if groupPrefix > 0 {
-			gk = k
-		}
-		qg, ok := groups[gk]
-		if !ok {
-			qg = &QueryGroup{Key: gk}
-			groups[gk] = qg
-		}
-		qg.Rows++
-		switch agg {
-		case "COUNT":
-			qg.Value++
-		case "SUM":
-			var v float64
-			fmt.Sscanf(string(row.Value), "%g", &v)
-			qg.Value += v
-		default:
-			return QueryReply{}, fmt.Errorf("fake store supports COUNT/SUM, not %s", agg)
-		}
+	res, err := query.ExecStatement(ctx, stmt, ts, &fakeFetcher{f: f, rels: stmt.Rels(), ts: ts}, query.ExecOptions{})
+	if err != nil {
+		return QueryReply{}, err
 	}
-	rep := QueryReply{TS: ts}
-	var keys []string
-	for k := range groups {
-		keys = append(keys, k)
+	rep := QueryReply{TS: res.TS}
+	for _, a := range stmt.Aggs {
+		name := a.Name
+		if name == "" {
+			name = a.Kind.String()
+		}
+		rep.Aggs = append(rep.Aggs, name)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		rep.Groups = append(rep.Groups, *groups[k])
+	for _, g := range res.Groups {
+		qg := QueryGroup{Key: g.Key, Rows: g.Rows}
+		for i, a := range stmt.Aggs {
+			qg.Values = append(qg.Values, g.Aggs[i].Value(a.Kind))
+		}
+		rep.Groups = append(rep.Groups, qg)
 	}
 	return rep, nil
+}
+
+// fakeFetcher adapts the fake's Scan to the join executor's storage
+// surface (one relation fetch under a push-down filter).
+type fakeFetcher struct {
+	f    *fakeStore
+	rels []query.Rel
+	ts   int64
+}
+
+func (ff *fakeFetcher) Fetch(ctx context.Context, rel int, flt query.Filter) ([]core.Row, error) {
+	r := ff.rels[rel]
+	it := ff.f.Scan(ctx, r.Table, r.Group, flt.Start, flt.End, readopt.Options{
+		Snapshot: ff.ts, Key: flt.Key, Value: flt.Value,
+	})
+	defer it.Close()
+	var rows []core.Row
+	for it.Next() {
+		row := it.Row()
+		rows = append(rows, core.Row{Key: row.Key, TS: row.TS, Value: row.Value})
+	}
+	return rows, it.Err()
+}
+
+func (ff *fakeFetcher) FetchSecondary(context.Context, int, string, [][]byte) ([]core.Row, error) {
+	return nil, errors.New("fake store has no secondary indexes")
 }
 
 func (f *fakeStore) Checkpoint() error { return nil }
@@ -343,7 +354,20 @@ func (f *fakeStore) MViewQuery(ctx context.Context, name string) (MViewReply, er
 	}
 	rep := MViewReply{TS: f.clock, Aggs: v.aggs}
 	for i, agg := range v.aggs {
-		qr, err := f.Query(ctx, v.table, v.group, agg, v.start, v.end, 0, v.prefix)
+		kind, err := query.ParseAggKind(agg)
+		if err != nil {
+			return MViewReply{}, err
+		}
+		stmt := query.NewStatement(v.table).Group(v.group).Range(v.start, v.end)
+		if kind == query.Count {
+			stmt.Agg(kind)
+		} else {
+			stmt.AggOf(kind, v.table, query.ValExpr())
+		}
+		if v.prefix > 0 {
+			stmt.GroupBy(v.prefix)
+		}
+		qr, err := f.Exec(ctx, stmt)
 		if err != nil {
 			return MViewReply{}, err
 		}
@@ -351,7 +375,7 @@ func (f *fakeStore) MViewQuery(ctx context.Context, name string) (MViewReply, er
 			if i == 0 {
 				rep.Groups = append(rep.Groups, MViewGroup{Key: g.Key, Rows: g.Rows})
 			}
-			rep.Groups[j].Values = append(rep.Groups[j].Values, g.Value)
+			rep.Groups[j].Values = append(rep.Groups[j].Values, g.Values[0])
 		}
 	}
 	return rep, nil
@@ -499,10 +523,58 @@ func TestQueryCommand(t *testing.T) {
 		"AGG - SUM 35 rows=3", "END 1 3",
 		"AGG - SUM 30 rows=2", "END 1 3",
 		"AGG a COUNT 2 rows=2", "AGG b COUNT 1 rows=1", "END 2 3",
-		"ERR fake store supports COUNT/SUM, not MEDIAN",
-		"ERR AT needs a value",
-		"ERR unexpected operand b1",
-		"ERR unexpected operand c",
+		`ERR query: unknown aggregate "MEDIAN"`,
+		"ERR query: AT needs a timestamp",
+		`ERR query: unexpected token "b1"`,
+		`ERR query: unexpected token "c"`,
+		"OK bye",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), strings.Join(lines, "\n"))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestQueryJoinCommand(t *testing.T) {
+	db := newFake()
+	lines := session(t, db,
+		"CREATE orders g",
+		"CREATE customers g",
+		"PUT customers g c1 east",
+		"PUT customers g c2 west",
+		"PUT orders g o1 c1,10",
+		"PUT orders g o2 c1,20",
+		"PUT orders g o3 c2,5",
+		"QUERY orders g COUNT JOIN customers g ON orders VAL[0] KEY BY customers KEY 2 AGG SUM orders VAL[1]",
+		"QUERY orders g COUNT JOIN customers g ON orders VAL[0] KEY FILTER VAL CONTAINS east",
+		"QUERY orders g JOIN customers g ON orders VAL[0] KEY BY customers KEY 2 AGG COUNT orders * AGG SUM orders VAL[1]",
+		"QUERY orders g FROM o2 AGG COUNT orders *",
+		"QUERY orders g COUNT JOIN missing g ON orders VAL[0] KEY",
+		"QUIT",
+	)
+	want := []string{
+		"OK table orders", "OK table customers",
+		"OK", "OK", "OK", "OK", "OK",
+		// Two groups (customer key), two aggregates each, statement
+		// order: the positional COUNT first, then the extra SUM.
+		"AGG c1 COUNT 2 rows=2", "AGG c1 SUM 30 rows=2",
+		"AGG c2 COUNT 1 rows=1", "AGG c2 SUM 5 rows=1",
+		"END 2 5",
+		// Value push-down on the joined relation keeps only the east
+		// customer's orders.
+		"AGG - COUNT 2 rows=2", "END 1 5",
+		// The pure statement form (no positional aggregate) answers the
+		// same join.
+		"AGG c1 COUNT 2 rows=2", "AGG c1 SUM 30 rows=2",
+		"AGG c2 COUNT 1 rows=1", "AGG c2 SUM 5 rows=1",
+		"END 2 5",
+		// Pure form, join-free: FROM right after the group.
+		"AGG - COUNT 2 rows=2", "END 1 5",
+		"ERR no table missing",
 		"OK bye",
 	}
 	if len(lines) != len(want) {

@@ -51,6 +51,10 @@ type QueryResult = query.Result
 // GroupResult is one output group of a QueryResult.
 type GroupResult = query.GroupResult
 
+// AggState is one mergeable partial aggregate of a GroupResult;
+// finalise it with Value(kind).
+type AggState = query.AggState
+
 // Snapshot is a pinned-timestamp read handle.
 type Snapshot = query.Snapshot
 

@@ -289,16 +289,14 @@ func (db *DB) MViewQuery(ctx context.Context, name string) (QueryResult, error) 
 // MViewStats snapshots a registered view's counters and watermark.
 func (db *DB) MViewStats(name string) (MViewStats, error) { return db.views.stats(name) }
 
-// AggQuery executes the declarative aggregate form (the wire
-// protocol's QUERY): if a registered materialized view matches — same
-// table, group, range and grouping, maintaining this aggregate, at a
-// compatible snapshot — it answers from the view without scanning;
-// otherwise it falls back to the snapshot scan path.
+// AggQuery executes the positional aggregate form by adapting it onto
+// the statement path: the compiled-plan view matcher answers it from a
+// registered materialized view when one matches, otherwise it falls
+// back to the snapshot scan path.
+//
+// Deprecated: build the statement with Q(table) and run it with Exec.
 func (db *DB) AggQuery(ctx context.Context, table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) (QueryResult, error) {
-	if res, ok := db.views.serve(table, group, kind, start, end, ts, groupPrefix); ok {
-		return res, nil
-	}
-	return db.QueryAt(ctx, table, group, ts, NewAggQuery(kind, start, end, groupPrefix))
+	return db.Exec(ctx, aggStatement(table, group, kind, start, end, ts, groupPrefix))
 }
 
 // --- ClusterClient (distributed backend) ------------------------------
@@ -320,11 +318,10 @@ func (cc *ClusterClient) MViewQuery(ctx context.Context, name string) (QueryResu
 // MViewStats snapshots a registered view's counters and watermark.
 func (cc *ClusterClient) MViewStats(name string) (MViewStats, error) { return cc.views.stats(name) }
 
-// AggQuery executes the declarative aggregate form, answering from a
-// matching registered view when possible (see DB.AggQuery).
+// AggQuery executes the positional aggregate form through the
+// statement path (see DB.AggQuery).
+//
+// Deprecated: build the statement with Q(table) and run it with Exec.
 func (cc *ClusterClient) AggQuery(ctx context.Context, table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) (QueryResult, error) {
-	if res, ok := cc.views.serve(table, group, kind, start, end, ts, groupPrefix); ok {
-		return res, nil
-	}
-	return cc.QueryAt(ctx, table, group, ts, NewAggQuery(kind, start, end, groupPrefix))
+	return cc.Exec(ctx, aggStatement(table, group, kind, start, end, ts, groupPrefix))
 }

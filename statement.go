@@ -1,0 +1,279 @@
+package logbase
+
+// The composable query-statement API: one serializable statement form
+// — Q(table).Range(...).Join(other, On{...}).GroupBy(n).Agg(Count) —
+// replacing the positional Query/QueryAt/AggQuery entry points, and
+// executed identically by the embedded engine, the cluster client, and
+// the textproto QUERY command. Join-free statements compile onto the
+// scatter-gather aggregate path (and are answered from a matching
+// materialized view when one is registered); statements with joins run
+// the greedy-ordered relational-algebra executor (internal/query) at
+// one pinned snapshot, broadcasting the small side's matched keys as a
+// set push-down and re-resolving routing when the cluster splits or
+// migrates tablets mid-join.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Statement is the serializable composable query form; build it with Q
+// and the chaining methods (Group, Range, FilterKey, FilterValue, At,
+// Join, GroupBy, GroupByExpr, Agg, AggOf), then run it with Store.Exec.
+type Statement = query.Statement
+
+// On is one equi-join condition (left expr on an earlier relation ==
+// right expr on the joined relation; Via names a secondary index).
+type On = query.On
+
+// Expr projects a join/grouping/aggregation attribute out of a row.
+type Expr = query.Expr
+
+// StatementFilter is the serializable per-relation select push-down.
+type StatementFilter = query.RelFilter
+
+// Q starts a query statement over table:
+//
+//	res, err := st.Exec(ctx, logbase.Q("orders").Group("g").
+//	    Range(lo, hi).
+//	    Join("customers", "g", logbase.On{Left: logbase.ValField(0), Right: logbase.KeyExpr()}).
+//	    GroupBy(4).Agg(logbase.Count))
+func Q(table string) *Statement { return query.NewStatement(table) }
+
+// Expr constructors: the whole key/value, or one comma-separated field
+// of either.
+var (
+	KeyExpr  = query.KeyExpr
+	KeyField = query.KeyField
+	ValExpr  = query.ValExpr
+	ValField = query.ValField
+)
+
+// aggStatement maps the legacy positional AggQuery form onto its
+// statement equivalent (the adapter the deprecated entry points call
+// through).
+func aggStatement(table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) *Statement {
+	stmt := Q(table).Group(group).Range(start, end).At(ts)
+	if kind == Count {
+		stmt.Agg(Count)
+	} else {
+		stmt.AggOf(kind, table, ValExpr())
+	}
+	if groupPrefix > 0 {
+		stmt.GroupBy(groupPrefix)
+	}
+	return stmt
+}
+
+// execStatement is the shared Exec implementation: validate, try the
+// materialized-view matcher, then either compile join-free statements
+// onto the scatter-gather aggregate path or run the join executor over
+// a snapshot pinned once for every relation (timestamps are issued
+// globally, so one ts is consistent across tables).
+func execStatement(ctx context.Context, st Store, views *viewSet, stmt *Statement) (QueryResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return QueryResult{}, err
+	}
+	if err := stmt.Validate(); err != nil {
+		return QueryResult{}, err
+	}
+	if len(stmt.Joins) == 0 {
+		if res, ok := views.serveStmt(stmt); ok {
+			return res, nil
+		}
+		q, err := stmt.CompileSingle()
+		if err != nil {
+			return QueryResult{}, err
+		}
+		return st.QueryAt(ctx, stmt.Base.Table, stmt.Base.Group, stmt.AtTS, q)
+	}
+	return ExecWith(ctx, st, stmt, ExecOptions{})
+}
+
+// ExecOptions tune statement execution: a forced join order and
+// switches disabling the set-predicate broadcast and the select
+// push-down. The zero value is the real engine; the overrides exist so
+// benchmarks and oracle tests can run the worst-case naive plan
+// through the identical machinery.
+type ExecOptions = query.ExecOptions
+
+// ExecWith executes a statement on st through the join executor with
+// explicit options, bypassing the materialized-view matcher and the
+// scatter-gather fast path (Store.Exec is the normal entry point).
+func ExecWith(ctx context.Context, st Store, stmt *Statement, opts ExecOptions) (QueryResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return QueryResult{}, err
+	}
+	if err := stmt.Validate(); err != nil {
+		return QueryResult{}, err
+	}
+	snap, err := st.SnapshotAt(ctx, stmt.Base.Table, stmt.AtTS)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	sf := &storeFetcher{st: st, rels: stmt.Rels(), ts: snap.TS()}
+	return query.ExecStatement(ctx, stmt, sf.ts, sf, opts)
+}
+
+// Statement fetches mirror the routing-retry discipline of the plain
+// cluster read paths (cluster/client.go): stale-routing errors re-
+// resolve and restart the relation fetch, which is exact because the
+// snapshot timestamp is pinned.
+const (
+	stmtFetchRetries = 12
+	stmtFetchBackoff = 500 * time.Microsecond
+)
+
+// retryableFetch reports whether a relation fetch failed on stale
+// routing metadata (tablet split/moved/frozen, server bounced) rather
+// than a real error.
+func retryableFetch(err error) bool {
+	return errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, cluster.ErrServerDown)
+}
+
+// storeFetcher adapts a Store to the join executor's Fetcher: each
+// relation fetch pins a fresh snapshot handle at the SAME statement
+// timestamp and streams the relation through the ordered scan path, so
+// a join side that lands mid-split simply restarts against the new
+// topology and converges.
+type storeFetcher struct {
+	st   Store
+	rels []query.Rel
+	ts   int64
+}
+
+func (sf *storeFetcher) Fetch(ctx context.Context, rel int, f query.Filter) ([]core.Row, error) {
+	r := sf.rels[rel]
+	var lastErr error
+	for attempt := 0; attempt <= stmtFetchRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * stmtFetchBackoff)
+		}
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		snap, err := sf.st.SnapshotAt(ctx, r.Table, sf.ts)
+		if err != nil {
+			if retryableFetch(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		var rows []core.Row
+		err = snap.Scan(ctx, r.Group, f, func(row core.Row) bool {
+			rows = append(rows, row)
+			return true
+		})
+		if err == nil {
+			return rows, nil
+		}
+		if !retryableFetch(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// secondarySource is the optional secondary-index surface (both *DB
+// and *ClusterClient provide it; it is not part of Store).
+type secondarySource interface {
+	LookupSecondary(name string, secKey []byte) ([]Row, error)
+}
+
+// FetchSecondary fetches join partners by registered secondary-index
+// lookups. Lookups serve the latest committed versions; rows newer
+// than the statement snapshot are re-read at the pinned timestamp, and
+// the executor re-verifies the join condition and the relation's own
+// filter on everything returned.
+func (sf *storeFetcher) FetchSecondary(ctx context.Context, rel int, index string, vals [][]byte) ([]core.Row, error) {
+	src, ok := sf.st.(secondarySource)
+	if !ok {
+		return nil, fmt.Errorf("logbase: store %T does not support secondary-index (VIA) joins", sf.st)
+	}
+	r := sf.rels[rel]
+	seen := map[string]bool{}
+	var rows []core.Row
+	for _, v := range vals {
+		got, err := src.LookupSecondary(index, v)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range got {
+			if row.TS > sf.ts {
+				pinned, err := sf.st.GetAt(ctx, r.Table, r.Group, row.Key, sf.ts)
+				if err != nil {
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					return nil, err
+				}
+				row = pinned
+			}
+			if !seen[string(row.Key)] {
+				seen[string(row.Key)] = true
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// serveStmt answers a join-free statement from a matching registered
+// materialized view — the compiled-plan form of the legacy AggQuery
+// matcher, so every entry point (Exec, AggQuery, the wire QUERY) gets
+// view answering without choosing it. A statement matches when it has
+// exactly the shape a view maintains: one aggregate over the base
+// relation (COUNT(*) or an aggregate of the whole value), no
+// predicates, and key-prefix grouping or none.
+func (vs *viewSet) serveStmt(stmt *Statement) (QueryResult, bool) {
+	if len(stmt.Joins) != 0 || len(stmt.Aggs) != 1 {
+		return QueryResult{}, false
+	}
+	f := stmt.Base.Filter
+	if f.Key != nil || f.Value != nil {
+		return QueryResult{}, false
+	}
+	a := stmt.Aggs[0]
+	if a.Table != stmt.Base.Table {
+		return QueryResult{}, false
+	}
+	if a.Kind == Count {
+		// A Count with a projection counts only rows whose projection
+		// parses numerically — not the view's row count.
+		if !a.Expr.IsZero() {
+			return QueryResult{}, false
+		}
+	} else if !a.Expr.WholeValue() {
+		return QueryResult{}, false
+	}
+	prefix := 0
+	if stmt.By != nil {
+		if stmt.By.Table != stmt.Base.Table || stmt.By.Expr != KeyExpr() || stmt.By.Prefix <= 0 {
+			return QueryResult{}, false
+		}
+		prefix = stmt.By.Prefix
+	}
+	return vs.serve(stmt.Base.Table, stmt.Base.Group, a.Kind, f.Start, f.End, stmt.AtTS, prefix)
+}
+
+// Exec executes a composable query statement (build with Q) on the
+// embedded engine.
+func (db *DB) Exec(ctx context.Context, stmt *Statement) (QueryResult, error) {
+	return execStatement(ctx, db, &db.views, stmt)
+}
+
+// Exec executes a composable query statement (build with Q) across the
+// cluster: join-free statements scatter-gather, joins pin one global
+// snapshot and fetch each relation through the routed scan path,
+// re-resolving on splits and migrations.
+func (cc *ClusterClient) Exec(ctx context.Context, stmt *Statement) (QueryResult, error) {
+	return execStatement(ctx, cc, &cc.views, stmt)
+}

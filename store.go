@@ -66,6 +66,16 @@ type Store interface {
 	// that WithReverse is ignored (the contract is log order). Always
 	// Close the iterator.
 	FullScan(ctx context.Context, table, group string, opts ...ReadOption) Iterator
+	// Exec executes a composable query statement (build with Q):
+	// select push-down, multi-table equi-joins, grouping and
+	// aggregates, compiled to one serializable plan executed
+	// identically by both backends. Join-free statements take the
+	// scatter-gather aggregate path — answered from a matching
+	// materialized view when one is registered; statements with joins
+	// run the greedy-ordered join executor at one pinned snapshot.
+	// This is the preferred query entry point; Query/QueryAt/AggQuery
+	// remain as thin adapters.
+	Exec(ctx context.Context, stmt *Statement) (QueryResult, error)
 	// Query executes a snapshot-consistent analytical query at the
 	// latest committed timestamp.
 	Query(ctx context.Context, table, group string, q Query) (QueryResult, error)
@@ -91,10 +101,13 @@ type Store interface {
 	MViewQuery(ctx context.Context, name string) (QueryResult, error)
 	// MViewStats snapshots a registered view's counters and watermark.
 	MViewStats(name string) (MViewStats, error)
-	// AggQuery executes the declarative aggregate form (the wire
-	// protocol's QUERY shape): answered from a matching registered
-	// materialized view when one exists at a compatible snapshot,
-	// otherwise by the snapshot scan path.
+	// AggQuery executes the positional aggregate form.
+	//
+	// Deprecated: build the equivalent statement with Q(table).
+	// Group(group).Range(start, end).At(ts).Agg(kind).GroupBy(prefix)
+	// and run it with Exec — AggQuery survives as a thin adapter over
+	// that path (and so still answers from matching materialized
+	// views).
 	AggQuery(ctx context.Context, table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) (QueryResult, error)
 	// Begin starts a snapshot-isolation transaction.
 	Begin(ctx context.Context) Tx
