@@ -304,6 +304,19 @@ func (cc *ClusterClient) ScanSecondaryRange(name string, start, end []byte, fn f
 	return cl.ScanSecondaryRange(name, start, end, fn)
 }
 
+// SetRetention installs a per-table retention policy on every tablet
+// server and replica, enforced by compaction; see Cluster.SetRetention.
+func (cc *ClusterClient) SetRetention(table string, p RetentionPolicy) error {
+	return cc.c.SetRetention(table, p)
+}
+
+// ReplicaStats snapshots every read replica's shipping state, keyed by
+// primary server id (empty map when the cluster runs without
+// Config.Replicas).
+func (cc *ClusterClient) ReplicaStats() map[string][]ReplicaStats {
+	return cc.c.ReplicaStats()
+}
+
 // Close stops this client's materialized-view feeds and releases every
 // tablet server's background resources. The cluster is not usable
 // afterwards.

@@ -83,7 +83,7 @@ func repl(conn net.Conn) {
 
 	fmt.Println("logbase-cli connected; commands: CREATE PUT GET GETAT VERSIONS DEL SCAN QUERY WATCH MVIEW CHECKPOINT COMPACT STATS QUIT")
 	fmt.Println("  SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>] [PREFIX <p>]")
-	fmt.Println("       [FILTER KEY|VAL PREFIX|CONTAINS <op>] [FILTER KEY|VAL RANGE <lo|*> <hi|*>]   (options run server-side)")
+	fmt.Println("       [FILTER KEY|VAL PREFIX|CONTAINS <op>] [FILTER KEY|VAL RANGE <lo|*> <hi|*>] [PRIMARY] [MAXLAG <n>]   (options run server-side)")
 	fmt.Println("  QUERY <table> <group> [COUNT|SUM|MIN|MAX|AVG [start|*] [end|*]] [FROM <k>] [TO <k>] [FILTER KEY|VAL <pred>]")
 	fmt.Println("        [JOIN <table> <group> ON <ltable> <lexpr> <rexpr> [VIA <index>] [FROM <k>] [TO <k>] [FILTER ...]]")
 	fmt.Println("        [AT <ts>] [BY <prefix> | BY <table> <expr> <prefix>] [AGG <agg> <table> <expr|*>]   (exprs: KEY VAL KEY[i] VAL[i])")
@@ -249,6 +249,23 @@ func watchStats(rw io.ReadWriter, out io.Writer, interval time.Duration, count i
 			kv := cur[srv]
 			var b strings.Builder
 			fmt.Fprintf(&b, "%-10s", srv)
+			if _, isReplica := kv["replica_applied_lsn"]; isReplica {
+				// Replica lines: shipping lag plus the per-poll deltas of
+				// the applied cursor and reads served.
+				fmt.Fprintf(&b, " lag_records=%.0f lag_seconds=%.1f watermark_ts=%.0f gen=%.0f",
+					kv["replica_lag_records"], kv["replica_lag_seconds"],
+					kv["replica_watermark_ts"], kv["replica_generation"])
+				if last, ok := prev[srv]; ok && elapsed > 0 {
+					fmt.Fprintf(&b, " applied/s=%.1f reads/s=%.1f",
+						(kv["replica_applied_lsn"]-last["replica_applied_lsn"])/elapsed,
+						(kv["replica_reads_served"]-last["replica_reads_served"])/elapsed)
+				} else {
+					fmt.Fprintf(&b, " applied_lsn=%.0f reads_served=%.0f",
+						kv["replica_applied_lsn"], kv["replica_reads_served"])
+				}
+				fmt.Fprintln(out, b.String())
+				continue
+			}
 			if last, ok := prev[srv]; ok && elapsed > 0 {
 				for _, k := range rateKeys {
 					fmt.Fprintf(&b, " %s/s=%.1f", k, (kv[k]-last[k])/elapsed)

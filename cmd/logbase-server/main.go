@@ -10,7 +10,7 @@
 //	DEL <table> <group> <key>
 //	SCAN <table> <group> <start|*> <end|*> [LIMIT <n>] [REVERSE] [AT <ts>]
 //	     [PREFIX <p>] [FILTER KEY|VAL PREFIX|CONTAINS <op>]
-//	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>]
+//	     [FILTER KEY|VAL RANGE <lo|*> <hi|*>] [PRIMARY] [MAXLAG <n>]
 //	QUERY <table> <group> [<COUNT|SUM|MIN|MAX|AVG> [start|*] [end|*]]
 //	      [FILTER KEY|VAL <pred>]
 //	      [JOIN <table> <group> ON <ltable> <lexpr> <rexpr> [VIA <index>]
@@ -204,16 +204,39 @@ func (a storeAdapter) Compact(context.Context) error {
 func (a storeAdapter) Stats(context.Context) ([]textproto.StatsSnapshot, error) {
 	switch st := a.st.(type) {
 	case *logbase.DB:
-		return []textproto.StatsSnapshot{snapshotOf("embedded", st.Server())}, nil
+		sn := snapshotOf("embedded", st.Server())
+		sn.Replicas = replicaStats(st.ReplicaStats())
+		return []textproto.StatsSnapshot{sn}, nil
 	case *logbase.ClusterClient:
 		c := st.Cluster()
+		reps := st.ReplicaStats()
 		var out []textproto.StatsSnapshot
 		for _, id := range c.LiveServers() {
-			out = append(out, snapshotOf(id, c.Server(id)))
+			sn := snapshotOf(id, c.Server(id))
+			sn.Replicas = replicaStats(reps[id])
+			out = append(out, sn)
 		}
 		return out, nil
 	}
 	return nil, nil
+}
+
+// replicaStats converts repl shipping stats to their wire form.
+func replicaStats(in []logbase.ReplicaStats) []textproto.ReplicaStat {
+	out := make([]textproto.ReplicaStat, len(in))
+	for i, r := range in {
+		out[i] = textproto.ReplicaStat{
+			Replica:     r.BaseID,
+			Generation:  r.Generation,
+			AppliedLSN:  r.AppliedLSN,
+			SourceLSN:   r.SourceLSN,
+			LagRecords:  r.LagRecords,
+			LagSeconds:  r.LagSeconds,
+			WatermarkTS: r.WatermarkTS,
+			ReadsServed: r.ReadsServed,
+		}
+	}
+	return out
 }
 
 func snapshotOf(id string, srv *core.Server) textproto.StatsSnapshot {
@@ -254,6 +277,10 @@ type serverConfig struct {
 	dir     string
 	cache   int64
 	servers int
+	// replicas is the number of WAL-shipping read replicas per tablet
+	// server (0 disables replication). Embedded and cluster backends
+	// honour it alike.
+	replicas int
 	// metricsAddr, when non-empty, serves Prometheus-text /metrics and
 	// net/http/pprof on its own listener (":0" picks a free port).
 	metricsAddr string
@@ -281,6 +308,7 @@ func startServer(cfg serverConfig) (*server, error) {
 		// server: the two backends must behave alike behind one flag.
 		c, err := logbase.NewCluster(cfg.dir, logbase.ClusterConfig{
 			NumServers:      cfg.servers,
+			Replicas:        cfg.replicas,
 			Server:          core.Config{ReadCacheBytes: cfg.cache, GroupCommit: true},
 			SlowOpLog:       slowLog,
 			SlowOpThreshold: cfg.slowOps,
@@ -289,7 +317,7 @@ func startServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 		st = logbase.NewClusterClient(c)
-		log.Printf("serving a %d-server cluster", cfg.servers)
+		log.Printf("serving a %d-server cluster (%d replicas per server)", cfg.servers, cfg.replicas)
 	} else {
 		db, err := logbase.Open(cfg.dir, logbase.Options{
 			ReadCacheBytes:  cfg.cache,
@@ -300,8 +328,14 @@ func startServer(cfg serverConfig) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
+		for i := 0; i < cfg.replicas; i++ {
+			if _, err := db.StartReplica(); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
 		st = db
-		log.Print("serving an embedded DB")
+		log.Printf("serving an embedded DB (%d replicas)", cfg.replicas)
 	}
 
 	srv := &server{st: st}
@@ -367,12 +401,13 @@ func main() {
 	dir := flag.String("dir", "./logbase-data", "data directory")
 	cache := flag.Int64("cache", 32<<20, "read buffer bytes (0 disables)")
 	servers := flag.Int("servers", 0, "tablet servers; 0 = embedded single-server DB")
+	replicas := flag.Int("replicas", 0, "WAL-shipping read replicas per tablet server (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics + pprof on this address (empty disables)")
 	slowOps := flag.Duration("slow-ops", -1, "log trace trees for ops at least this slow (0 logs every op; negative disables)")
 	flag.Parse()
 
 	srv, err := startServer(serverConfig{
-		addr: *addr, dir: *dir, cache: *cache, servers: *servers,
+		addr: *addr, dir: *dir, cache: *cache, servers: *servers, replicas: *replicas,
 		metricsAddr: *metricsAddr, slowOps: *slowOps,
 	})
 	if err != nil {

@@ -139,6 +139,7 @@ func All() []Experiment {
 		{"obs-overhead", "Observability overhead: instrumented vs disabled Put/Scan", ObsOverhead},
 		{"cdc-tail", "Changefeed: historical catch-up vs live tail off the log", CDCTail},
 		{"join-greedy", "Three-table equi-join: greedy planned vs worst-order naive", JoinGreedy},
+		{"replica-scan", "Read replicas: pinned scan offload vs primary scan under writes", ReplicaScan},
 	}
 }
 

@@ -227,6 +227,15 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, cdcOps...)
 
+	// Read replicas: catch-up sweep, the live-shipping ceiling on the
+	// write path, and the scan pair (pinned scan on the replica must
+	// charge the primary zero modelled disk).
+	repOps, err := ReplicaKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, repOps...)
+
 	// Hot-range elastic scenario: skewed single-threaded workload with
 	// deterministic balancer ticks, measuring the post-rebalance phase.
 	hr, err := hotRangeKeyOp(s)

@@ -241,6 +241,14 @@ func (b *Balancer) Tick() {
 		for _, t := range tablets {
 			sl.ops += t.Ops
 		}
+		// Read replicas are scan capacity: pinned analytical reads that
+		// would land on this primary are absorbed by its standbys, so a
+		// server with R replicas weighs in at 1/(1+R) of its reported
+		// ops — it takes proportionally more load before the balancer
+		// calls it hot.
+		if n := b.c.replicaCount(r.id); n > 0 {
+			sl.ops /= int64(1 + n)
+		}
 		loads = append(loads, sl)
 	}
 	if act := b.decide(loads, now); act != nil {

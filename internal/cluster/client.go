@@ -101,6 +101,18 @@ func (cl *Client) route(table string, key []byte) (*core.Server, string, error) 
 	}
 }
 
+// readTarget substitutes a qualifying read replica of the resolved
+// primary for a pinned snapshot read (Cluster.replicaFor): watermark
+// covers ts, healthy, within any MaxLag bound. Callers only consult it
+// on the first attempt — every retry goes straight to the primary, the
+// always-correct fallback.
+func (cl *Client) readTarget(srv *core.Server, ts int64, ro readopt.Options) *core.Server {
+	if rep := cl.c.replicaFor(srv.ID(), ts, ro); rep != nil {
+		return rep.Server()
+	}
+	return srv
+}
+
 // Stale-routing retry parameters. A split or failover invalidates the
 // cache instantly (one refresh suffices), but a live-migration cutover
 // has a window where the source already rejects mutations
@@ -166,11 +178,24 @@ func (cl *Client) Get(table, group string, key []byte) (core.Row, error) {
 	return row, err
 }
 
-// GetAt reads the row version visible at snapshot ts.
+// GetAt reads the row version visible at snapshot ts. A replica whose
+// watermark covers ts serves it (first attempt; any routing failure
+// falls back to the primary).
 func (cl *Client) GetAt(table, group string, key []byte, ts int64) (core.Row, error) {
 	cl.rpc()
 	var row core.Row
+	first := true
 	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		if first {
+			first = false
+			if rep := cl.c.replicaFor(srv.ID(), ts, readopt.Options{}); rep != nil {
+				r, rerr := rep.Server().GetAt(tablet, group, key, ts)
+				if !retryableRouting(rerr) {
+					row = r
+					return rerr
+				}
+			}
+		}
 		r, err := srv.GetAt(tablet, group, key, ts)
 		row = r
 		return err
@@ -275,6 +300,11 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
+				if attempt == 0 {
+					// Pinned scans are replica territory; retries stay on
+					// the primary.
+					srv = cl.readTarget(srv, ts, ro)
+				}
 				sent := 0
 				err = srv.ParallelScan(ctx, tab.ID, group, core.ReadScanOptions(start, end, ts, perTablet), func(rows []core.Row) error {
 					for _, r := range rows {
@@ -324,11 +354,25 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 
 // Read is the unified point read evaluated at the owning tablet server
 // (core.Server.ReadRow): the visible version at ro.Snapshot, or every
-// version with ro.AllVersions, filtered and limited server-side.
+// version with ro.AllVersions, filtered and limited server-side. Reads
+// pinned with ro.Snapshot route to a caught-up replica of the owner
+// (first attempt only); latest-timestamp reads — ro.Snapshot 0,
+// resolved inside the server — always hit the primary.
 func (cl *Client) Read(table, group string, key []byte, ro readopt.Options) ([]core.Row, error) {
 	cl.rpc()
 	var rows []core.Row
+	first := true
 	err := cl.retryStale(table, key, func(srv *core.Server, tablet string) error {
+		if first {
+			first = false
+			if rep := cl.c.replicaFor(srv.ID(), ro.Snapshot, ro); rep != nil {
+				r, rerr := rep.Server().ReadRow(tablet, group, key, ro)
+				if !retryableRouting(rerr) {
+					rows = r
+					return rerr
+				}
+			}
+		}
 		r, err := srv.ReadRow(tablet, group, key, ro)
 		rows = r
 		return err
@@ -380,6 +424,9 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
+				if attempt == 0 {
+					srv = cl.readTarget(srv, ro.Snapshot, ro)
+				}
 				stop, sent := false, 0
 				err = srv.FullScanOpts(ctx, tab.ID, group, perTablet, func(r core.Row) bool {
 					if !fn(r) {

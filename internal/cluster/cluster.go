@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -49,6 +50,12 @@ type Config struct {
 	// RPCLatency, when > 0, is slept on every client call to model the
 	// network hop.
 	RPCLatency time.Duration
+	// Replicas is the number of WAL-shipping read replicas per tablet
+	// server (internal/repl). Pinned snapshot reads whose timestamp a
+	// replica's watermark covers are served by the replica instead of
+	// the primary; a dead primary's most caught-up replica is promoted
+	// to first-class tablet server on failover. 0 disables replication.
+	Replicas int
 	// Metrics is the registry shared by every tablet server (each
 	// registers under its own {server: tsNN} label). Nil creates one;
 	// Server.Metrics, when set, takes precedence so callers can inject
@@ -95,6 +102,7 @@ type Cluster struct {
 
 	txns     *txn.Manager
 	balancer *Balancer
+	replRR   atomic.Uint32 // round-robin cursor for replica reads
 
 	metrics *obs.Registry
 	tracer  *obs.Tracer
@@ -115,9 +123,10 @@ type secondaryReg struct {
 }
 
 type serverState struct {
-	srv   *core.Server
-	sess  *coord.Session
-	alive bool
+	srv      *core.Server
+	sess     *coord.Session
+	alive    bool
+	replicas []*replicaState
 }
 
 // New builds and starts a cluster under dir.
@@ -182,12 +191,25 @@ func New(dir string, cfg Config) (*Cluster, error) {
 		}
 		c.servers[id] = &serverState{srv: srv, sess: sess, alive: true}
 	}
+	// Replicas exist before the initial tables (CreateTable mirrors
+	// tablet specs to them) but start shipping after, so no record ever
+	// precedes its tablet declaration.
+	if cfg.Replicas > 0 {
+		if err := c.newReplicas(); err != nil {
+			return nil, err
+		}
+	}
 	c.master = newMaster(c)
 	if err := c.master.start(); err != nil {
 		return nil, err
 	}
 	for _, ts := range cfg.Tables {
 		if err := c.CreateTable(ts); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Replicas > 0 {
+		if err := c.startReplicas(); err != nil {
 			return nil, err
 		}
 	}
@@ -267,6 +289,12 @@ func (c *Cluster) CreateTable(ts TableSpec) error {
 		c.tabletSpecs[tab.ID] = tab
 		c.assignments[tab.ID] = owner
 		c.servers[owner].srv.AddTablet(tab, ts.Groups)
+		// Mirror to the owner's replicas in the same critical section:
+		// the router installs below, so no record for this tablet can
+		// ship before the replicas have it declared.
+		for _, rp := range c.servers[owner].replicas {
+			rp.rep.AddTablet(tab, ts.Groups)
+		}
 	}
 	c.epoch++
 	return nil
@@ -454,6 +482,10 @@ func (c *Cluster) Close() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, st := range c.servers {
+		for _, rp := range st.replicas {
+			rp.rep.Close()
+			rp.sess.Close()
+		}
 		st.srv.Close()
 	}
 	return nil
@@ -553,6 +585,13 @@ func (m *Master) handleServerFailure(deadID string) error {
 	c := m.c
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
+	// A dead server with a usable replica is not scattered at all: the
+	// replica already holds (nearly) everything in its own log and
+	// indexes, so the master promotes it and replays only the unshipped
+	// delta (see promoteReplica).
+	if done, err := m.promoteReplica(deadID); done {
+		return err
+	}
 	c.mu.Lock()
 	var orphans []string
 	for tab, owner := range c.assignments {
@@ -585,11 +624,34 @@ func (m *Master) handleServerFailure(deadID string) error {
 
 	for heirID, tabs := range plan {
 		heir := c.Server(heirID)
+		// Declare the adopted tablets on the heir's replicas FIRST: once
+		// the heir serves them, every write ships, and a record arriving
+		// before its tablet declaration would be skipped for good. The
+		// open topology sync holds each replica's public watermark at 0
+		// until the dead log's history is installed below.
+		heirReps := c.replicasOf(heirID)
+		for _, rp := range heirReps {
+			rp.rep.BeginTopologySync()
+			for _, tab := range tabs {
+				rp.rep.AddTablet(specs[tab], groupsOf[tab])
+			}
+		}
 		for _, tab := range tabs {
 			heir.AddTablet(specs[tab], groupsOf[tab])
 		}
 		if _, err := heir.RecoverTablets(deadID, wal.Position{}, tabs); err != nil {
 			return fmt.Errorf("cluster: recover tablets from %s on %s: %w", deadID, heirID, err)
+		}
+		// The replicas adopt the same history from the dead log; the
+		// foreign mark pins them to it (no re-bootstrap can rebuild it
+		// from the heir's log alone).
+		for _, rp := range heirReps {
+			if _, err := rp.rep.Server().RecoverTablets(deadID, wal.Position{}, tabs); err != nil {
+				rp.rep.MarkFailed(fmt.Errorf("cluster: replica adoption of %v from %s: %w", tabs, deadID, err))
+			} else {
+				rp.rep.MarkForeign()
+			}
+			rp.rep.EndTopologySync()
 		}
 	}
 	return nil

@@ -101,6 +101,13 @@ func (c *Cluster) SplitTablet(tabletID string) (leftID, rightID string, err erro
 	c.assignments[right.ID] = owner
 	c.rebuildRouterLocked(spec.Table)
 	c.epoch++
+	// Mirror the split to the owner's replicas inside the same critical
+	// section, so a read routed at the new epoch finds the child tablet
+	// ids on the replica too. A failed mirror poisons that replica (it
+	// stops serving reads); the primary split stands.
+	for _, rp := range c.servers[owner].replicas {
+		rp.rep.SplitTablet(tabletID, left, right) //nolint:errcheck // poisons the replica itself
+	}
 	// Cluster-wide secondary indexes are sliced per tablet id; the
 	// children need their own slices or lookups on the table break.
 	if err := c.reregisterSecondaries(spec.Table, srv, left.ID, right.ID); err != nil {
@@ -181,9 +188,24 @@ func (c *Cluster) MoveTablet(tabletID, destID string) error {
 	src, dest := srcSt.srv, destSt.srv
 
 	dest.AddTablet(spec, groups)
+	// The destination's replicas declare the tablet before the routing
+	// flip: the first post-flip write ships immediately, and a record
+	// arriving before its tablet declaration would be skipped for good.
+	// Their watermark reads 0 (open topology sync) until the tablet's
+	// pre-move history — which lives in the SOURCE's log — is replayed
+	// onto them after the flip.
+	destReps := c.replicasOf(destID)
+	for _, rp := range destReps {
+		rp.rep.BeginTopologySync()
+		rp.rep.AddTablet(spec, groups)
+	}
 	abort := func(err error) error {
 		src.UnfreezeTablet(tabletID) //nolint:errcheck // rollback; tablet may not be frozen yet
 		dest.RemoveTablet(tabletID)
+		for _, rp := range destReps {
+			rp.rep.RemoveTablet(tabletID)
+			rp.rep.EndTopologySync()
+		}
 		return err
 	}
 	rs, err := dest.NewReplaySession(src.Log(), wal.Position{}, []partition.Tablet{spec})
@@ -242,6 +264,26 @@ func (c *Cluster) MoveTablet(tabletID, destID string) error {
 	c.epoch++
 	c.mu.Unlock()
 	src.RemoveTablet(tabletID)
+	// Install the tablet's pre-move history on the destination's
+	// replicas from the source's log (frozen above, so one replay covers
+	// it all); post-flip writes ship through the destination's feed with
+	// disjoint, newer timestamps. The foreign mark pins each replica to
+	// the source log's lifetime (no re-bootstrap can rebuild this).
+	for _, rp := range destReps {
+		rs2, err := rp.rep.Server().NewReplaySession(src.Log(), wal.Position{}, []partition.Tablet{spec})
+		if err == nil {
+			_, err = rs2.CatchUp()
+		}
+		if err != nil {
+			rp.rep.MarkFailed(fmt.Errorf("cluster: replica backfill of %s from %s: %w", tabletID, srcID, err))
+		} else {
+			rp.rep.MarkForeign()
+		}
+		rp.rep.EndTopologySync()
+	}
+	for _, rp := range c.replicasOf(srcID) {
+		rp.rep.RemoveTablet(tabletID)
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/readopt"
 )
 
 // Query executes an analytical query over a table's column group at
@@ -64,7 +65,7 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 	var res query.Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = c.queryAtOnce(ctx, table, group, ts, q)
+		res, err = c.queryAtOnce(ctx, table, group, ts, q, attempt == 0)
 		if err == nil || !retryableRouting(err) || attempt >= staleRetries {
 			return res, err
 		}
@@ -73,7 +74,7 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 	}
 }
 
-func (c *Cluster) queryAtOnce(ctx context.Context, table, group string, ts int64, q query.Query) (query.Result, error) {
+func (c *Cluster) queryAtOnce(ctx context.Context, table, group string, ts int64, q query.Query, useReplicas bool) (query.Result, error) {
 	router, err := c.Router(table)
 	if err != nil {
 		return query.Result{}, err
@@ -91,6 +92,13 @@ func (c *Cluster) queryAtOnce(ctx context.Context, table, group string, ts int64
 		srv, err := c.ServerFor(tab.ID)
 		if err != nil {
 			return query.Result{}, err
+		}
+		// The query is pinned at ts, so a replica whose watermark covers
+		// ts answers identically; re-planned attempts stay on primaries.
+		if useReplicas {
+			if rep := c.replicaFor(srv.ID(), ts, readopt.Options{}); rep != nil {
+				srv = rep.Server()
+			}
 		}
 		sh, ok := plan[srv.ID()]
 		if !ok {
@@ -173,6 +181,11 @@ func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
 				}
 				stale = true
 				break
+			}
+			if attempt == 0 {
+				if rep := c.replicaFor(srv.ID(), ts, readopt.Options{}); rep != nil {
+					srv = rep.Server()
+				}
 			}
 			targets = append(targets, query.Target{Source: srv, Tablet: tab.ID})
 		}

@@ -162,6 +162,9 @@ func (s *Server) AutoCompactTick() (CompactionStats, bool, error) {
 		// ratio-triggered candidates work across restarts.
 		s.auditGarbage()
 	}
+	// One wall-time→timestamp sample per tick: what age-based retention
+	// policies resolve their KeepFor cutoffs against.
+	s.SampleRetention()
 	cfg := s.cfg.AutoCompact.withDefaults()
 	// Seal a grown tail so its bytes become compactable.
 	segSize := s.cfg.SegmentSize
@@ -330,6 +333,7 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 		oldPtr   wal.Ptr
 		prepared bool // registered 2PC prepare: keep TxnID, not yet indexed
 	}
+	bounds := s.retentionBounds()
 	var keep []survivor
 	var pruned []recordMove // retention-dropped versions whose entries must go
 	for _, num := range input {
@@ -362,14 +366,18 @@ func (s *Server) CompactSegments(nums []uint32) (CompactionStats, error) {
 					}
 					continue // deleted, superseded, or never committed
 				}
-				if k := s.cfg.CompactKeepVersions; k > 0 {
+				if b := bounds(rec.Table); b.keep > 0 || b.cutoff > 0 {
 					newer := 0
 					for _, v := range g.tree().Versions(rec.Key, nil) {
 						if v.TS > rec.TS {
 							newer++
 						}
 					}
-					if newer >= k {
+					beyondKeep := b.keep > 0 && newer >= b.keep
+					// Age bound applies only below a key's newest version:
+					// the current state survives any retention setting.
+					beyondAge := b.cutoff > 0 && newer > 0 && rec.TS < b.cutoff
+					if beyondKeep || beyondAge {
 						// Beyond the retention bound: the record is vacuumed,
 						// so its index entry must go too (a dangling entry
 						// would fail every Versions/GetAt touching it once

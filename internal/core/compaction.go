@@ -88,6 +88,7 @@ func (s *Server) Compact() (CompactionStats, error) {
 		ptr wal.Ptr
 	}
 	type keyState struct {
+		table    string
 		versions []recAt
 		deleteTS int64 // max committed delete timestamp
 	}
@@ -134,7 +135,7 @@ func (s *Server) Compact() (CompactionStats, error) {
 		k := keyOf(rec)
 		ks := states[k]
 		if ks == nil {
-			ks = &keyState{}
+			ks = &keyState{table: rec.Table}
 			states[k] = ks
 		}
 		if rec.Kind == wal.KindDelete {
@@ -150,7 +151,9 @@ func (s *Server) Compact() (CompactionStats, error) {
 	}
 
 	// Select survivors: committed versions newer than the key's last
-	// delete, bounded by CompactKeepVersions.
+	// delete, bounded by the table's retention policy (or the global
+	// CompactKeepVersions default).
+	bounds := s.retentionBounds()
 	var keep []recAt
 	for _, ks := range states {
 		live := ks.versions[:0]
@@ -172,8 +175,14 @@ func (s *Server) Compact() (CompactionStats, error) {
 			}
 			dedup = append(dedup, v)
 		}
-		if k := s.cfg.CompactKeepVersions; k > 0 && len(dedup) > k {
-			dedup = dedup[len(dedup)-k:]
+		b := bounds(ks.table)
+		if b.keep > 0 && len(dedup) > b.keep {
+			dedup = dedup[len(dedup)-b.keep:]
+		}
+		// Age bound: versions older than the cutoff go, except a key's
+		// newest (the current state must survive any retention setting).
+		for b.cutoff > 0 && len(dedup) > 1 && dedup[0].rec.TS < b.cutoff {
+			dedup = dedup[1:]
 		}
 		keep = append(keep, dedup...)
 	}

@@ -1,0 +1,182 @@
+package core
+
+// Per-table retention policy (the PR-7 ROADMAP follow-up): how much
+// version history a table keeps through compaction. The global
+// Config.CompactKeepVersions remains the default; SetRetention
+// overrides it per table with a version bound, an age bound, or both.
+// Enforcement happens wherever versions are vacuumed — the whole-log
+// Compact, the incremental CompactSegments, and the write-path garbage
+// accounting (noteSuperseded) that triggers the auto-compactor.
+//
+// Consequence for cursors: the tighter a table's retention, the faster
+// compaction raises the prune horizon past reclaimed LSNs, and the less
+// far behind a lagging changefeed OR replication cursor may fall before
+// resuming fails with cdc.ErrCursorTruncated and the consumer must
+// re-bootstrap (snapshot + fresh feed from 0). Retention is the knob
+// trading log size against cursor slack.
+//
+// Age bounds and logical timestamps: commit timestamps are logical
+// (coord.Service counters), so a wall-clock KeepFor cannot be compared
+// to them directly. The server keeps a small ring of (wall time, max
+// committed TS) samples — recorded by the auto-compactor tick and by
+// explicit SampleRetention calls — and resolves KeepFor to the newest
+// sampled timestamp older than the deadline. No old-enough sample
+// means no age pruning yet: the resolution is conservative, never
+// dropping history younger than KeepFor.
+
+import (
+	"sync"
+	"time"
+)
+
+// RetentionPolicy bounds a table's retained version history.
+type RetentionPolicy struct {
+	// KeepVersions is the number of newest versions kept per key;
+	// <= 0 means no version bound from this policy. (A table without a
+	// policy uses Config.CompactKeepVersions instead.)
+	KeepVersions int
+	// KeepFor drops versions older than this wall-clock age, except a
+	// key's newest version, which is always kept; 0 means no age bound.
+	KeepFor time.Duration
+}
+
+// retentionSample maps a wall-clock instant to the highest commit
+// timestamp this server had applied by then.
+type retentionSample struct {
+	at    time.Time
+	maxTS int64
+}
+
+// retentionMaxSamples bounds the sample ring (one sample per
+// auto-compact tick; 512 covers hours at any sane interval).
+const retentionMaxSamples = 512
+
+// retentionState is the server's per-table policy table plus the
+// wall-time→timestamp sample ring.
+type retentionState struct {
+	mu       sync.RWMutex
+	policies map[string]RetentionPolicy
+	samples  []retentionSample
+}
+
+// SetRetention installs (or replaces) a table's retention policy. The
+// zero policy keeps everything — version pruning for the table stops
+// even if Config.CompactKeepVersions is set. Takes effect at the next
+// compaction; it does not retroactively restore already-vacuumed
+// versions.
+func (s *Server) SetRetention(table string, p RetentionPolicy) {
+	s.ret.mu.Lock()
+	defer s.ret.mu.Unlock()
+	if s.ret.policies == nil {
+		s.ret.policies = make(map[string]RetentionPolicy)
+	}
+	s.ret.policies[table] = p
+}
+
+// Retention returns the table's policy, if one was set.
+func (s *Server) Retention(table string) (RetentionPolicy, bool) {
+	s.ret.mu.RLock()
+	defer s.ret.mu.RUnlock()
+	p, ok := s.ret.policies[table]
+	return p, ok
+}
+
+// noteTS tracks the highest committed timestamp applied to this server
+// (a CAS max; the retention sampler reads it).
+func (s *Server) noteTS(ts int64) {
+	for {
+		cur := s.maxAppliedTS.Load()
+		if ts <= cur || s.maxAppliedTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// SampleRetention records one (now, max committed TS) sample, giving
+// age-based policies a timestamp to resolve against. The auto-compact
+// loop calls it every tick; call it directly when running without the
+// loop.
+func (s *Server) SampleRetention() {
+	ts := s.maxAppliedTS.Load()
+	if ts == 0 {
+		return
+	}
+	s.ret.mu.Lock()
+	defer s.ret.mu.Unlock()
+	if n := len(s.ret.samples); n > 0 && s.ret.samples[n-1].maxTS == ts {
+		s.ret.samples[n-1].at = time.Now() // no new commits: slide the sample
+		return
+	}
+	s.ret.samples = append(s.ret.samples, retentionSample{at: time.Now(), maxTS: ts})
+	if len(s.ret.samples) > retentionMaxSamples {
+		s.ret.samples = append(s.ret.samples[:0], s.ret.samples[len(s.ret.samples)-retentionMaxSamples:]...)
+	}
+}
+
+// retBounds is one table's resolved compaction-time bounds.
+type retBounds struct {
+	keep   int
+	cutoff int64
+}
+
+// retentionBounds returns a memoised per-table bounds resolver for one
+// compaction pass: each table's age cutoff is resolved once per pass,
+// not once per record.
+func (s *Server) retentionBounds() func(table string) retBounds {
+	memo := make(map[string]retBounds)
+	return func(table string) retBounds {
+		b, ok := memo[table]
+		if !ok {
+			b.keep, b.cutoff = s.retentionFor(table)
+			memo[table] = b
+		}
+		return b
+	}
+}
+
+// retentionKeep resolves just the table's version bound (0 =
+// unbounded) — the hot write path's share of the policy; age bounds are
+// only evaluated by compaction passes (retentionFor).
+func (s *Server) retentionKeep(table string) int {
+	s.ret.mu.RLock()
+	p, ok := s.ret.policies[table]
+	s.ret.mu.RUnlock()
+	if !ok {
+		return s.cfg.CompactKeepVersions
+	}
+	if p.KeepVersions > 0 {
+		return p.KeepVersions
+	}
+	return 0
+}
+
+// retentionFor resolves the table's effective bounds for a compaction
+// pass: keep is the per-key version bound (0 = unbounded), cutoffTS the
+// age cutoff (versions with TS < cutoffTS are beyond KeepFor; 0 = no
+// age bound). Only versions BELOW a key's newest may be age-pruned —
+// callers must keep the newest version regardless.
+func (s *Server) retentionFor(table string) (keep int, cutoffTS int64) {
+	s.ret.mu.RLock()
+	p, ok := s.ret.policies[table]
+	var samples []retentionSample
+	if ok && p.KeepFor > 0 {
+		samples = s.ret.samples
+	}
+	s.ret.mu.RUnlock()
+	if !ok {
+		return s.cfg.CompactKeepVersions, 0
+	}
+	if p.KeepVersions > 0 {
+		keep = p.KeepVersions
+	}
+	if p.KeepFor > 0 {
+		deadline := time.Now().Add(-p.KeepFor)
+		for i := len(samples) - 1; i >= 0; i-- {
+			if !samples[i].at.After(deadline) {
+				cutoffTS = samples[i].maxTS + 1 // versions at or below the sample are older than KeepFor
+				break
+			}
+		}
+	}
+	return keep, cutoffTS
+}

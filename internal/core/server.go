@@ -187,6 +187,12 @@ type Server struct {
 	secMu     sync.RWMutex
 	secondary map[string]*secondaryIndex
 
+	// ret holds per-table retention policies (retention.go);
+	// maxAppliedTS is the highest committed timestamp applied here,
+	// sampled against wall time to resolve age-based policies.
+	ret          retentionState
+	maxAppliedTS atomic.Int64
+
 	stats ServerStats
 	obs   *serverObs
 }
@@ -321,6 +327,25 @@ func (s *Server) resolveTablet(table, tabletID string, key []byte) (*Tablet, boo
 	return nil, false
 }
 
+// ApplyReplicated applies one shipped log record to this server (the
+// WAL-shipping replica apply path, internal/repl): the record is
+// resolved to a served tablet — exact id, or by-range for records
+// written before a source-side split — and re-applied with its
+// ORIGINAL commit timestamp, so the replica's multiversion index
+// reproduces the primary's version history. Returns false (and no
+// error) when no served tablet covers the record: the tablet migrated
+// off the replica's primary, and its new owner's replica carries it.
+func (s *Server) ApplyReplicated(rec *wal.Record) (bool, error) {
+	t, ok := s.resolveTablet(rec.Table, rec.Tablet, rec.Key)
+	if !ok {
+		return false, nil
+	}
+	if rec.Kind == wal.KindDelete {
+		return true, s.Delete(t.id, rec.Group, rec.Key, rec.TS)
+	}
+	return true, s.Write(t.id, rec.Group, rec.Key, rec.TS, rec.Value)
+}
+
 // boundedRange reports whether a range has at least one bound. The
 // by-range record fallback is restricted to such ranges: a fully
 // unbounded range only belongs to a never-split single-tablet table,
@@ -359,11 +384,11 @@ func (s *Server) noteDeleted(g *columnGroup, key []byte) {
 }
 
 // noteSuperseded credits the version that just fell outside the
-// CompactKeepVersions retention window (if any) as garbage. Called
-// after a new version is installed; each old version is charged once,
-// as it crosses the retention boundary.
-func (s *Server) noteSuperseded(g *columnGroup, key []byte) {
-	k := s.cfg.CompactKeepVersions
+// table's version-retention window (if any) as garbage. Called after a
+// new version is installed; each old version is charged once, as it
+// crosses the retention boundary.
+func (s *Server) noteSuperseded(table string, g *columnGroup, key []byte) {
+	k := s.retentionKeep(table)
 	if k <= 0 {
 		return
 	}
@@ -420,9 +445,10 @@ func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byt
 		return err
 	}
 	g.tree().Put(index.Entry{Key: key, TS: ts, Ptr: ptrs[0], LSN: rec.LSN})
-	s.noteSuperseded(g, key)
+	s.noteSuperseded(t.table, g, key)
 	s.readCache.Put(cacheKey(t.table, group, key), encodeCached(ts, value))
 	s.maintainSecondary(tabletID, group, key, ts, ptrs[0], rec.LSN, value, false)
+	s.noteTS(ts)
 	s.stats.Writes.Add(1)
 	t.load.add(1, int64(len(value)))
 	s.bumpUpdates(t, g)
@@ -564,6 +590,7 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 	g.tree().DeleteKey(key)
 	s.readCache.Invalidate(cacheKey(t.table, group, key))
 	s.maintainSecondary(tabletID, group, key, ts, wal.Ptr{}, rec.LSN, nil, true)
+	s.noteTS(ts)
 	s.stats.Deletes.Add(1)
 	t.load.add(1, 0)
 	s.bumpUpdates(t, g)
@@ -712,7 +739,7 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 			s.stats.Deletes.Add(1)
 		} else {
 			g.tree().Put(index.Entry{Key: w.Key, TS: commitTS, Ptr: ptrs[i], LSN: recs[i].LSN})
-			s.noteSuperseded(g, w.Key)
+			s.noteSuperseded(t.table, g, w.Key)
 			s.readCache.Put(cacheKey(t.table, w.Group, w.Key), encodeCached(commitTS, w.Value))
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, commitTS, ptrs[i], recs[i].LSN, w.Value, false)
 			s.stats.Writes.Add(1)
@@ -720,6 +747,7 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 		t.load.add(1, int64(len(w.Value)))
 		s.bumpUpdates(t, g)
 	}
+	s.noteTS(commitTS)
 	return nil
 }
 
@@ -785,7 +813,7 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 			s.stats.Deletes.Add(1)
 		} else {
 			g.tree().Put(index.Entry{Key: w.Key, TS: w.TS, Ptr: ptrs[i], LSN: recs[i].LSN})
-			s.noteSuperseded(g, w.Key)
+			s.noteSuperseded(t.table, g, w.Key)
 			// Invalidate rather than populate the read buffer: the
 			// batch's timestamps were assigned before a long append, so
 			// a concurrent Put may already have cached a NEWER version
@@ -796,6 +824,7 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 			s.maintainSecondary(w.Tablet, w.Group, w.Key, w.TS, ptrs[i], recs[i].LSN, w.Value, false)
 			s.stats.Writes.Add(1)
 		}
+		s.noteTS(w.TS)
 		t.load.add(1, int64(len(w.Value)))
 		s.bumpUpdates(t, g)
 	}

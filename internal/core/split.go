@@ -166,7 +166,7 @@ type ReplaySession struct {
 	srcLog    *wal.Log
 	specs     []partition.Tablet
 	pos       wal.Position
-	committed map[uint64]bool
+	committed map[uint64]uint64 // txn id -> commit record LSN
 	pending   map[uint64][]wal.Record
 	applied   int
 
@@ -212,7 +212,7 @@ func (s *Server) NewReplaySession(srcLog *wal.Log, srcStart wal.Position, specs 
 		srcLog:    srcLog,
 		specs:     append([]partition.Tablet(nil), specs...),
 		pos:       srcStart,
-		committed: make(map[uint64]bool),
+		committed: make(map[uint64]uint64),
 		pending:   make(map[uint64][]wal.Record),
 		deletes:   make(map[string]*replayDelete),
 	}, nil
@@ -220,6 +220,18 @@ func (s *Server) NewReplaySession(srcLog *wal.Log, srcStart wal.Position, specs 
 
 // Applied returns the total number of records applied so far.
 func (rs *ReplaySession) Applied() int { return rs.applied }
+
+// SetHighWater seeds the replay's LSN high-water mark: source records
+// at or below lsn are treated as already covered and skipped. Replica
+// promotion uses it — the promoted standby already holds everything the
+// shipping feed applied through its watermark LSN, so replaying the
+// dead primary's full log (positions into compacted segments are not
+// durable, LSNs are) only applies the delta past the watermark.
+func (rs *ReplaySession) SetHighWater(lsn uint64) {
+	if lsn > rs.highWater {
+		rs.highWater = lsn
+	}
+}
 
 // PendingLive reports whether any buffered prepared-but-uncommitted
 // record satisfies held — the migration cutover passes a lock-service
@@ -335,14 +347,18 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 		rec := sc.Record()
 		switch rec.Kind {
 		case wal.KindCommit:
-			rs.committed[rec.TxnID] = true
+			rs.committed[rec.TxnID] = rec.LSN
 		case wal.KindDelete:
-			if rec.LSN <= rs.highWater {
-				continue // relocated copy; resolved in its original round
-			}
 			if rec.TxnID != 0 {
+				// Deferred below: the skip decision needs the commit LSN
+				// (a txn's records cover the stream only once the commit
+				// does — replica promotion seeds highWater from a shipping
+				// cursor, which advances by COMMIT LSN for txn records).
 				txnDels = append(txnDels, pendDel{key: replayKey(&rec), lsn: rec.LSN, ts: rec.TS, txnID: rec.TxnID})
 				continue
+			}
+			if rec.LSN <= rs.highWater {
+				continue // relocated copy; resolved in its original round
 			}
 			rs.noteDelete(replayKey(&rec), rec.LSN, rec.TS)
 		}
@@ -352,7 +368,7 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 		return rs.applied - before, err
 	}
 	for _, td := range txnDels {
-		if rs.committed[td.txnID] {
+		if cl, ok := rs.committed[td.txnID]; ok && cl > rs.highWater {
 			rs.noteDelete(td.key, td.lsn, td.ts)
 		}
 	}
@@ -378,8 +394,22 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 		if rec.Kind != wal.KindCommit && rec.LSN > pass2Max {
 			pass2Max = rec.LSN
 		}
-		if rec.Kind != wal.KindCommit && rec.LSN <= rs.highWater {
-			continue
+		if rec.Kind != wal.KindCommit {
+			// A record is covered once the STREAM covered it: for a
+			// transactional record that is its commit's LSN (a shipping
+			// cursor seeding highWater advances by commit), for everything
+			// else its own. Compaction rewrites relocated committed txn
+			// records as plain writes, so in migration the commit branch
+			// only fires for never-relocated records, where it is exact.
+			cover := rec.LSN
+			if rec.TxnID != 0 {
+				if cl, ok := rs.committed[rec.TxnID]; ok {
+					cover = cl
+				}
+			}
+			if cover <= rs.highWater {
+				continue
+			}
 		}
 		switch rec.Kind {
 		case wal.KindCommit:
@@ -410,7 +440,7 @@ func (rs *ReplaySession) CatchUp() (int, error) {
 			if !ok {
 				continue
 			}
-			if rec.TxnID != 0 && !rs.committed[rec.TxnID] {
+			if _, done := rs.committed[rec.TxnID]; rec.TxnID != 0 && !done {
 				rs.pending[rec.TxnID] = append(rs.pending[rec.TxnID], rec)
 				continue
 			}

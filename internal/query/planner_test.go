@@ -163,7 +163,7 @@ func TestGreedyOrderPrefersKeyPredicate(t *testing.T) {
 	s := NewStatement("a").Group("g").
 		Join("b", "g", On{LeftTable: "a", Left: ValField(0), Right: KeyExpr()}).
 		Join("c", "g", On{LeftTable: "b", Left: ValField(0), Right: KeyExpr()})
-	s.Joins[0].Rel.Filter = RelFilter{Start: []byte("b0")}             // one bound
+	s.Joins[0].Rel.Filter = RelFilter{Start: []byte("b0")}              // one bound
 	s.Joins[1].Rel.Filter = RelFilter{Key: readopt.Prefix([]byte("c"))} // key pred: stronger
 	plan, err := PlanJoins(s)
 	if err != nil {

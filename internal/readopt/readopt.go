@@ -304,6 +304,17 @@ type Options struct {
 	// (oldest first; newest first with Reverse) instead of the single
 	// visible one.
 	AllVersions bool
+	// Primary forces the read onto the primary tablet server even when
+	// a read replica's watermark covers its snapshot (explicit
+	// read-your-writes; replica routing is the default for pinned
+	// snapshot reads).
+	Primary bool
+	// MaxLag bounds replica staleness: route to a replica only if its
+	// shipping cursor trails the primary log by at most MaxLag records
+	// RIGHT NOW (snapshot consistency at the pinned timestamp is
+	// guaranteed regardless — this additionally bounds how far behind
+	// the serving replica may currently be). 0 = no bound.
+	MaxLag int64
 }
 
 // PrefixEnd returns the smallest key greater than every key with the

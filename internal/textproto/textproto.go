@@ -9,19 +9,28 @@
 //
 //	SCAN <table> <group> [start|*] [end|*] [LIMIT n] [REVERSE]
 //	     [AT ts] [PREFIX p] [FILTER KEY|VAL <predicate>]
+//	     [PRIMARY] [MAXLAG n]
 //
 // where <predicate> is the serializable set from internal/readopt
 // (PREFIX <op> | CONTAINS <op> | RANGE <lo|*> <hi|*>, operands
 // %-escaped). Everything after the positional bounds is evaluated at
 // the tablet server, not in the session loop; a bare number in place
 // of LIMIT n is accepted for compatibility with the old
-// "SCAN t g start end [limit]" form.
+// "SCAN t g start end [limit]" form. PRIMARY forces the read onto the
+// primary even when a caught-up replica could serve it; MAXLAG n
+// allows a replica only if its shipping cursor trails the primary log
+// by at most n records (both map onto internal/readopt options and are
+// meaningful only with AT on a replicated deployment).
 //
 // STATS streams one "STAT <server> k=v ..." line per tablet server —
 // operation counters, read-buffer hits, and the compaction gauges
 // (sorted_frac, garbage_frac, per-run drops/reclaims) operators watch
-// to confirm background compaction is keeping up. COMPACT forces a
-// whole-log compaction on every server.
+// to confirm background compaction is keeping up. A server with WAL-
+// shipping read replicas is followed by one "STAT <replica> replica_*"
+// line per replica (applied/source LSN, lag in records and seconds,
+// watermark timestamp, reads served, re-bootstrap generation), which
+// is how `logbase-cli stats --watch` renders per-replica lag deltas.
+// COMPACT forces a whole-log compaction on every server.
 //
 // WATCH subscribes a changefeed and streams it down the session:
 //
@@ -193,6 +202,30 @@ type StatsSnapshot struct {
 	GarbageRatio   float64
 	Segments       int
 	LogBytes       int64
+	// Replicas lists the server's WAL-shipping read replicas, if any;
+	// each is rendered as its own "STAT <replica> replica_*" line.
+	Replicas []ReplicaStat
+}
+
+// ReplicaStat is one read replica's shipping state on the STATS wire.
+type ReplicaStat struct {
+	// Replica is the replica's id (e.g. "ts00.r0").
+	Replica string
+	// Generation counts truncation-forced re-bootstraps.
+	Generation int
+	// AppliedLSN is the shipping cursor; SourceLSN the primary log tip;
+	// LagRecords their distance.
+	AppliedLSN uint64
+	SourceLSN  uint64
+	LagRecords uint64
+	// LagSeconds is how long the replica has continuously trailed the
+	// tip (0 when caught up).
+	LagSeconds float64
+	// WatermarkTS is the snapshot-consistency frontier (reads pinned at
+	// or below it may be served here).
+	WatermarkTS int64
+	// ReadsServed counts reads routed to this replica.
+	ReadsServed int64
 }
 
 // Iterator is the pull-based row stream the protocol consumes; it
@@ -618,6 +651,18 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 					break
 				}
 				lines++
+				for _, rs := range sn.Replicas {
+					if err = reply("STAT %s replica_generation=%d replica_applied_lsn=%d replica_source_lsn=%d "+
+						"replica_lag_records=%d replica_lag_seconds=%.3f replica_watermark_ts=%d replica_reads_served=%d",
+						rs.Replica, rs.Generation, rs.AppliedLSN, rs.SourceLSN,
+						rs.LagRecords, rs.LagSeconds, rs.WatermarkTS, rs.ReadsServed); err != nil {
+						break
+					}
+					lines++
+				}
+				if err != nil {
+					break
+				}
 			}
 			// The expanded registry rides behind the legacy STAT lines so
 			// old clients keep parsing; histograms ship their quantile
@@ -689,6 +734,19 @@ func parseScanOptions(rest []string) (readopt.Options, string) {
 		case "REVERSE":
 			opt.Reverse = true
 			rest = rest[1:]
+		case "PRIMARY":
+			opt.Primary = true
+			rest = rest[1:]
+		case "MAXLAG":
+			if len(rest) < 2 {
+				return opt, "MAXLAG needs a value"
+			}
+			v, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil || v <= 0 {
+				return opt, "bad MAXLAG value " + rest[1]
+			}
+			opt.MaxLag = v
+			rest = rest[2:]
 		case "PREFIX":
 			if len(rest) < 2 {
 				return opt, "PREFIX needs a value"

@@ -19,11 +19,12 @@ import (
 
 // fakeStore is an in-memory Store for protocol tests.
 type fakeStore struct {
-	tables map[string]map[string]map[string][]versioned // table -> group -> key
-	clock  int64
-	reg    *obs.Registry // nil = backend without a registry
-	events []cdc.Event   // every committed mutation, in LSN order
-	views  map[string]*fakeView
+	tables   map[string]map[string]map[string][]versioned // table -> group -> key
+	clock    int64
+	reg      *obs.Registry // nil = backend without a registry
+	events   []cdc.Event   // every committed mutation, in LSN order
+	views    map[string]*fakeView
+	replicas []ReplicaStat // attached to the STATS snapshot
 }
 
 // fakeView records an MVIEW CREATE; queries are computed live from the
@@ -279,7 +280,7 @@ func (f *fakeStore) Checkpoint() error { return nil }
 func (f *fakeStore) Compact(context.Context) error { return nil }
 
 func (f *fakeStore) Stats(context.Context) ([]StatsSnapshot, error) {
-	return []StatsSnapshot{{Server: "fake", Writes: 7, SortedFraction: 0.5, Segments: 2}}, nil
+	return []StatsSnapshot{{Server: "fake", Writes: 7, SortedFraction: 0.5, Segments: 2, Replicas: f.replicas}}, nil
 }
 
 func (f *fakeStore) Metrics() *obs.Registry { return f.reg }
@@ -880,5 +881,70 @@ func TestMViewCommands(t *testing.T) {
 	lines = session(t, db, "MVIEW BOGUS pv")
 	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
 		t.Errorf("bad subcommand: got %v", lines)
+	}
+}
+
+// TestStatsReplicaLines covers the replication half of STATS: each
+// replica rides behind its primary's STAT line as one "STAT <replica>
+// replica_*" line that ParseStatLine (and thereby the CLI's watch mode)
+// decodes like any other.
+func TestStatsReplicaLines(t *testing.T) {
+	db := newFake()
+	db.replicas = []ReplicaStat{{
+		Replica: "fake.r0", Generation: 1, AppliedLSN: 90, SourceLSN: 100,
+		LagRecords: 10, LagSeconds: 0.5, WatermarkTS: 42, ReadsServed: 7,
+	}}
+	lines := session(t, db, "STATS")
+	if len(lines) != 3 {
+		t.Fatalf("replies = %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "STAT fake.r0 ") {
+		t.Fatalf("replica line = %q", lines[1])
+	}
+	srv, kv, ok := ParseStatLine(lines[1])
+	if !ok || srv != "fake.r0" {
+		t.Fatalf("ParseStatLine(%q) = %q, %v", lines[1], srv, ok)
+	}
+	for k, want := range map[string]float64{
+		"replica_generation": 1, "replica_applied_lsn": 90, "replica_source_lsn": 100,
+		"replica_lag_records": 10, "replica_lag_seconds": 0.5,
+		"replica_watermark_ts": 42, "replica_reads_served": 7,
+	} {
+		if kv[k] != want {
+			t.Errorf("%s = %v, want %v", k, kv[k], want)
+		}
+	}
+	if lines[2] != "END 2" {
+		t.Fatalf("terminator = %q (replica line not counted?)", lines[2])
+	}
+}
+
+// TestScanReplicaOptions covers the PRIMARY and MAXLAG scan operands:
+// they decode onto the readopt routing fields and reject malformed
+// values like every other option.
+func TestScanReplicaOptions(t *testing.T) {
+	opt, msg := parseScanOptions([]string{"AT", "5", "PRIMARY"})
+	if msg != "" || !opt.Primary || opt.Snapshot != 5 {
+		t.Fatalf("PRIMARY parse = %+v, %q", opt, msg)
+	}
+	opt, msg = parseScanOptions([]string{"MAXLAG", "64", "LIMIT", "3"})
+	if msg != "" || opt.MaxLag != 64 || opt.Limit != 3 {
+		t.Fatalf("MAXLAG parse = %+v, %q", opt, msg)
+	}
+	for _, bad := range [][]string{{"MAXLAG"}, {"MAXLAG", "x"}, {"MAXLAG", "0"}} {
+		if _, msg := parseScanOptions(bad); msg == "" {
+			t.Fatalf("parseScanOptions(%v) accepted, want error", bad)
+		}
+	}
+	// And on the wire: a replicated-options scan still answers (the fake
+	// has no replicas; the options must be harmless pass-through).
+	db := newFake()
+	lines := session(t, db, "CREATE t g", "PUT t g k v", "SCAN t g * * PRIMARY MAXLAG 8")
+	last := lines[len(lines)-2]
+	if !strings.HasPrefix(last, "ROW k ") {
+		t.Fatalf("replicated-option scan rows = %v", lines)
+	}
+	if ls := session(t, db, "SCAN t g * * MAXLAG"); len(ls) != 1 || !strings.HasPrefix(ls[0], "ERR ") {
+		t.Fatalf("bare MAXLAG replied %v, want ERR", ls)
 	}
 }

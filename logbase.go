@@ -59,6 +59,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -141,6 +142,13 @@ type DB struct {
 	views  viewSet
 	opts   Options
 	dir    string
+
+	// rmu guards the read-replica set (logbase_repl.go); rrNext is the
+	// round-robin routing counter, replicaSeq the id allocator.
+	rmu        sync.RWMutex
+	replicas   []*Replica
+	replicaSeq int
+	rrNext     atomic.Uint32
 }
 
 var _ Store = (*DB)(nil)
@@ -228,6 +236,11 @@ func (db *DB) CreateTable(name string, groups ...string) error {
 		gm[g] = true
 	}
 	db.tables[name] = tableMeta{tablet: tablet, groups: gm}
+	db.rmu.RLock()
+	for _, r := range db.replicas {
+		r.AddTablet(tabletSpec(name, tablet), groups)
+	}
+	db.rmu.RUnlock()
 	return nil
 }
 
@@ -276,7 +289,12 @@ func (db *DB) Read(ctx context.Context, table, group string, key []byte, opts ..
 	_, sp := db.tracer.Root(ctx, "db.read")
 	sp.Label("table", table)
 	defer sp.Finish()
-	return db.server.ReadRow(tm.tablet, group, key, resolveReadOptions(opts))
+	ro := resolveReadOptions(opts)
+	src := db.server
+	if rep := db.replicaFor(ro.Snapshot, ro); rep != nil {
+		src = rep.Server()
+	}
+	return src.ReadRow(tm.tablet, group, key, ro)
 }
 
 // Get returns the latest version of a row. Thin adapter over Read.
@@ -341,13 +359,21 @@ func (db *DB) Scan(ctx context.Context, table, group string, start, end []byte, 
 	if ro.BatchSize <= 0 {
 		ro.BatchSize = defaultIterBatch
 	}
+	// Replica routing is safe even for the implicit latest pin:
+	// watermark >= ts means the replica's state at ts is identical to
+	// the primary's, so the caller's own writes (all at or below ts) are
+	// there. WithPrimary opts out.
+	src := db.server
+	if rep := db.replicaFor(ts, ro); rep != nil {
+		src = rep.Server()
+	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		// The root span lives inside the producer so it covers the whole
 		// streamed scan (the Scan call itself returns immediately).
 		ictx, sp := db.tracer.Root(ictx, "db.scan")
 		sp.Label("table", table)
 		defer sp.Finish()
-		return db.server.ParallelScan(ictx, tm.tablet, group, core.ReadScanOptions(start, end, ts, ro), emit)
+		return src.ParallelScan(ictx, tm.tablet, group, core.ReadScanOptions(start, end, ts, ro), emit)
 	})
 }
 
@@ -366,12 +392,16 @@ func (db *DB) FullScan(ctx context.Context, table, group string, opts ...ReadOpt
 		// must see the same rows when writers race the scan.
 		ro.Snapshot = db.svc.LastTimestamp()
 	}
+	src := db.server
+	if rep := db.replicaFor(ro.Snapshot, ro); rep != nil {
+		src = rep.Server()
+	}
 	return newRowIter(ctx, func(ictx context.Context, emit func([]Row) error) error {
 		ictx, sp := db.tracer.Root(ictx, "db.fullscan")
 		sp.Label("table", table)
 		defer sp.Finish()
 		fn, flush, failed := collectEmit(emit)
-		if err := db.server.FullScanOpts(ictx, tm.tablet, group, ro, fn); err != nil {
+		if err := src.FullScanOpts(ictx, tm.tablet, group, ro, fn); err != nil {
 			return err
 		}
 		if err := failed(); err != nil {
@@ -607,6 +637,13 @@ func (db *DB) Server() *core.Server { return db.server }
 // before Close speeds up the next Recover. Idempotent.
 func (db *DB) Close() error {
 	db.views.closeAll()
+	db.rmu.Lock()
+	reps := db.replicas
+	db.replicas = nil
+	db.rmu.Unlock()
+	for _, r := range reps {
+		r.Close()
+	}
 	return db.server.Close()
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 
 	"repro/internal/query"
+	"repro/internal/readopt"
 )
 
 // Query is a declarative analytical query: push-down Filter, optional
@@ -95,5 +96,14 @@ func (db *DB) SnapshotAt(ctx context.Context, table string, ts int64) (*Snapshot
 	if ts == 0 {
 		ts = db.svc.LastTimestamp()
 	}
-	return query.NewSnapshot(ts, query.Target{Source: db.server, Tablet: tm.tablet}), nil
+	// Pinned analytical reads are the replica subsystem's home turf: a
+	// replica whose watermark covers ts serves the whole snapshot (every
+	// Query/scan off this handle), offloading the primary. Safe even for
+	// the implicit "now" pin — watermark >= ts means state at ts is
+	// identical to the primary's.
+	src := db.server
+	if rep := db.replicaFor(ts, readopt.Options{}); rep != nil {
+		src = rep.Server()
+	}
+	return query.NewSnapshot(ts, query.Target{Source: src, Tablet: tm.tablet}), nil
 }

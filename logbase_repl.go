@@ -1,0 +1,152 @@
+package logbase
+
+// Read replicas and retention for the embedded backend. A replica is a
+// WAL-shipping standby of the embedded server (internal/repl): it
+// replays the committed log stream into its own multiversion index and
+// publishes a watermark timestamp — the frontier below which its state
+// is byte-identical to the primary's. Pinned snapshot reads (Scan /
+// FullScan / Read with WithSnapshot, QueryAt, SnapshotAt, and join-free
+// Exec statements, which compile onto QueryAt) whose timestamp is at or
+// below a replica's watermark are served by that replica, round-robin
+// across replicas, falling back to the primary when none qualifies.
+// Reads at the latest timestamp and all transactional reads always hit
+// the primary (read-your-writes); WithPrimary opts any read out of
+// replica routing, WithMaxLag bounds the serving replica's current
+// shipping lag.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+)
+
+// Replica is a WAL-shipping read replica (see internal/repl).
+type Replica = repl.Replica
+
+// ReplicaStats is a point-in-time view of one replica's shipping state.
+type ReplicaStats = repl.Stats
+
+// RetentionPolicy bounds a table's retained version history (keep the
+// newest N versions per key, drop versions older than T, or both); see
+// SetRetention.
+type RetentionPolicy = core.RetentionPolicy
+
+// StartReplica starts a WAL-shipping read replica of this DB and
+// registers it with the read router. The replica mirrors the current
+// tables (tables created later are added automatically) and begins
+// catching up immediately; use the returned handle's WaitForTS to block
+// until its watermark covers a timestamp. Close the DB to stop it.
+func (db *DB) StartReplica() (*Replica, error) {
+	db.rmu.Lock()
+	defer db.rmu.Unlock()
+	base := fmt.Sprintf("embedded.r%d", db.replicaSeq)
+	r, err := repl.New(db.fs, db.server, base, repl.Config{
+		LastTS: db.svc.LastTimestamp,
+		Server: core.Config{
+			SegmentSize:    db.opts.SegmentSize,
+			ReadCacheBytes: db.opts.ReadCacheBytes,
+			DisableMetrics: true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.tmu.RLock()
+	for name, tm := range db.tables {
+		r.AddTablet(tabletSpec(name, tm.tablet), groupNames(tm))
+	}
+	db.tmu.RUnlock()
+	if err := r.Start(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	db.replicaSeq++
+	db.replicas = append(db.replicas, r)
+	return r, nil
+}
+
+// Replicas returns the DB's read replicas.
+func (db *DB) Replicas() []*Replica {
+	db.rmu.RLock()
+	defer db.rmu.RUnlock()
+	return append([]*Replica(nil), db.replicas...)
+}
+
+// ReplicaStats snapshots every replica's shipping state (applied
+// cursor, lag, watermark, reads served).
+func (db *DB) ReplicaStats() []ReplicaStats {
+	db.rmu.RLock()
+	reps := append([]*Replica(nil), db.replicas...)
+	db.rmu.RUnlock()
+	out := make([]ReplicaStats, len(reps))
+	for i, r := range reps {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
+// SetRetention installs a per-table retention policy, enforced by
+// compaction (including the auto-compactor): keep the newest
+// KeepVersions per key, drop versions older than KeepFor, or both. A
+// policy overrides Options.CompactKeepVersions for that table; the zero
+// policy keeps everything. Tighter retention reclaims log space faster,
+// which also shortens how far behind a changefeed or replication cursor
+// may fall before resume fails with cdc.ErrCursorTruncated (the
+// consumer then re-bootstraps from LSN 0).
+func (db *DB) SetRetention(table string, p RetentionPolicy) error {
+	db.tmu.RLock()
+	_, ok := db.tables[table]
+	db.tmu.RUnlock()
+	if !ok {
+		return fmt.Errorf("logbase: unknown table %s", table)
+	}
+	db.server.SetRetention(table, p)
+	return nil
+}
+
+// replicaFor returns a replica able to serve a read pinned at ts under
+// the resolved options (round-robin across qualifying replicas), or nil
+// when the read must hit the primary: latest-timestamp reads, explicit
+// WithPrimary, no replica caught up to ts, or all qualifying replicas
+// beyond the MaxLag bound. The chosen replica's reads-served counter is
+// bumped.
+func (db *DB) replicaFor(ts int64, ro ReadOptions) *repl.Replica {
+	if ts <= 0 || ro.Primary {
+		return nil
+	}
+	db.rmu.RLock()
+	reps := db.replicas
+	n := len(reps)
+	if n == 0 {
+		db.rmu.RUnlock()
+		return nil
+	}
+	start := int(db.rrNext.Add(1)-1) % n
+	var pick *repl.Replica
+	for i := 0; i < n; i++ {
+		r := reps[(start+i)%n]
+		if r.Err() != nil || r.WatermarkTS() < ts {
+			continue
+		}
+		if ro.MaxLag > 0 && r.Stats().LagRecords > uint64(ro.MaxLag) {
+			continue
+		}
+		pick = r
+		break
+	}
+	db.rmu.RUnlock()
+	if pick != nil {
+		pick.NoteRead(1)
+	}
+	return pick
+}
+
+// groupNames flattens a tableMeta's group set.
+func groupNames(tm tableMeta) []string {
+	out := make([]string, 0, len(tm.groups))
+	for g := range tm.groups {
+		out = append(out, g)
+	}
+	return out
+}

@@ -98,6 +98,20 @@ func WithBatchSize(n int) ReadOption { return func(o *ReadOptions) { o.BatchSize
 // snapshot), WithLimit, and WithValueFilter.
 func WithAllVersions() ReadOption { return func(o *ReadOptions) { o.AllVersions = true } }
 
+// WithPrimary forces the read onto the primary tablet server even when
+// a read replica's watermark covers its snapshot — explicit
+// read-your-writes. Reads at the latest timestamp (no WithSnapshot)
+// always hit the primary anyway; this opts pinned snapshot reads out of
+// replica routing too.
+func WithPrimary() ReadOption { return func(o *ReadOptions) { o.Primary = true } }
+
+// WithMaxLag routes to a read replica only if its shipping cursor
+// currently trails the primary log by at most n records. The snapshot
+// contract is unaffected (a replica never serves a timestamp beyond its
+// watermark); this bounds how stale the SERVING replica may be overall.
+// 0 removes the bound (the default).
+func WithMaxLag(n int64) ReadOption { return func(o *ReadOptions) { o.MaxLag = n } }
+
 // WithReadOptions replaces the whole option set with an already-
 // resolved ReadOptions value — the injection point for protocol
 // adapters that decoded options off the wire.

@@ -109,6 +109,14 @@ type Store interface {
 	// that path (and so still answers from matching materialized
 	// views).
 	AggQuery(ctx context.Context, table, group string, kind AggKind, start, end []byte, ts int64, groupPrefix int) (QueryResult, error)
+	// SetRetention installs a per-table retention policy (keep the
+	// newest KeepVersions per key, drop versions older than KeepFor, or
+	// both), enforced by compaction on every tablet server and replica.
+	// The zero policy keeps everything. Tighter retention reclaims log
+	// space faster, which also shortens how far a changefeed or
+	// replication cursor may lag before resumption fails with
+	// ErrCursorTruncated (the consumer then re-bootstraps from scratch).
+	SetRetention(table string, p RetentionPolicy) error
 	// Begin starts a snapshot-isolation transaction.
 	Begin(ctx context.Context) Tx
 	// Batch returns an empty WriteBatch bound to this store.
