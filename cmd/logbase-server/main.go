@@ -38,6 +38,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"sort"
 	"time"
 
 	logbase "repro"
@@ -195,6 +196,49 @@ func (a storeAdapter) Compact(context.Context) error {
 		return st.Cluster().CompactAll()
 	}
 	return nil
+}
+
+// Scrub verifies the log(s) against every DFS replica — one snapshot
+// for the embedded DB, one per live server for a cluster.
+func (a storeAdapter) Scrub(context.Context) ([]textproto.ScrubSnapshot, error) {
+	switch st := a.st.(type) {
+	case *logbase.DB:
+		rep, err := st.Scrub()
+		if err != nil {
+			return nil, err
+		}
+		return []textproto.ScrubSnapshot{scrubSnapshotOf("embedded", rep)}, nil
+	case *logbase.ClusterClient:
+		reps, err := st.Cluster().ScrubAll()
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, 0, len(reps))
+		for id := range reps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		out := make([]textproto.ScrubSnapshot, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, scrubSnapshotOf(id, reps[id]))
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func scrubSnapshotOf(server string, rep logbase.ScrubReport) textproto.ScrubSnapshot {
+	sn := textproto.ScrubSnapshot{
+		Server:         server,
+		Segments:       rep.Segments,
+		Blocks:         rep.Blocks,
+		ReplicasRead:   rep.ReplicasRead,
+		RepairedBlocks: rep.RepairedBlocks,
+	}
+	for _, d := range rep.Unrecoverable {
+		sn.Unrecoverable = append(sn.Unrecoverable, d.String())
+	}
+	return sn
 }
 
 // Stats snapshots every tablet server behind the store — one server

@@ -137,6 +137,7 @@ func All() []Experiment {
 		{"scan-clustered", "Clustered scan fast path vs index-driven path on a compacted log", ScanClustered},
 		{"autocompact", "Background incremental compaction holds SortedFraction under churn", AutoCompactChurn},
 		{"obs-overhead", "Observability overhead: instrumented vs disabled Put/Scan", ObsOverhead},
+		{"fault-overhead", "Fault-injection overhead: wired-but-disarmed registry vs nil", FaultOverhead},
 		{"cdc-tail", "Changefeed: historical catch-up vs live tail off the log", CDCTail},
 		{"join-greedy", "Three-table equi-join: greedy planned vs worst-order naive", JoinGreedy},
 		{"replica-scan", "Read replicas: pinned scan offload vs primary scan under writes", ReplicaScan},

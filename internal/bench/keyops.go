@@ -210,6 +210,14 @@ func KeyOps(s Scale) ([]KeyOp, error) {
 	}
 	out = append(out, obsOps...)
 
+	// Fault-injection overhead: a wired-but-disarmed registry vs nil
+	// must agree on modelled disk cost within 5%.
+	faultOps, err := FaultOverheadKeyOps(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, faultOps...)
+
 	// Join planner: greedy order + broadcast push-down vs the
 	// worst-order naive nested-loop plan on a three-table join (asserts
 	// the >=2x modelled-disk win and identical results).

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"slices"
 	"sort"
 	"time"
@@ -36,6 +37,11 @@ type Client struct {
 	// parks the active request span here around each call; clients are
 	// used by one goroutine at a time, which makes this safe.
 	span *obs.Span
+
+	// rng drives backoff jitter. Seeded deterministically per client
+	// (cluster-wide sequence), so retry schedules replay under a fixed
+	// fault seed; single-goroutine use makes the unlocked source safe.
+	rng *rand.Rand
 }
 
 // SetSpan parks the active request span for routing annotations; call
@@ -48,7 +54,10 @@ func (cl *Client) Tracer() *obs.Tracer { return cl.c.tracer }
 
 // NewClient creates a client with a warm metadata cache.
 func (c *Cluster) NewClient() *Client {
-	cl := &Client{c: c}
+	cl := &Client{
+		c:   c,
+		rng: rand.New(rand.NewSource(0x6c6f67 ^ c.clientSeq.Add(1))),
+	}
 	cl.refresh()
 	return cl
 }
@@ -103,25 +112,19 @@ func (cl *Client) route(table string, key []byte) (*core.Server, string, error) 
 
 // readTarget substitutes a qualifying read replica of the resolved
 // primary for a pinned snapshot read (Cluster.replicaFor): watermark
-// covers ts, healthy, within any MaxLag bound. Callers only consult it
-// on the first attempt — every retry goes straight to the primary, the
-// always-correct fallback.
-func (cl *Client) readTarget(srv *core.Server, ts int64, ro readopt.Options) *core.Server {
+// covers ts, healthy, within any MaxLag bound, breaker admitting.
+// Callers only consult it on the first attempt — every retry goes
+// straight to the primary, the always-correct fallback. The returned
+// note func MUST be called with the read's outcome so the chosen
+// target's circuit breaker observes it.
+func (cl *Client) readTarget(srv *core.Server, ts int64, ro readopt.Options) (*core.Server, func(error)) {
 	if rep := cl.c.replicaFor(srv.ID(), ts, ro); rep != nil {
-		return rep.Server()
+		target := "replica:" + rep.BaseID()
+		return rep.Server(), func(err error) { cl.c.breakers.note(target, err) }
 	}
-	return srv
+	id := srv.ID()
+	return srv, func(err error) { cl.c.breakers.noteServer(id, err) }
 }
-
-// Stale-routing retry parameters. A split or failover invalidates the
-// cache instantly (one refresh suffices), but a live-migration cutover
-// has a window where the source already rejects mutations
-// (ErrTabletFrozen) and the routing flip has not landed yet — retries
-// back off briefly so the client converges right after the flip.
-const (
-	staleRetries = 12
-	staleBackoff = 500 * time.Microsecond
-)
 
 // retryableRouting reports whether err means "routing metadata is
 // stale or about to change": a moved/split tablet, a dead server, or a
@@ -131,23 +134,31 @@ func retryableRouting(err error) bool {
 	return errors.Is(err, core.ErrUnknownTablet) || errors.Is(err, ErrServerDown)
 }
 
-// retryStale runs op, refreshing the metadata cache and retrying with
-// backoff while the op keeps hitting a moved/frozen tablet or a dead
-// server.
+// retryStale runs op under the cluster's unified RetryPolicy,
+// refreshing the metadata cache and backing off (exponential,
+// jittered) while the op keeps hitting a moved/frozen tablet or a dead
+// server. A split or failover invalidates the cache instantly (one
+// refresh suffices), but a live-migration cutover has a window where
+// the source already rejects mutations (ErrTabletFrozen) and the
+// routing flip has not landed yet — backoff rides that window out.
+// Each op outcome feeds the owning server's circuit breaker.
 func (cl *Client) retryStale(table string, key []byte, op func(srv *core.Server, tablet string) error) error {
+	pol := cl.c.retry
 	var err error
-	for attempt := 0; attempt < staleRetries; attempt++ {
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			cl.refresh()
 			cl.c.obsStaleRetries.Inc()
+			cl.c.obsRetryAttempts.Inc()
 			cl.span.Label("retry", fmt.Sprintf("attempt=%d err=%v", attempt, err))
-			time.Sleep(time.Duration(attempt) * staleBackoff)
+			pol.sleep(nil, attempt, cl.rng)
 		}
 		var srv *core.Server
 		var tab string
 		srv, tab, err = cl.route(table, key)
 		if err == nil {
 			err = op(srv, tab)
+			cl.c.breakers.noteServer(srv.ID(), err)
 		}
 		if err == nil || !retryableRouting(err) {
 			return err
@@ -190,6 +201,7 @@ func (cl *Client) GetAt(table, group string, key []byte, ts int64) (core.Row, er
 			first = false
 			if rep := cl.c.replicaFor(srv.ID(), ts, readopt.Options{}); rep != nil {
 				r, rerr := rep.Server().GetAt(tablet, group, key, ts)
+				cl.c.breakers.note("replica:"+rep.BaseID(), rerr)
 				if !retryableRouting(rerr) {
 					row = r
 					return rerr
@@ -285,6 +297,7 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 	start, end = ro.ClampRange(start, end)
 	ro.Prefix = nil
 	remaining := ro.Limit
+	pol := cl.c.retry
 	for attempt := 0; ; attempt++ {
 		router, err := cl.c.Router(table)
 		if err != nil {
@@ -300,13 +313,14 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
+				target, note := srv, func(e error) { cl.c.breakers.noteServer(srv.ID(), e) }
 				if attempt == 0 {
 					// Pinned scans are replica territory; retries stay on
 					// the primary.
-					srv = cl.readTarget(srv, ts, ro)
+					target, note = cl.readTarget(srv, ts, ro)
 				}
 				sent := 0
-				err = srv.ParallelScan(ctx, tab.ID, group, core.ReadScanOptions(start, end, ts, perTablet), func(rows []core.Row) error {
+				err = target.ParallelScan(ctx, tab.ID, group, core.ReadScanOptions(start, end, ts, perTablet), func(rows []core.Row) error {
 					for _, r := range rows {
 						if !fn(r) {
 							return errStopScan
@@ -315,6 +329,7 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 					}
 					return nil
 				})
+				note(err)
 				if remaining > 0 {
 					if remaining -= sent; remaining <= 0 && err == nil {
 						return nil
@@ -327,13 +342,14 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 					return nil
 				}
 			}
-			if !retryableRouting(err) || attempt >= staleRetries {
+			if !retryableRouting(err) || attempt >= pol.MaxAttempts {
 				return err
 			}
 			// Resume from this tablet's slice of the request range:
 			// forward scans have fully streamed every tablet before it,
 			// reverse scans every tablet above it.
 			cl.c.obsScanResumes.Inc()
+			cl.c.obsRetryAttempts.Inc()
 			obs.FromContext(ctx).Label("resume", fmt.Sprintf("tablet=%s attempt=%d err=%v", tab.ID, attempt, err))
 			if ro.Reverse {
 				if tab.Range.End != nil && (end == nil || bytes.Compare(tab.Range.End, end) < 0) {
@@ -348,7 +364,9 @@ func (cl *Client) ScanOpts(ctx context.Context, table, group string, start, end 
 		if !stale {
 			return nil
 		}
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		if err := pol.sleep(ctx, attempt+1, cl.rng); err != nil {
+			return err
+		}
 	}
 }
 
@@ -367,6 +385,7 @@ func (cl *Client) Read(table, group string, key []byte, ro readopt.Options) ([]c
 			first = false
 			if rep := cl.c.replicaFor(srv.ID(), ro.Snapshot, ro); rep != nil {
 				r, rerr := rep.Server().ReadRow(tablet, group, key, ro)
+				cl.c.breakers.note("replica:"+rep.BaseID(), rerr)
 				if !retryableRouting(rerr) {
 					rows = r
 					return rerr
@@ -408,6 +427,7 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 	// mid-iteration re-appears as children, which are each contained in
 	// (and so deduplicated against) the scanned parent range.
 	var done []partition.Range
+	pol := cl.c.retry
 	for attempt := 0; ; attempt++ {
 		router, err := cl.c.Router(table)
 		if err != nil {
@@ -424,11 +444,12 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 			perTablet.Limit = remaining
 			srv, err := cl.c.ServerFor(tab.ID)
 			if err == nil {
+				target, note := srv, func(e error) { cl.c.breakers.noteServer(srv.ID(), e) }
 				if attempt == 0 {
-					srv = cl.readTarget(srv, ro.Snapshot, ro)
+					target, note = cl.readTarget(srv, ro.Snapshot, ro)
 				}
 				stop, sent := false, 0
-				err = srv.FullScanOpts(ctx, tab.ID, group, perTablet, func(r core.Row) bool {
+				err = target.FullScanOpts(ctx, tab.ID, group, perTablet, func(r core.Row) bool {
 					if !fn(r) {
 						stop = true
 						return false
@@ -436,6 +457,7 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 					sent++
 					return true
 				})
+				note(err)
 				if err == nil {
 					if remaining > 0 {
 						if remaining -= sent; remaining <= 0 {
@@ -449,10 +471,11 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 					continue
 				}
 			}
-			if !retryableRouting(err) || attempt >= staleRetries {
+			if !retryableRouting(err) || attempt >= pol.MaxAttempts {
 				return err
 			}
 			cl.c.obsScanResumes.Inc()
+			cl.c.obsRetryAttempts.Inc()
 			obs.FromContext(ctx).Label("resume", fmt.Sprintf("tablet=%s attempt=%d err=%v", tab.ID, attempt, err))
 			stale = true
 			break
@@ -460,7 +483,9 @@ func (cl *Client) FullScanOpts(ctx context.Context, table, group string, ro read
 		if !stale {
 			return nil
 		}
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		if err := pol.sleep(ctx, attempt+1, cl.rng); err != nil {
+			return err
+		}
 	}
 }
 
@@ -493,6 +518,7 @@ func (cl *Client) LookupSecondary(name string, secKey []byte) ([]core.Row, error
 	// The gather restarts on stale routing (a tablet split or moved
 	// mid-iteration): per-tablet results are buffered, so a restart
 	// never emits duplicates.
+	pol := cl.c.retry
 	for attempt := 0; ; attempt++ {
 		router, err := cl.c.Router(reg.table)
 		if err != nil {
@@ -505,12 +531,13 @@ func (cl *Client) LookupSecondary(name string, secKey []byte) ([]core.Row, error
 			if err == nil {
 				var rows []core.Row
 				rows, err = srv.LookupSecondary(tabletIndexName(name, tab.ID), secKey)
+				cl.c.breakers.noteServer(srv.ID(), err)
 				if err == nil {
 					out = append(out, rows...)
 					continue
 				}
 			}
-			if !retryableRouting(err) || attempt >= staleRetries {
+			if !retryableRouting(err) || attempt >= pol.MaxAttempts {
 				return nil, err
 			}
 			stale = true
@@ -519,7 +546,8 @@ func (cl *Client) LookupSecondary(name string, secKey []byte) ([]core.Row, error
 		if !stale {
 			return out, nil
 		}
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		cl.c.obsRetryAttempts.Inc()
+		pol.sleep(nil, attempt+1, cl.rng)
 	}
 }
 
@@ -544,6 +572,7 @@ func (cl *Client) ScanSecondaryRange(name string, start, end []byte, fn func(sec
 	// Like LookupSecondary, the gather restarts with fresh metadata on
 	// stale routing; rows only reach fn after the full gather, so a
 	// restart never duplicates.
+	pol := cl.c.retry
 	for attempt := 0; ; attempt++ {
 		router, err := cl.c.Router(reg.table)
 		if err != nil {
@@ -558,9 +587,10 @@ func (cl *Client) ScanSecondaryRange(name string, start, end []byte, fn func(sec
 					all = append(all, secRow{sec: append([]byte(nil), sec...), row: r})
 					return true
 				})
+				cl.c.breakers.noteServer(srv.ID(), err)
 			}
 			if err != nil {
-				if !retryableRouting(err) || attempt >= staleRetries {
+				if !retryableRouting(err) || attempt >= pol.MaxAttempts {
 					return err
 				}
 				stale = true
@@ -570,7 +600,8 @@ func (cl *Client) ScanSecondaryRange(name string, start, end []byte, fn func(sec
 		if !stale {
 			break
 		}
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		cl.c.obsRetryAttempts.Inc()
+		pol.sleep(nil, attempt+1, cl.rng)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if c := bytes.Compare(all[i].sec, all[j].sec); c != 0 {
@@ -616,6 +647,7 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 	for i := range ops {
 		remaining[i] = i
 	}
+	pol := cl.c.retry
 	for attempt := 0; ; attempt++ {
 		byServer := make(map[*core.Server][]core.BatchWrite)
 		idxOf := make(map[*core.Server][]int)
@@ -645,7 +677,9 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 			idxOf[srv] = append(idxOf[srv], oi)
 		}
 		for j, srv := range order {
-			if err := srv.ApplyBatch(byServer[srv]); err != nil {
+			err := srv.ApplyBatch(byServer[srv])
+			cl.c.breakers.noteServer(srv.ID(), err)
+			if err != nil {
 				if retryableRouting(err) {
 					failed = append(failed, idxOf[srv]...)
 					lastErr = err
@@ -663,12 +697,13 @@ func (cl *Client) ApplyBatch(ops []BatchOp) ([]int, error) {
 		if len(failed) == 0 {
 			return nil, nil
 		}
-		if attempt >= staleRetries-1 {
+		if attempt >= pol.MaxAttempts-1 {
 			sort.Ints(failed)
 			return failed, lastErr
 		}
 		cl.refresh()
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		cl.c.obsRetryAttempts.Inc()
+		pol.sleep(nil, attempt+1, cl.rng)
 		sort.Ints(failed)
 		remaining = failed
 	}

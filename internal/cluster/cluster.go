@@ -67,6 +67,16 @@ type Config struct {
 	// every traced op).
 	SlowOpLog       func(tree string)
 	SlowOpThreshold time.Duration
+	// Retry is the unified client retry policy (stale-routing retries,
+	// scan resumes, batch re-routes). Zero fields take the defaults in
+	// retry.go.
+	Retry RetryPolicy
+	// BreakerThreshold and BreakerProbeAfter tune the client circuit
+	// breaker: after BreakerThreshold consecutive routing failures a
+	// server/replica stops receiving traffic for BreakerProbeAfter,
+	// then one probe decides whether it reopens. Zero = defaults.
+	BreakerThreshold  int
+	BreakerProbeAfter time.Duration
 }
 
 // ErrServerDown is returned for operations routed to a killed server.
@@ -107,8 +117,15 @@ type Cluster struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	// scatter-gather client counters (shared by all clients).
-	obsStaleRetries *obs.Counter
-	obsScanResumes  *obs.Counter
+	obsStaleRetries  *obs.Counter
+	obsScanResumes   *obs.Counter
+	obsRetryAttempts *obs.Counter
+
+	// retry is the resolved client retry policy; breakers the shared
+	// circuit-breaker table; clientSeq seeds each client's jitter rng.
+	retry     RetryPolicy
+	breakers  *breakers
+	clientSeq atomic.Int64
 
 	secMu     sync.RWMutex
 	secondary map[string]secondaryReg // index name -> registration
@@ -172,6 +189,12 @@ func New(dir string, cfg Config) (*Cluster, error) {
 		"client operations retried on stale routing (split/move/failover)", nil)
 	c.obsScanResumes = c.metrics.Counter("logbase_client_scan_resumes_total",
 		"scatter-gather scans resumed by range after a routing change", nil)
+	c.obsRetryAttempts = c.metrics.Counter("logbase_retry_attempts_total",
+		"client attempts retried under the unified backoff policy", nil)
+	c.retry = cfg.Retry.withDefaults()
+	c.breakers = newBreakers(cfg.BreakerThreshold, cfg.BreakerProbeAfter)
+	c.metrics.GaugeFunc("logbase_breaker_open", "circuit breakers currently open or probing", nil,
+		func() float64 { return float64(c.breakers.openCount()) })
 	if cfg.SlowOpLog != nil {
 		c.tracer = &obs.Tracer{
 			Threshold: cfg.SlowOpThreshold,
@@ -343,7 +366,13 @@ func (c *Cluster) ServerFor(tablet string) (*core.Server, error) {
 	}
 	st := c.servers[owner]
 	if !st.alive {
+		c.breakers.failure("server:" + owner)
 		return nil, fmt.Errorf("%w: %s (tablet %s)", ErrServerDown, owner, tablet)
+	}
+	// An open breaker sheds routing to a server that kept failing even
+	// though it is nominally alive, until a probe attempt succeeds.
+	if !c.breakers.allow("server:" + owner) {
+		return nil, fmt.Errorf("%w: %s (circuit open, tablet %s)", ErrServerDown, owner, tablet)
 	}
 	return st.srv, nil
 }
@@ -499,6 +528,22 @@ func (c *Cluster) Checkpoint() error {
 		}
 	}
 	return nil
+}
+
+// ScrubAll scrubs every live tablet server's log against its DFS
+// replicas (core.Server.Scrub), keyed by server id. The first I/O
+// error aborts the sweep; per-server corruption findings are in the
+// reports, not the error.
+func (c *Cluster) ScrubAll() (map[string]core.ScrubReport, error) {
+	out := make(map[string]core.ScrubReport)
+	for _, id := range c.LiveServers() {
+		rep, err := c.Server(id).Scrub()
+		if err != nil {
+			return out, err
+		}
+		out[id] = rep
+	}
+	return out, nil
 }
 
 // CompactAll runs whole-log compaction on every live server.

@@ -18,7 +18,6 @@ package cluster
 import (
 	"context"
 	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -64,13 +63,17 @@ func (c *Cluster) QueryAt(ctx context.Context, table, group string, ts int64, q 
 	// with fresh metadata and re-running yields the identical answer.
 	var res query.Result
 	var err error
+	pol := c.retry
 	for attempt := 0; ; attempt++ {
 		res, err = c.queryAtOnce(ctx, table, group, ts, q, attempt == 0)
-		if err == nil || !retryableRouting(err) || attempt >= staleRetries {
+		if err == nil || !retryableRouting(err) || attempt >= pol.MaxAttempts {
 			return res, err
 		}
 		sp.Label("retry", err.Error())
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		c.obsRetryAttempts.Inc()
+		if serr := pol.sleep(ctx, attempt+1, nil); serr != nil {
+			return res, serr
+		}
 	}
 }
 
@@ -166,6 +169,7 @@ func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
 	// across a server failover, one taken across a later split or
 	// migration may error — snapshots are short-lived read handles, not
 	// topology-change-proof cursors.
+	pol := c.retry
 	for attempt := 0; ; attempt++ {
 		router, err := c.Router(table)
 		if err != nil {
@@ -176,7 +180,7 @@ func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
 		for _, tab := range router.Tablets() {
 			srv, err := c.ServerFor(tab.ID)
 			if err != nil {
-				if !retryableRouting(err) || attempt >= staleRetries {
+				if !retryableRouting(err) || attempt >= pol.MaxAttempts {
 					return nil, err
 				}
 				stale = true
@@ -192,6 +196,7 @@ func (c *Cluster) SnapshotAt(table string, ts int64) (*query.Snapshot, error) {
 		if !stale {
 			return query.NewSnapshot(ts, targets...), nil
 		}
-		time.Sleep(time.Duration(attempt+1) * staleBackoff)
+		c.obsRetryAttempts.Inc()
+		pol.sleep(nil, attempt+1, nil)
 	}
 }

@@ -161,6 +161,11 @@ func (c *Cluster) replicaFor(primaryID string, ts int64, ro readopt.Options) *re
 		if ro.MaxLag > 0 && r.Stats().LagRecords > uint64(ro.MaxLag) {
 			continue
 		}
+		// A replica whose circuit breaker is open is shedding reads
+		// until a probe succeeds; round-robin on to the next candidate.
+		if !c.breakers.allow("replica:" + r.BaseID()) {
+			continue
+		}
 		pick = r
 		break
 	}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRetryPolicyDelaySchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}.withDefaults()
+	// No jitter (rng nil): pure doubling capped at MaxDelay.
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := p.delay(i+1, nil); d != w {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Jitter: 0.5}.withDefaults()
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 6; attempt++ {
+		full := p.delay(attempt, nil)
+		for i := 0; i < 50; i++ {
+			d := p.delay(attempt, rng)
+			if d > full || d < full/2 {
+				t.Fatalf("jittered delay(%d) = %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyDeterministicWithSeed(t *testing.T) {
+	p := defaultRetryPolicy
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 12; attempt++ {
+		if da, db := p.delay(attempt, a), p.delay(attempt, b); da != db {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+func TestRetrySleepHonoursContext(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: time.Second}.withDefaults()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.sleep(ctx, 1, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sleep under expired deadline returned %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 500*time.Millisecond {
+		t.Fatalf("sleep ignored the deadline, blocked %v", took)
+	}
+}
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	b := newBreakers(3, 10*time.Millisecond)
+	const target = "server:ts99"
+	if !b.allow(target) {
+		t.Fatal("fresh target disallowed")
+	}
+	b.failure(target)
+	b.failure(target)
+	if !b.allow(target) {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.failure(target) // third consecutive failure: opens
+	if b.allow(target) {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if n := b.openCount(); n != 1 {
+		t.Fatalf("openCount = %d, want 1", n)
+	}
+	// Before the probe window: still rejected.
+	if b.allow(target) {
+		t.Fatal("open breaker admitted before probeAfter")
+	}
+	time.Sleep(12 * time.Millisecond)
+	// Probe window elapsed: exactly one probe admitted.
+	if !b.allow(target) {
+		t.Fatal("no probe admitted after probeAfter")
+	}
+	if b.allow(target) {
+		t.Fatal("second probe admitted while first in flight")
+	}
+	// Failed probe re-opens; successful probe closes.
+	b.failure(target)
+	if b.allow(target) {
+		t.Fatal("failed probe did not re-open")
+	}
+	time.Sleep(12 * time.Millisecond)
+	if !b.allow(target) {
+		t.Fatal("no probe after re-open window")
+	}
+	b.success(target)
+	if !b.allow(target) || b.openCount() != 0 {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// Closed again: a single failure does not re-open (streak reset).
+	b.failure(target)
+	if !b.allow(target) {
+		t.Fatal("one failure after close re-opened the breaker")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreakers(3, time.Millisecond)
+	const target = "replica:ts00.r0"
+	b.failure(target)
+	b.failure(target)
+	b.success(target)
+	b.failure(target)
+	b.failure(target)
+	if !b.allow(target) {
+		t.Fatal("streak not reset by interleaved success")
+	}
+}
+
+func TestBreakerNoteClassifiesErrors(t *testing.T) {
+	b := newBreakers(1, time.Minute)
+	// Routing errors count as failure...
+	b.note("replica:x", ErrServerDown)
+	if b.allow("replica:x") {
+		t.Fatal("ErrServerDown did not open (threshold 1)")
+	}
+	// ...but app-level errors mean the target responded.
+	b.note("replica:y", core.ErrNotFound)
+	if !b.allow("replica:y") {
+		t.Fatal("ErrNotFound treated as target failure")
+	}
+	// Server breakers additionally forgive tablet-level routing errors:
+	// ErrUnknownTablet is the server answering about a moved tablet.
+	b.noteServer("z", core.ErrUnknownTablet)
+	if !b.allow("server:z") {
+		t.Fatal("ErrUnknownTablet counted against the server breaker")
+	}
+	b.noteServer("z", ErrServerDown)
+	if b.allow("server:z") {
+		t.Fatal("ErrServerDown did not count against the server breaker")
+	}
+}
+
+// setServerAlive simulates the window between a server's session
+// expiring and the master completing failover — routing still points
+// at the server, but it is unreachable (ServerFor → ErrServerDown).
+// KillServer can't model this: it runs the whole failover
+// synchronously.
+func setServerAlive(c *Cluster, id string, alive bool) {
+	c.mu.Lock()
+	c.servers[id].alive = alive
+	c.mu.Unlock()
+}
+
+func ownerOf(t *testing.T, c *Cluster, cl *Client, key []byte) string {
+	t.Helper()
+	tab, err := cl.TabletFor("users", key)
+	if err != nil {
+		t.Fatalf("TabletFor: %v", err)
+	}
+	owner, ok := c.Assignments()[tab]
+	if !ok {
+		t.Fatalf("tablet %s unassigned", tab)
+	}
+	return owner
+}
+
+// TestBreakerOpensAgainstUnreachableServer drives the integrated path:
+// an unreachable-but-still-assigned server opens its breaker through
+// real failed routing attempts (gauge observable); once it heals, a
+// probe closes the breaker and ops converge.
+func TestBreakerOpensAgainstUnreachableServer(t *testing.T) {
+	c := newTestCluster(t, 3)
+	defer c.Close()
+	cl := c.NewClient()
+	key := []byte("user00")
+	if err := cl.Put("users", "profile", key, []byte("v0")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	owner := ownerOf(t, c, cl, key)
+
+	setServerAlive(c, owner, false)
+	// A cold-cache client must resolve the owner through ServerFor,
+	// where every attempt fails ErrServerDown; the retry loop exhausts
+	// its budget and the breaker accumulates the failures (default
+	// threshold 5 < default 12 attempts). The first client's cached
+	// *core.Server handle would bypass routing entirely — in-process
+	// servers don't stop serving, only routing observes liveness.
+	cl = c.NewClient()
+	if _, err := cl.Get("users", "profile", key); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("Get against unreachable server = %v, want ErrServerDown", err)
+	}
+	if n := c.breakers.openCount(); n == 0 {
+		t.Fatal("breaker gauge still zero after routed attempts against an unreachable server")
+	}
+
+	// Server heals: the probe admitted after the window succeeds,
+	// closes the breaker, and the row is readable again. The retry
+	// loop's later backoffs (cap 8ms) outlast the probe window (2ms),
+	// so one op converges.
+	setServerAlive(c, owner, true)
+	row, err := cl.Get("users", "profile", key)
+	if err != nil || string(row.Value) != "v0" {
+		t.Fatalf("Get after heal = %+v err=%v", row, err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.breakers.openCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker still open (%d) after successful ops", c.breakers.openCount())
+		}
+		cl.Get("users", "profile", key)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRetryAttemptCounterAdvances(t *testing.T) {
+	c := newTestCluster(t, 2)
+	defer c.Close()
+	cl := c.NewClient()
+	key := []byte("user02")
+	if err := cl.Put("users", "profile", key, []byte("v0")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	owner := ownerOf(t, c, cl, key)
+
+	before := findCounter(t, c, "logbase_retry_attempts_total")
+	setServerAlive(c, owner, false)
+	cl = c.NewClient()              // cold cache: routing observes the outage
+	cl.Get("users", "profile", key) // exhausts the attempt budget
+	setServerAlive(c, owner, true)
+	after := findCounter(t, c, "logbase_retry_attempts_total")
+	if after <= before {
+		t.Fatalf("logbase_retry_attempts_total did not advance: %v -> %v", before, after)
+	}
+}
+
+// findCounter reads a metric value from the cluster registry dump.
+func findCounter(t *testing.T, c *Cluster, name string) float64 {
+	t.Helper()
+	for _, m := range c.Metrics().Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s not registered", name)
+	return 0
+}

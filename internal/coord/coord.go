@@ -83,6 +83,19 @@ func (s *Service) NextTimestamp() int64 { return s.clock.Add(1) }
 // read-snapshot bound).
 func (s *Service) LastTimestamp() int64 { return s.clock.Load() }
 
+// AdvanceTo raises the clock to at least ts. Recovery seeds a fresh
+// oracle past every committed timestamp it restored, so "latest"
+// snapshot reads on a reopened instance see the recovered data instead
+// of an empty pre-history.
+func (s *Service) AdvanceTo(ts int64) {
+	for {
+		cur := s.clock.Load()
+		if cur >= ts || s.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
 // Session is one client's connection to the service.
 type Session struct {
 	svc    *Service

@@ -74,6 +74,12 @@ func (s *Server) checkpointLocked() error {
 	if err := w.Close(); err != nil {
 		return err
 	}
+	// Crash point: index files and the tmp manifest are written but the
+	// rename has not happened — recovery must fall back to the previous
+	// manifest (or a full log scan) and still see everything.
+	if err := s.cfg.Faults.FireErr("crash.checkpoint.pre-install"); err != nil {
+		return err
+	}
 	if s.fs.Exists(manifestPath) {
 		if err := s.fs.Delete(manifestPath); err != nil {
 			return err
@@ -90,7 +96,12 @@ type RecoveryStats struct {
 	IndexesLoaded   int
 	RecordsScanned  int
 	EntriesRestored int
-	Elapsed         time.Duration
+	// MaxTS is the highest committed timestamp restored (checkpointed
+	// entries plus redone tail records). A reopened instance must
+	// advance its timestamp oracle to at least this before serving
+	// "latest" snapshot reads.
+	MaxTS   int64
+	Elapsed time.Duration
 }
 
 type manifestData struct {
@@ -198,6 +209,8 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			tree.Ascend(func(e index.Entry) bool {
 				if !liveSegs[e.Ptr.Seg] {
 					stale = append(stale, e)
+				} else if e.TS > st.MaxTS {
+					st.MaxTS = e.TS
 				}
 				return true
 			})
@@ -275,6 +288,9 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		st.RecordsScanned++
 		if rec.TxnID != 0 && !committed[rec.TxnID] {
 			continue
+		}
+		if rec.TS > st.MaxTS {
+			st.MaxTS = rec.TS
 		}
 		// Resolve by range, not just id: records written before a tablet
 		// split carry the parent's id but belong to a served child.

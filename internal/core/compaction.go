@@ -287,6 +287,14 @@ func (s *Server) Compact() (CompactionStats, error) {
 		newTrees[k] = index.Bulk(entries)
 	}
 
+	// Crash point: the sorted output segments are durable alongside the
+	// still-live inputs; the in-memory install has not begun. Recovery
+	// over the doubled log must be idempotent (same key/ts entries
+	// replace, deletes apply by LSN).
+	if err := s.cfg.Faults.FireErr("crash.compact.pre-install"); err != nil {
+		return st, err
+	}
+
 	// Install: block mutations, replay the tail (records appended since
 	// the snapshot) into the new trees, swap, release. Tail segments are
 	// exactly those newer than the frozen input, minus our own sorted
@@ -399,6 +407,12 @@ func (s *Server) Compact() (CompactionStats, error) {
 	// write already installed something newer.
 	s.repointSecondaries(remap)
 
+	// Crash point: new trees are installed but the superseded input
+	// segments still exist — a restart must not resurrect vacuumed
+	// versions nor double-apply relocated records.
+	if err := s.cfg.Faults.FireErr("crash.compact.pre-remove"); err != nil {
+		return st, err
+	}
 	if err := s.log.RemoveSegments(inputNums...); err != nil {
 		return st, err
 	}

@@ -43,6 +43,10 @@ type serverObs struct {
 	// Changefeed counters (events/sec derives from the counter at
 	// scrape time; feed count and lag are scrape-time gauges).
 	cdcEvents *obs.Counter
+
+	// Scrub repairs (corrupt replica blocks rewritten from a healthy
+	// peer).
+	scrubRepaired *obs.Counter
 }
 
 // newServerObs registers the server's metrics into cfg.Metrics (or a
@@ -81,6 +85,15 @@ func newServerObs(s *Server) *serverObs {
 	o.compactRepoints = reg.Counter("logbase_compact_repoints_total", "index entries repointed by compaction", sl)
 	o.compactStalls = reg.Counter("logbase_compact_stalls_total", "compaction ticks stalled waiting for index recovery", sl)
 	o.cdcEvents = reg.Counter("logbase_cdc_events_total", "changefeed events delivered to consumers", sl)
+	o.scrubRepaired = reg.Counter("logbase_scrub_repaired_total", "corrupt replica blocks repaired by scrub", sl)
+	if s.cfg.Faults != nil {
+		// The fault registry is shared across the layers it is wired into
+		// (DFS, WAL, crash points); the gauge reports its cumulative
+		// injection count at scrape time.
+		faults := s.cfg.Faults
+		reg.GaugeFunc("logbase_faults_injected_total", "faults injected by the deterministic registry", sl,
+			func() float64 { return float64(faults.Injected()) })
+	}
 
 	// Existing atomics surfaced as scrape-time gauges: zero hot-path
 	// cost, so these register even when latency recording is disabled.

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -65,6 +66,11 @@ type Config struct {
 	// (reachable via Server.Metrics). Clusters pass one shared registry
 	// to all servers.
 	Metrics *obs.Registry
+	// Faults is the deterministic fault-injection registry consulted at
+	// the server's crash points (crash.* names) and threaded into the
+	// WAL (wal.append). nil injects nothing; the disabled path costs one
+	// nil check per point.
+	Faults *fault.Registry
 	// DisableMetrics turns off hot-path latency recording (histograms).
 	// Scrape-time gauges over the existing atomic counters stay
 	// registered either way — they cost the request paths nothing.
@@ -214,7 +220,7 @@ type ServerStats struct {
 // NewServer opens (or reopens) tablet server id over fs. Reopening an
 // id whose log exists leaves recovery to the caller (Recover).
 func NewServer(fs *dfs.DFS, id string, cfg Config) (*Server, error) {
-	log, err := wal.Open(fs, "log/"+id, wal.Options{SegmentSize: cfg.SegmentSize})
+	log, err := wal.Open(fs, "log/"+id, wal.Options{SegmentSize: cfg.SegmentSize, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -444,6 +450,12 @@ func (s *Server) Write(tabletID, group string, key []byte, ts int64, value []byt
 	if err != nil {
 		return err
 	}
+	// Crash point: the record is durable but not yet indexed. Recovery
+	// must redo it from the log (it was never acknowledged, so it may
+	// legally be either visible or absent — but never half-applied).
+	if err := s.cfg.Faults.FireErr("crash.put.pre-index"); err != nil {
+		return err
+	}
 	g.tree().Put(index.Entry{Key: key, TS: ts, Ptr: ptrs[0], LSN: rec.LSN})
 	s.noteSuperseded(t.table, g, key)
 	s.readCache.Put(cacheKey(t.table, group, key), encodeCached(ts, value))
@@ -584,6 +596,10 @@ func (s *Server) Delete(tabletID, group string, key []byte, ts int64) error {
 		Group: group, Key: key, TS: ts,
 	}
 	if _, err := s.append(rec); err != nil {
+		return err
+	}
+	// Crash point: tombstone durable, index entries not yet dropped.
+	if err := s.cfg.Faults.FireErr("crash.delete.pre-index"); err != nil {
 		return err
 	}
 	s.noteDeleted(g, key)
@@ -727,6 +743,11 @@ func (s *Server) ApplyTxn(txnID uint64, commitTS int64, writes []TxnWrite) error
 	if err != nil {
 		return err
 	}
+	// Crash point: writes AND commit record are durable, indexes are
+	// not touched yet — recovery must surface the whole transaction.
+	if err := s.cfg.Faults.FireErr("crash.txn.pre-index"); err != nil {
+		return err
+	}
 	// Commit record durable: reflect the writes in indexes and cache.
 	for i, w := range writes {
 		t, _ := s.tablet(w.Tablet)
@@ -800,6 +821,11 @@ func (s *Server) ApplyBatch(writes []BatchWrite) error {
 	}
 	ptrs, err := s.append(recs...)
 	if err != nil {
+		return err
+	}
+	// Crash point: the whole batch is durable in one sweep; none of it
+	// is indexed yet.
+	if err := s.cfg.Faults.FireErr("crash.batch.pre-index"); err != nil {
 		return err
 	}
 	for i, w := range writes {

@@ -54,6 +54,11 @@ func (s *Server) PrepareTxn(txnID uint64, commitTS int64, writes []TxnWrite) (*P
 	if err != nil {
 		return nil, err
 	}
+	// Crash point: the prepared writes are durable but commit-less —
+	// recovery must keep them invisible until a commit record exists.
+	if err := s.cfg.Faults.FireErr("crash.2pc.post-prepare"); err != nil {
+		return nil, err
+	}
 	p := &Prepared{txnID: txnID, writes: writes, ptrs: ptrs}
 	for _, r := range recs {
 		p.lsns = append(p.lsns, r.LSN)
@@ -90,6 +95,11 @@ func (s *Server) CommitTxn(txnID uint64, commitTS int64, p *Prepared) error {
 		}
 	}
 	if _, err := s.append(&wal.Record{Kind: wal.KindCommit, TxnID: txnID, TS: commitTS}); err != nil {
+		return err
+	}
+	// Crash point: the commit record is durable but the prepared writes
+	// were never installed — recovery must make the transaction visible.
+	if err := s.cfg.Faults.FireErr("crash.2pc.post-commit-append"); err != nil {
 		return err
 	}
 	// Snapshot the (possibly compaction-repointed) locations and retire

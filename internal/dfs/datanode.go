@@ -5,16 +5,18 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/simdisk"
 )
 
 // DataNode stores block replicas on a simulated disk. A dead datanode
 // rejects all I/O until restarted; its on-disk state survives restarts.
 type DataNode struct {
-	id    int
-	rack  int
-	disk  *simdisk.Disk
-	alive atomic.Bool
+	id     int
+	rack   int
+	disk   *simdisk.Disk
+	faults *fault.Registry
+	alive  atomic.Bool
 
 	mu    sync.Mutex
 	files map[blockID]*simdisk.File
@@ -75,9 +77,44 @@ func (n *DataNode) blockFile(id blockID, create bool) (*simdisk.File, error) {
 }
 
 func (n *DataNode) writeBlock(id blockID, off int64, p []byte) error {
+	// The replica-level fault point: killing this node via OnFire, a
+	// torn fragment (Partial), a persistent bit flip (FlipBit), or a
+	// plain write error on this one replica while the others succeed.
+	if o := n.faults.Fire(fmt.Sprintf("dfs.dn%d.write", n.id)); o.Injected() {
+		if o.Delay > 0 {
+			n.disk.Clock().Advance(o.Delay)
+		}
+		if !n.Alive() { // OnFire may have killed this very node
+			return errDeadNode
+		}
+		if o.FlipBit {
+			corrupted := append([]byte(nil), p...)
+			fault.Corrupt(corrupted, o.Token)
+			p = corrupted
+		}
+		if o.Partial > 0 && o.Partial < 1 {
+			torn := int(float64(len(p)) * o.Partial)
+			if err := n.writeBlockBytes(id, off, p[:torn]); err != nil {
+				return err
+			}
+			err := o.Err
+			if err == nil {
+				err = fault.ErrInjected
+			}
+			return fmt.Errorf("dfs: dn%d block %d torn after %d/%d bytes: %w",
+				n.id, id, torn, len(p), err)
+		}
+		if o.Err != nil {
+			return o.Err
+		}
+	}
 	if !n.Alive() {
 		return errDeadNode
 	}
+	return n.writeBlockBytes(id, off, p)
+}
+
+func (n *DataNode) writeBlockBytes(id blockID, off int64, p []byte) error {
 	f, err := n.blockFile(id, true)
 	if err != nil {
 		return err
@@ -87,6 +124,25 @@ func (n *DataNode) writeBlock(id blockID, off int64, p []byte) error {
 }
 
 func (n *DataNode) readBlock(id blockID, off int64, length int) ([]byte, error) {
+	if o := n.faults.Fire(fmt.Sprintf("dfs.dn%d.read", n.id)); o.Injected() {
+		if o.Delay > 0 {
+			n.disk.Clock().Advance(o.Delay)
+		}
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		if o.FlipBit {
+			buf, err := n.readBlockBytes(id, off, length)
+			if err == nil && len(buf) > 0 {
+				fault.Corrupt(buf, o.Token)
+			}
+			return buf, err
+		}
+	}
+	return n.readBlockBytes(id, off, length)
+}
+
+func (n *DataNode) readBlockBytes(id blockID, off int64, length int) ([]byte, error) {
 	if !n.Alive() {
 		return nil, errDeadNode
 	}
@@ -100,6 +156,17 @@ func (n *DataNode) readBlock(id blockID, off int64, length int) ([]byte, error) 
 		return nil, err
 	}
 	return buf[:m], nil
+}
+
+func (n *DataNode) truncateBlock(id blockID, size int64) error {
+	if !n.Alive() {
+		return errDeadNode
+	}
+	f, err := n.blockFile(id, false)
+	if err != nil {
+		return err
+	}
+	return f.Truncate(size)
 }
 
 func (n *DataNode) deleteBlock(id blockID) {

@@ -16,12 +16,14 @@
 package dfs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/simdisk"
 )
 
@@ -44,6 +46,10 @@ type Config struct {
 	// Clock, when non-nil, is shared by all datanode disks so one
 	// virtual-time reading covers the cluster.
 	Clock *simdisk.Clock
+	// Faults, when non-nil, is consulted at the block I/O points
+	// ("dfs.dn<i>.read", "dfs.dn<i>.write") and threaded into every
+	// datanode disk ("disk.dn<i>.read"/".write"). Nil injects nothing.
+	Faults *fault.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +84,11 @@ type blockMeta struct {
 	id       blockID
 	size     int64
 	replicas []int // datanode ids
+	// wmu serialises bulk copies of this block (re-replication) against
+	// in-flight appends: without it a new replica could be installed
+	// missing bytes an append wrote between the copy and the install.
+	// Lock ordering: wmu before d.mu, never the reverse.
+	wmu sync.Mutex
 }
 
 // fileMeta is the namenode's record of one file.
@@ -118,7 +129,8 @@ func New(dir string, cfg Config) (*DFS, error) {
 		if err != nil {
 			return nil, err
 		}
-		dn := &DataNode{id: i, rack: i % cfg.Racks, disk: disk}
+		disk.SetFaults(cfg.Faults, fmt.Sprintf("disk.dn%d", i))
+		dn := &DataNode{id: i, rack: i % cfg.Racks, disk: disk, faults: cfg.Faults}
 		dn.alive.Store(true)
 		d.nodes = append(d.nodes, dn)
 	}
@@ -367,19 +379,39 @@ func (d *DFS) RecoverReplication() (int, error) {
 
 	created := 0
 	for _, j := range jobs {
-		data, err := d.nodes[j.src].readBlock(j.b.id, 0, int(j.b.size))
+		n, err := d.replicateBlock(j.b, j.src, j.dsts)
+		created += n
 		if err != nil {
-			return created, fmt.Errorf("dfs: re-replicate block %d: %w", j.b.id, err)
+			return created, err
 		}
-		for _, dst := range j.dsts {
-			if err := d.nodes[dst].writeBlock(j.b.id, 0, data); err != nil {
-				return created, fmt.Errorf("dfs: re-replicate block %d to dn%d: %w", j.b.id, dst, err)
-			}
-			d.mu.Lock()
-			j.b.replicas = append(j.b.replicas, dst)
-			d.mu.Unlock()
-			created++
+	}
+	return created, nil
+}
+
+// replicateBlock copies block b from src to each dst and installs the
+// new replicas. It holds the block's write mutex for the whole
+// copy-and-install so an append racing the copy either lands before it
+// (and is included in the copied bytes) or after the install (and is
+// pipelined to the new replica like any other) — never in between.
+func (d *DFS) replicateBlock(b *blockMeta, src int, dsts []int) (int, error) {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
+	d.mu.Lock()
+	size := b.size
+	d.mu.Unlock()
+	data, err := d.nodes[src].readBlock(b.id, 0, int(size))
+	if err != nil {
+		return 0, fmt.Errorf("dfs: re-replicate block %d: %w", b.id, err)
+	}
+	created := 0
+	for _, dst := range dsts {
+		if err := d.nodes[dst].writeBlock(b.id, 0, data); err != nil {
+			return created, fmt.Errorf("dfs: re-replicate block %d to dn%d: %w", b.id, dst, err)
 		}
+		d.mu.Lock()
+		b.replicas = append(b.replicas, dst)
+		d.mu.Unlock()
+		created++
 	}
 	return created, nil
 }
@@ -420,8 +452,15 @@ func (d *DFS) appendAt(path string, p []byte) (int64, error) {
 		}
 		frag := p[:n]
 		blockOff := last.size
-		replicas := append([]int(nil), last.replicas...)
 		id := last.id
+		d.mu.Unlock()
+
+		// Serialise against a re-replication copying this block; the
+		// replica set is re-read under the block mutex so a replica the
+		// copier just installed receives this write too.
+		last.wmu.Lock()
+		d.mu.Lock()
+		replicas := append([]int(nil), last.replicas...)
 		d.mu.Unlock()
 
 		// Synchronous pipeline: every live replica must accept the write
@@ -442,6 +481,7 @@ func (d *DFS) appendAt(path string, p []byte) (int64, error) {
 			live = append(live, node)
 		}
 		if len(live) == 0 {
+			last.wmu.Unlock()
 			return 0, ErrNoDataNodes
 		}
 		errs := make([]error, len(live))
@@ -456,10 +496,25 @@ func (d *DFS) appendAt(path string, p []byte) (int64, error) {
 			}(i, node)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
+		// A replica that died mid-write is dropped from the pipeline
+		// like one found dead before it (generation-stamp rule): the
+		// write still succeeds as long as one replica accepted it. Any
+		// other per-replica error fails the append.
+		ok := 0
+		for i, err := range errs {
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, errDeadNode):
+				stale = append(stale, live[i].id)
+			default:
+				last.wmu.Unlock()
 				return 0, err
 			}
+		}
+		if ok == 0 {
+			last.wmu.Unlock()
+			return 0, ErrNoDataNodes
 		}
 		d.mu.Lock()
 		if len(stale) > 0 {
@@ -480,6 +535,7 @@ func (d *DFS) appendAt(path string, p []byte) (int64, error) {
 		}
 		last.size += n
 		d.mu.Unlock()
+		last.wmu.Unlock()
 		p = p[n:]
 		off += n
 	}
@@ -501,9 +557,14 @@ func (d *DFS) readAt(path string, p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
 	size := fm.size()
-	blocks := make([]blockMeta, len(fm.blocks))
+	type blockSnap struct {
+		id       blockID
+		size     int64
+		replicas []int
+	}
+	blocks := make([]blockSnap, len(fm.blocks))
 	for i, b := range fm.blocks {
-		blocks[i] = blockMeta{id: b.id, size: b.size, replicas: append([]int(nil), b.replicas...)}
+		blocks[i] = blockSnap{id: b.id, size: b.size, replicas: append([]int(nil), b.replicas...)}
 	}
 	blockSize := d.cfg.BlockSize
 	d.mu.Unlock()
@@ -601,6 +662,210 @@ func (r *Reader) Size() (int64, error) { return r.d.Size(r.path) }
 
 // Close releases the reader.
 func (r *Reader) Close() error { return nil }
+
+// Truncate cuts the file back to size bytes, discarding the suffix on
+// every live replica. This is the block-recovery step a writer performs
+// after a torn append: the unacknowledged tail is removed so the file
+// ends at the last durable record boundary (HDFS does the equivalent
+// during lease/pipeline recovery).
+func (d *DFS) Truncate(path string, size int64) error {
+	d.mu.Lock()
+	fm, ok := d.files[path]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if size < 0 || size > fm.size() {
+		d.mu.Unlock()
+		return fmt.Errorf("dfs: truncate %s to %d: out of range", path, size)
+	}
+	type cut struct {
+		id       blockID
+		size     int64
+		replicas []int
+		drop     bool
+	}
+	var cuts []cut
+	var off int64
+	var kept []*blockMeta
+	for _, b := range fm.blocks {
+		end := off + b.size
+		switch {
+		case end <= size: // untouched
+			kept = append(kept, b)
+		case off >= size: // entirely beyond the cut: drop
+			cuts = append(cuts, cut{id: b.id, replicas: b.replicas, drop: true})
+		default: // straddles the cut: shrink
+			b.size = size - off
+			kept = append(kept, b)
+			cuts = append(cuts, cut{id: b.id, size: b.size, replicas: b.replicas})
+		}
+		off = end
+	}
+	fm.blocks = kept
+	nodes := d.nodes
+	d.mu.Unlock()
+
+	for _, c := range cuts {
+		for _, nid := range c.replicas {
+			if !nodes[nid].Alive() {
+				continue
+			}
+			if c.drop {
+				nodes[nid].deleteBlock(c.id)
+			} else if err := nodes[nid].truncateBlock(c.id, c.size); err != nil {
+				return fmt.Errorf("dfs: truncate %s block %d on dn%d: %w", path, c.id, nid, err)
+			}
+		}
+	}
+	return nil
+}
+
+// BlockInfo is the scrub-facing view of one block of a file.
+type BlockInfo struct {
+	// Index is the block's position in the file.
+	Index int
+	// Offset is the file offset at which the block starts.
+	Offset int64
+	// Size is the number of committed bytes in the block.
+	Size int64
+	// Replicas lists the datanodes holding a current copy.
+	Replicas []int
+}
+
+// Blocks returns the block layout of a file — which datanodes hold each
+// block — for replica-aware verification (scrubbing).
+func (d *DFS) Blocks(path string) ([]BlockInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fm, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]BlockInfo, len(fm.blocks))
+	var off int64
+	for i, b := range fm.blocks {
+		out[i] = BlockInfo{
+			Index:    i,
+			Offset:   off,
+			Size:     b.size,
+			Replicas: append([]int(nil), b.replicas...),
+		}
+		off += b.size
+	}
+	return out, nil
+}
+
+// ReadBlockReplica reads the full content of block blockIdx of path as
+// stored on datanode nid, bypassing the usual any-replica fallback so a
+// scrubber can inspect each copy individually.
+func (d *DFS) ReadBlockReplica(path string, blockIdx, nid int) ([]byte, error) {
+	d.mu.Lock()
+	b, err := d.blockAtLocked(path, blockIdx)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	id, size := b.id, b.size
+	holds := false
+	for _, r := range b.replicas {
+		if r == nid {
+			holds = true
+			break
+		}
+	}
+	d.mu.Unlock()
+	if !holds {
+		return nil, fmt.Errorf("dfs: dn%d holds no replica of %s block %d", nid, path, blockIdx)
+	}
+	return d.nodes[nid].readBlock(id, 0, int(size))
+}
+
+// RepairBlockReplica overwrites datanode to's copy of block blockIdx
+// with the bytes stored on datanode from — the re-replication step a
+// scrubber takes after identifying a corrupt replica.
+func (d *DFS) RepairBlockReplica(path string, blockIdx, from, to int) error {
+	d.mu.Lock()
+	b, err := d.blockAtLocked(path, blockIdx)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	id, size := b.id, b.size
+	d.mu.Unlock()
+	data, err := d.nodes[from].readBlock(id, 0, int(size))
+	if err != nil {
+		return fmt.Errorf("dfs: repair %s block %d: read dn%d: %w", path, blockIdx, from, err)
+	}
+	if err := d.nodes[to].writeBlock(id, 0, data); err != nil {
+		return fmt.Errorf("dfs: repair %s block %d: write dn%d: %w", path, blockIdx, to, err)
+	}
+	return nil
+}
+
+// CorruptBlockReplica flips one bit of datanode nid's copy of block
+// blockIdx at byte byteOff — persistent, on-disk corruption, the thing
+// scrubbing exists to find. Fault-injection surface for tests.
+func (d *DFS) CorruptBlockReplica(path string, blockIdx, nid int, byteOff int64) error {
+	d.mu.Lock()
+	b, err := d.blockAtLocked(path, blockIdx)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	id, size := b.id, b.size
+	d.mu.Unlock()
+	if byteOff < 0 || byteOff >= size {
+		return fmt.Errorf("dfs: corrupt %s block %d: offset %d out of range [0,%d)", path, blockIdx, byteOff, size)
+	}
+	data, err := d.nodes[nid].readBlock(id, byteOff, 1)
+	if err != nil {
+		return err
+	}
+	data[0] ^= 0x01
+	return d.nodes[nid].writeBlock(id, byteOff, data)
+}
+
+// blockAtLocked returns block blockIdx of path; d.mu must be held.
+func (d *DFS) blockAtLocked(path string, blockIdx int) (*blockMeta, error) {
+	fm, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if blockIdx < 0 || blockIdx >= len(fm.blocks) {
+		return nil, fmt.Errorf("dfs: %s has no block %d", path, blockIdx)
+	}
+	return fm.blocks[blockIdx], nil
+}
+
+// ReplicasAgree reports whether all live replicas of every block of
+// path hold byte-identical content (a cheap whole-file integrity probe
+// used by tests; Scrub does the CRC-level verification).
+func (d *DFS) ReplicasAgree(path string) (bool, error) {
+	blocks, err := d.Blocks(path)
+	if err != nil {
+		return false, err
+	}
+	for _, b := range blocks {
+		var ref []byte
+		have := false
+		for _, nid := range b.Replicas {
+			if !d.nodes[nid].Alive() {
+				continue
+			}
+			data, err := d.ReadBlockReplica(path, b.Index, nid)
+			if err != nil {
+				return false, err
+			}
+			if !have {
+				ref, have = data, true
+			} else if !bytes.Equal(ref, data) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultNilRegistryNeverInjects(t *testing.T) {
+	var r *Registry
+	if o := r.Fire("anything"); o.Injected() {
+		t.Fatalf("nil registry injected: %+v", o)
+	}
+	if err := r.FireErr("anything"); err != nil {
+		t.Fatalf("nil registry FireErr: %v", err)
+	}
+	if r.Injected() != 0 || r.Hits("anything") != 0 || r.Seed() != 0 {
+		t.Fatal("nil registry counters not zero")
+	}
+}
+
+func TestFaultUnarmedPointNeverInjects(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if o := r.Fire("p"); o.Injected() {
+			t.Fatalf("unarmed point injected on hit %d", i)
+		}
+	}
+	if r.Hits("p") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestFaultFailOnce(t *testing.T) {
+	r := New(1)
+	r.Arm("p", Policy{Times: 1})
+	o := r.Fire("p")
+	if !o.Injected() || !errors.Is(o.Err, ErrInjected) {
+		t.Fatalf("first hit should inject ErrInjected, got %+v", o)
+	}
+	for i := 0; i < 10; i++ {
+		if o := r.Fire("p"); o.Injected() {
+			t.Fatalf("fail-once injected twice (hit %d)", i)
+		}
+	}
+	if got := r.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+	if got := r.Hits("p"); got != 11 {
+		t.Fatalf("Hits = %d, want 11", got)
+	}
+}
+
+func TestFaultFailNAfterK(t *testing.T) {
+	r := New(1)
+	wantErr := errors.New("boom")
+	r.Arm("p", Policy{After: 3, Times: 2, Err: wantErr})
+	var injectedAt []int
+	for i := 1; i <= 10; i++ {
+		if o := r.Fire("p"); o.Injected() {
+			if !errors.Is(o.Err, wantErr) {
+				t.Fatalf("hit %d: err = %v, want %v", i, o.Err, wantErr)
+			}
+			injectedAt = append(injectedAt, i)
+		}
+	}
+	if len(injectedAt) != 2 || injectedAt[0] != 4 || injectedAt[1] != 5 {
+		t.Fatalf("injected at hits %v, want [4 5]", injectedAt)
+	}
+}
+
+func TestFaultProbDeterministicAcrossRegistries(t *testing.T) {
+	run := func() []int {
+		r := New(42)
+		r.Arm("p", Policy{Prob: 0.3})
+		var hits []int
+		for i := 0; i < 200; i++ {
+			if r.Fire("p").Injected() {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 injected %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d injections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultProbIndependentOfOtherPoints(t *testing.T) {
+	// Arming/firing an unrelated point must not shift another point's
+	// RNG stream (per-point seeding).
+	seq := func(extra bool) []int {
+		r := New(7)
+		r.Arm("p", Policy{Prob: 0.5})
+		if extra {
+			r.Arm("q", Policy{Prob: 0.5})
+		}
+		var hits []int
+		for i := 0; i < 100; i++ {
+			if extra {
+				r.Fire("q")
+			}
+			if r.Fire("p").Injected() {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := seq(false), seq(true)
+	if len(a) != len(b) {
+		t.Fatalf("point p perturbed by point q: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point p perturbed by point q at %d", i)
+		}
+	}
+}
+
+func TestFaultCrashPolicy(t *testing.T) {
+	r := New(1)
+	r.Arm("crash.here", Policy{Times: 1, Crash: true})
+	o := r.Fire("crash.here")
+	if !o.Injected() || !Crashed(o.Err) {
+		t.Fatalf("crash point outcome = %+v", o)
+	}
+	if Crashed(errors.New("other")) {
+		t.Fatal("Crashed matched a non-crash error")
+	}
+}
+
+func TestFaultSideEffectOnly(t *testing.T) {
+	r := New(1)
+	fired := 0
+	r.Arm("p", Policy{Times: 1, OnFire: func() { fired++ }})
+	o := r.Fire("p")
+	if !o.Injected() || o.Err != nil {
+		t.Fatalf("side-effect-only outcome = %+v", o)
+	}
+	if fired != 1 {
+		t.Fatalf("OnFire ran %d times, want 1", fired)
+	}
+}
+
+func TestFaultDelayAndFlip(t *testing.T) {
+	r := New(1)
+	r.Arm("p", Policy{Delay: time.Microsecond, FlipBit: true})
+	o := r.Fire("p")
+	if !o.Injected() || o.Err != nil || o.Delay != time.Microsecond || !o.FlipBit {
+		t.Fatalf("outcome = %+v", o)
+	}
+	buf := make([]byte, 64)
+	Corrupt(buf, o.Token)
+	flipped := 0
+	for _, b := range buf {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("Corrupt flipped %d bytes, want 1", flipped)
+	}
+	Corrupt(nil, o.Token) // must not panic
+}
+
+func TestFaultDisarmAndReset(t *testing.T) {
+	r := New(1)
+	r.Arm("p", Policy{})
+	r.Disarm("p")
+	if r.Fire("p").Injected() {
+		t.Fatal("disarmed point injected")
+	}
+	r.Disarm("unknown") // no-op
+	r.Arm("p", Policy{})
+	r.Arm("q", Policy{})
+	if got := r.Armed(); len(got) != 2 || got[0] != "p" || got[1] != "q" {
+		t.Fatalf("Armed() = %v", got)
+	}
+	r.Fire("p")
+	r.Reset()
+	if r.Fire("p").Injected() || r.Fire("q").Injected() {
+		t.Fatal("reset registry injected")
+	}
+	if r.Injected() != 0 {
+		t.Fatal("Reset did not zero the injection counter")
+	}
+}
+
+func TestFaultOnInjectObserver(t *testing.T) {
+	r := New(1)
+	var seen []string
+	r.OnInject(func(name string) { seen = append(seen, name) })
+	r.Arm("a", Policy{Times: 1})
+	r.Arm("b", Policy{Times: 1})
+	r.Fire("a")
+	r.Fire("b")
+	r.Fire("a") // exhausted, not observed
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestFaultFireErrSleepsDelay(t *testing.T) {
+	r := New(1)
+	r.Arm("p", Policy{Times: 1, Delay: time.Millisecond, Err: ErrInjected})
+	t0 := time.Now()
+	err := r.FireErr("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("FireErr = %v", err)
+	}
+	if time.Since(t0) < time.Millisecond {
+		t.Fatal("FireErr did not realise the delay")
+	}
+}

@@ -556,6 +556,12 @@ func (r *Replica) cursorPath() string { return "repl/" + r.base + "/cursor" }
 // only over-replay — and re-applying the overlap is idempotent (same
 // keys, same timestamps).
 func (r *Replica) flushCursor() {
+	// Crash point: records were applied but the cursor flush never
+	// lands — a restart resumes from the PREVIOUS durable cursor and
+	// re-applies up to cursorFlushEvery records (idempotently).
+	if err := r.cfg.Server.Faults.FireErr("crash.repl.pre-cursor-flush"); err != nil {
+		return
+	}
 	r.mu.RLock()
 	gen := r.gen
 	r.mu.RUnlock()

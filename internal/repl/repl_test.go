@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/partition"
 )
 
@@ -388,5 +389,152 @@ func TestReplShippingModel(t *testing.T) {
 	}
 	if err := quick.Check(scenario, &quick.Config{MaxCount: 3, Rand: rand.New(rand.NewSource(31))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReplCrashReplayIdempotent is the cursor-staleness half of crash
+// safety: the durable cursor lands at most every cursorFlushEvery
+// applies, so a replica that dies between apply and flush re-applies
+// up to cursorFlushEvery-1 already-applied records on restart. The
+// replay must be invisible: ApplyReplicated installs each (key, ts)
+// version at most once (the index's LSN-gated overwrite), values stay
+// correct, the watermark never moves backwards, and no truncation
+// re-bootstrap (generation bump) is triggered.
+func TestReplCrashReplayIdempotent(t *testing.T) {
+	h := newHarness(t)
+	reg := fault.New(0xbad5eed)
+	rep, err := New(h.fs, h.primary, "ts0.r0", Config{
+		LastTS: h.ts.Load,
+		Server: core.Config{SegmentSize: 1 << 18, Faults: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.AddTablet(partition.Tablet{ID: testTablet, Table: "t"}, []string{testGroup})
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: 300 rows, shipped and durably checkpointed (the idle
+	// tick flushes the cursor once the replica catches up).
+	firstTS := make([]int64, 300)
+	for i := range firstTS {
+		firstTS[i] = h.put(t, i, fmt.Sprintf("v%d", i))
+	}
+	if err := rep.WaitForTS(h.ts.Load(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var durable uint64
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if _, lsn, found, err := rep.loadCursor(); err == nil && found {
+			durable = lsn
+		}
+		if durable == rep.AppliedLSN() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor never flushed: durable=%d applied=%d", durable, rep.AppliedLSN())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Phase 2: suppress every further cursor flush (including the one
+	// in Close), overwrite 200 existing keys, then "crash". Disk keeps
+	// the applied records; the cursor stays 200 records stale.
+	reg.Arm("crash.repl.pre-cursor-flush", fault.Policy{})
+	secondTS := make([]int64, 200)
+	for i := range secondTS {
+		secondTS[i] = h.put(t, i, fmt.Sprintf("u%d", i))
+	}
+	if err := rep.WaitForTS(h.ts.Load(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	crashApplied := rep.AppliedLSN()
+	wmBefore := rep.WatermarkTS()
+	if crashApplied <= durable {
+		t.Fatalf("no replay window: applied %d <= durable cursor %d", crashApplied, durable)
+	}
+	rep.Close()
+	if _, lsn, _, err := rep.loadCursor(); err != nil || lsn != durable {
+		t.Fatalf("cursor moved despite armed crash point: lsn=%d err=%v, want %d", lsn, err, durable)
+	}
+
+	// Restart as a fresh process: clean fault registry, stale cursor.
+	rep2, err := New(h.fs, h.primary, "ts0.r0", Config{
+		LastTS: h.ts.Load,
+		Server: core.Config{SegmentSize: 1 << 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.AppliedLSN(); got != durable {
+		t.Fatalf("reopened replica resumes at LSN %d, want stale durable cursor %d", got, durable)
+	}
+	rep2.AddTablet(partition.Tablet{ID: testTablet, Table: "t"}, []string{testGroup})
+	if err := rep2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+
+	// Catch up while checking the watermark never moves backwards.
+	target := h.ts.Load()
+	prev := int64(-1)
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		w := rep2.WatermarkTS()
+		if w < prev {
+			t.Fatalf("watermark moved backwards during replay: %d -> %d", prev, w)
+		}
+		prev = w
+		if w >= target {
+			break
+		}
+		if err := rep2.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at watermark %d, want %d", w, target)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if wm := rep2.WatermarkTS(); wm < wmBefore {
+		t.Fatalf("post-restart watermark %d below pre-crash %d", wm, wmBefore)
+	}
+	if gen := rep2.Stats().Generation; gen != 0 {
+		t.Fatalf("replay triggered a re-bootstrap: generation = %d, want 0", gen)
+	}
+
+	// Every key must hold exactly the versions the primary holds — the
+	// replayed suffix must not have installed duplicates.
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("k%05d", i))
+		got, err := rep2.Server().Versions(testTablet, testGroup, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := h.primary.Versions(testTablet, testGroup, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d versions on replica, %d on primary", key, len(got), len(want))
+		}
+		wantN := 1
+		if i < 200 {
+			wantN = 2
+		}
+		if len(got) != wantN {
+			t.Fatalf("key %s: %d versions, want %d (duplicate from replay?)", key, len(got), wantN)
+		}
+		for j := range got {
+			if got[j].TS != want[j].TS || string(got[j].Value) != string(want[j].Value) {
+				t.Fatalf("key %s version %d: replica (ts=%d, %q) != primary (ts=%d, %q)",
+					key, j, got[j].TS, got[j].Value, want[j].TS, want[j].Value)
+			}
+		}
+		latest := fmt.Sprintf("v%d", i)
+		if i < 200 {
+			latest = fmt.Sprintf("u%d", i)
+		}
+		wantRow(t, rep2.Server(), i, h.ts.Load(), latest)
 	}
 }

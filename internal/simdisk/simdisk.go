@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Model holds the cost parameters of a simulated spinning disk.
@@ -84,6 +86,11 @@ type Disk struct {
 	model Model
 	clock *Clock
 
+	// faults, when non-nil, is consulted on every file read and write
+	// at points "<faultPrefix>.read" / "<faultPrefix>.write".
+	faults      *fault.Registry
+	faultPrefix string
+
 	mu sync.Mutex
 	// One head per spindle: an access seeks unless it starts exactly
 	// where the previous access (to any file) ended. This is what makes
@@ -109,6 +116,14 @@ func New(dir string, model Model, clock *Clock) (*Disk, error) {
 
 // Dir returns the backing directory.
 func (d *Disk) Dir() string { return d.dir }
+
+// SetFaults attaches a fault registry. Reads fire "<prefix>.read" and
+// writes "<prefix>.write"; injected Delay advances the virtual clock
+// like a modelled cost. Call before issuing I/O.
+func (d *Disk) SetFaults(reg *fault.Registry, prefix string) {
+	d.faults = reg
+	d.faultPrefix = prefix
+}
 
 // Clock returns the disk's virtual clock.
 func (d *Disk) Clock() *Clock { return d.clock }
@@ -260,7 +275,39 @@ func (f *File) Size() (int64, error) {
 }
 
 // WriteAt writes p at offset off, charging seek + transfer cost.
+// Injected faults can tear the write (a prefix reaches disk, then an
+// error), flip a bit of the payload on its way down, add latency, or
+// fail it outright.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if o := f.d.faults.Fire(f.d.faultPrefix + ".write"); o.Injected() {
+		if o.Delay > 0 {
+			f.d.clock.Advance(o.Delay)
+		}
+		if o.FlipBit {
+			corrupted := append([]byte(nil), p...)
+			fault.Corrupt(corrupted, o.Token)
+			p = corrupted
+		}
+		if o.Partial > 0 && o.Partial < 1 {
+			n := int(float64(len(p)) * o.Partial)
+			if _, werr := f.writeAt(p[:n], off); werr != nil {
+				return 0, werr
+			}
+			err := o.Err
+			if err == nil {
+				err = fault.ErrInjected
+			}
+			return n, fmt.Errorf("simdisk: write %s@%d torn after %d/%d bytes: %w",
+				f.name, off, n, len(p), err)
+		}
+		if o.Err != nil {
+			return 0, fmt.Errorf("simdisk: write %s@%d: %w", f.name, off, o.Err)
+		}
+	}
+	return f.writeAt(p, off)
+}
+
+func (f *File) writeAt(p []byte, off int64) (int, error) {
 	f.d.charge(f.name, off, int64(len(p)), true)
 	n, err := f.f.WriteAt(p, off)
 	if err != nil {
@@ -283,13 +330,44 @@ func (f *File) Append(p []byte) (int64, error) {
 }
 
 // ReadAt reads len(p) bytes at offset off, charging seek + transfer cost.
+// Injected faults can fail the read, delay it, or flip a bit of the
+// returned data (the on-disk bytes stay intact — a transient read
+// corruption, as opposed to a write-path flip which persists).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if o := f.d.faults.Fire(f.d.faultPrefix + ".read"); o.Injected() {
+		if o.Delay > 0 {
+			f.d.clock.Advance(o.Delay)
+		}
+		if o.Err != nil {
+			return 0, fmt.Errorf("simdisk: read %s@%d: %w", f.name, off, o.Err)
+		}
+		if o.FlipBit {
+			n, err := f.readAt(p, off)
+			if n > 0 {
+				fault.Corrupt(p[:n], o.Token)
+			}
+			return n, err
+		}
+	}
+	return f.readAt(p, off)
+}
+
+func (f *File) readAt(p []byte, off int64) (int, error) {
 	f.d.charge(f.name, off, int64(len(p)), false)
 	n, err := f.f.ReadAt(p, off)
 	if err != nil {
 		return n, err // callers depend on io.EOF passing through
 	}
 	return n, nil
+}
+
+// Truncate cuts the file to size bytes. No transfer cost is charged:
+// truncation is a metadata operation.
+func (f *File) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return fmt.Errorf("simdisk: truncate %s: %w", f.name, err)
+	}
+	return nil
 }
 
 // Sync flushes the file to the underlying OS file.

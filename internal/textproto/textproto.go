@@ -32,6 +32,15 @@
 // is how `logbase-cli stats --watch` renders per-replica lag deltas.
 // COMPACT forces a whole-log compaction on every server.
 //
+// SCRUB verifies every server's log segments against all DFS
+// replicas (record frames and sorted-segment footer CRCs): one
+// "SCRUB <server> segments=.. blocks=.. replicas_read=.. repaired=..
+// unrecoverable=.." line per tablet server, a "DEFECT <server>
+// segment <n> offset <m>: <why>" line per range no replica
+// assignment can decode, then "END repaired=<r> unrecoverable=<u>".
+// Corrupt replica blocks are repaired in place from a healthy peer;
+// a clean second SCRUB confirms the repair.
+//
 // WATCH subscribes a changefeed and streams it down the session:
 //
 //	WATCH <table> <group|*> <start|*> <end|*> [FROM lsn] [LIMIT n]
@@ -135,6 +144,12 @@ type Store interface {
 	// Compact runs whole-log compaction on every tablet server (the
 	// COMPACT command).
 	Compact(ctx context.Context) error
+	// Scrub verifies every tablet server's log segments against all
+	// DFS replicas — record frames and sorted-segment footer CRCs —
+	// repairing corrupt replica blocks from healthy peers and
+	// reporting unrecoverable ranges (the SCRUB command). One snapshot
+	// per tablet server.
+	Scrub(ctx context.Context) ([]ScrubSnapshot, error)
 	// Watch subscribes a changefeed (the WATCH command): committed
 	// Put/Delete events for keys in [start, end) (nil = open; group ""
 	// = all column groups) from fromLSN (0 = beginning of the retained
@@ -205,6 +220,20 @@ type StatsSnapshot struct {
 	// Replicas lists the server's WAL-shipping read replicas, if any;
 	// each is rendered as its own "STAT <replica> replica_*" line.
 	Replicas []ReplicaStat
+}
+
+// ScrubSnapshot is one tablet server's SCRUB result line: walk
+// counters, repairs performed, and any ranges no replica assignment
+// could decode (rendered as DEFECT lines).
+type ScrubSnapshot struct {
+	Server         string
+	Segments       int
+	Blocks         int
+	ReplicasRead   int
+	RepairedBlocks int
+	// Unrecoverable describes ranges where every replica is corrupt,
+	// one human-readable "segment N offset M: why" string each.
+	Unrecoverable []string
 }
 
 // ReplicaStat is one read replica's shipping state on the STATS wire.
@@ -634,6 +663,33 @@ func Serve(ctx context.Context, rw io.ReadWriter, db Store) error {
 				err = reply("ERR %v", cerr)
 			} else {
 				err = reply("OK compact")
+			}
+		case cmd == "SCRUB":
+			snaps, serr := db.Scrub(ctx)
+			if serr != nil {
+				err = reply("ERR %v", serr)
+				break
+			}
+			repaired, unrecoverable := 0, 0
+			for _, sn := range snaps {
+				if err = reply("SCRUB %s segments=%d blocks=%d replicas_read=%d repaired=%d unrecoverable=%d",
+					sn.Server, sn.Segments, sn.Blocks, sn.ReplicasRead,
+					sn.RepairedBlocks, len(sn.Unrecoverable)); err != nil {
+					break
+				}
+				repaired += sn.RepairedBlocks
+				unrecoverable += len(sn.Unrecoverable)
+				for _, d := range sn.Unrecoverable {
+					if err = reply("DEFECT %s %s", sn.Server, d); err != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = reply("END repaired=%d unrecoverable=%d", repaired, unrecoverable)
 			}
 		case cmd == "STATS":
 			snaps, serr := db.Stats(ctx)

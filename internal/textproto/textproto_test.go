@@ -24,7 +24,9 @@ type fakeStore struct {
 	reg      *obs.Registry // nil = backend without a registry
 	events   []cdc.Event   // every committed mutation, in LSN order
 	views    map[string]*fakeView
-	replicas []ReplicaStat // attached to the STATS snapshot
+	replicas []ReplicaStat   // attached to the STATS snapshot
+	scrubs   []ScrubSnapshot // SCRUB reply; nil = nothing scrubbed
+	scrubErr error
 }
 
 // fakeView records an MVIEW CREATE; queries are computed live from the
@@ -278,6 +280,10 @@ func (ff *fakeFetcher) FetchSecondary(context.Context, int, string, [][]byte) ([
 func (f *fakeStore) Checkpoint() error { return nil }
 
 func (f *fakeStore) Compact(context.Context) error { return nil }
+
+func (f *fakeStore) Scrub(context.Context) ([]ScrubSnapshot, error) {
+	return f.scrubs, f.scrubErr
+}
 
 func (f *fakeStore) Stats(context.Context) ([]StatsSnapshot, error) {
 	return []StatsSnapshot{{Server: "fake", Writes: 7, SortedFraction: 0.5, Segments: 2, Replicas: f.replicas}}, nil
@@ -703,6 +709,39 @@ func TestStatsAndCompact(t *testing.T) {
 	}
 	if lines[2] != "OK compact" {
 		t.Fatalf("COMPACT reply = %q", lines[2])
+	}
+}
+
+func TestScrubCommand(t *testing.T) {
+	db := newFake()
+	db.scrubs = []ScrubSnapshot{
+		{Server: "ts00", Segments: 3, Blocks: 12, ReplicasRead: 36, RepairedBlocks: 1},
+		{Server: "ts01", Segments: 2, Blocks: 8, ReplicasRead: 24,
+			Unrecoverable: []string{"segment 4 offset 128: bad record crc"}},
+	}
+	lines := session(t, db, "SCRUB")
+	want := []string{
+		"SCRUB ts00 segments=3 blocks=12 replicas_read=36 repaired=1 unrecoverable=0",
+		"SCRUB ts01 segments=2 blocks=8 replicas_read=24 repaired=0 unrecoverable=1",
+		"DEFECT ts01 segment 4 offset 128: bad record crc",
+		"END repaired=1 unrecoverable=1",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("SCRUB replies = %v", lines)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("SCRUB line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestScrubCommandError(t *testing.T) {
+	db := newFake()
+	db.scrubErr = errors.New("dfs unavailable")
+	lines := session(t, db, "SCRUB")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ERR ") {
+		t.Fatalf("SCRUB error replies = %v", lines)
 	}
 }
 

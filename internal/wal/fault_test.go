@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/fault"
+)
+
+func newFaultLog(t *testing.T, seed int64) (*Log, *dfs.DFS, *fault.Registry, string) {
+	t.Helper()
+	dir := t.TempDir()
+	reg := fault.New(seed)
+	fs, err := dfs.New(dir, dfs.Config{NumDataNodes: 3, BlockSize: 4096, Faults: reg})
+	if err != nil {
+		t.Fatalf("dfs.New: %v", err)
+	}
+	l, err := Open(fs, "wal", Options{SegmentSize: 1 << 20, Faults: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, fs, reg, dir
+}
+
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		r := &Record{Kind: KindWrite, Table: "t", Tablet: "t/0", Group: "cg",
+			Key: []byte(fmt.Sprintf("k%04d", i)), TS: int64(i), Value: []byte("v")}
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func scanAll(l *Log) (keys []string, err error) {
+	s := l.NewScanner(Position{})
+	for s.Next() {
+		keys = append(keys, string(s.Record().Key))
+	}
+	return keys, s.Err()
+}
+
+// A torn append that "crashes" the process leaves partial bytes on
+// disk; reopening the log must truncate the torn frame and keep every
+// acknowledged record — the classic torn-tail contract.
+func TestWALTornTailCrashTruncatesOnReopen(t *testing.T) {
+	l, fs, reg, _ := newFaultLog(t, 1)
+	appendN(t, l, 0, 10)
+
+	reg.Arm("wal.append", fault.Policy{Times: 1, Partial: 0.5, Crash: true})
+	_, err := l.Append(&Record{Kind: KindWrite, Table: "t", Tablet: "t/0", Group: "cg",
+		Key: []byte("torn"), TS: 99, Value: []byte("v")})
+	if !fault.Crashed(err) {
+		t.Fatalf("torn crash append err = %v, want crash", err)
+	}
+	path := l.SegmentPath(1)
+	pre, _ := fs.Size(path)
+
+	// "Crash": abandon l, reopen from disk.
+	l2, err := Open(fs, "wal", Options{SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if post, _ := fs.Size(path); post >= pre {
+		t.Fatalf("torn tail not truncated: size %d -> %d", pre, post)
+	}
+	keys, err := scanAll(l2)
+	if err != nil {
+		t.Fatalf("scan after reopen: %v", err)
+	}
+	if len(keys) != 10 || keys[0] != "k0000" || keys[9] != "k0009" {
+		t.Fatalf("acknowledged records damaged: %v", keys)
+	}
+
+	// A second crash-free cycle: append into a fresh segment, reopen
+	// again — the once-torn segment is now sealed and must stay clean.
+	l2.SetNextLSN(1000)
+	appendN(t, l2, 100, 3)
+	l3, err := Open(fs, "wal", Options{SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	keys, err = scanAll(l3)
+	if err != nil {
+		t.Fatalf("scan after second reopen: %v", err)
+	}
+	if len(keys) != 13 {
+		t.Fatalf("got %d records after second cycle, want 13 (%v)", len(keys), keys)
+	}
+}
+
+// A torn append on a live (non-crashing) process is repaired in place:
+// the error surfaces to the writer, the segment is truncated back to
+// the last durable boundary, and the log keeps serving appends with no
+// garbage between records.
+func TestWALTornAppendRepairedInPlace(t *testing.T) {
+	l, _, reg, _ := newFaultLog(t, 1)
+	appendN(t, l, 0, 5)
+
+	reg.Arm("wal.append", fault.Policy{Times: 1, Partial: 0.3})
+	_, err := l.Append(&Record{Kind: KindWrite, Table: "t", Tablet: "t/0", Group: "cg",
+		Key: []byte("torn"), TS: 99, Value: []byte("v")})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn append err = %v, want injected", err)
+	}
+	appendN(t, l, 5, 5)
+	keys, serr := scanAll(l)
+	if serr != nil {
+		t.Fatalf("scan after in-place repair: %v", serr)
+	}
+	want := []string{"k0000", "k0001", "k0002", "k0003", "k0004", "k0005", "k0006", "k0007", "k0008", "k0009"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys after repair = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+}
+
+// An fsync-lost suffix (whole batch dropped, nothing on disk) must
+// likewise leave the log serving cleanly.
+func TestWALLostSuffixAppend(t *testing.T) {
+	l, _, reg, _ := newFaultLog(t, 1)
+	appendN(t, l, 0, 3)
+	reg.Arm("wal.append", fault.Policy{Times: 1, Err: errors.New("fsync lost")})
+	if _, err := l.Append(&Record{Kind: KindWrite, Table: "t", Tablet: "t/0", Group: "cg",
+		Key: []byte("lost"), TS: 9, Value: []byte("v")}); err == nil {
+		t.Fatal("lost-suffix append succeeded")
+	}
+	appendN(t, l, 3, 3)
+	keys, err := scanAll(l)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(keys) != 6 {
+		t.Fatalf("got %d records, want 6: %v", len(keys), keys)
+	}
+}
+
+// Interior corruption — a flipped bit inside a durable record — must
+// fail the scan loudly with the exact segment and offset, not silently
+// truncate the suffix. This is the mid-file half of the torn-vs-corrupt
+// distinction.
+func TestWALInteriorCorruptionFailsLoudly(t *testing.T) {
+	l, fs, _, _ := newFaultLog(t, 1)
+	appendN(t, l, 0, 20)
+
+	// Flip one payload byte of an early record on every replica.
+	path := l.SegmentPath(1)
+	blocks, err := fs.Blocks(path)
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	const corruptOff = segHeaderSize + 40 // inside the first record's payload
+	for _, nid := range blocks[0].Replicas {
+		if err := fs.CorruptBlockReplica(path, 0, nid, corruptOff); err != nil {
+			t.Fatalf("CorruptBlockReplica dn%d: %v", nid, err)
+		}
+	}
+
+	_, serr := scanAll(l)
+	if serr == nil {
+		t.Fatal("scan over interior corruption reported no error")
+	}
+	var ce *CorruptionError
+	if !errors.As(serr, &ce) {
+		t.Fatalf("scan err = %v (%T), want *CorruptionError", serr, serr)
+	}
+	if !errors.Is(serr, ErrCorrupt) {
+		t.Fatalf("scan err = %v, want ErrCorrupt underneath", serr)
+	}
+	if ce.Segment != 1 {
+		t.Fatalf("CorruptionError.Segment = %d, want 1", ce.Segment)
+	}
+	if ce.Off < segHeaderSize || ce.Off > corruptOff {
+		t.Fatalf("CorruptionError.Off = %d, want in [%d,%d]", ce.Off, segHeaderSize, corruptOff)
+	}
+
+	// Reopening must also refuse: the damage is in the last segment,
+	// before the tail, so open-time tail repair cannot explain it away.
+	if _, err := Open(fs, "wal", Options{}); err == nil {
+		t.Fatal("Open over interior corruption succeeded")
+	}
+}
+
+// A write-path bit flip (FlipBit on wal.append) is acknowledged but
+// lands corrupt on all replicas — the scan must detect it by CRC.
+func TestWALWriteBitFlipDetectedByScan(t *testing.T) {
+	l, _, reg, _ := newFaultLog(t, 7)
+	appendN(t, l, 0, 5)
+	reg.Arm("wal.append", fault.Policy{Times: 1, FlipBit: true})
+	appendN(t, l, 5, 1) // silently corrupted in flight
+	reg.Disarm("wal.append")
+	appendN(t, l, 6, 4)
+
+	_, serr := scanAll(l)
+	var ce *CorruptionError
+	if !errors.As(serr, &ce) || !errors.Is(serr, ErrCorrupt) {
+		t.Fatalf("scan err = %v, want CorruptionError/ErrCorrupt", serr)
+	}
+}
+
+// Replica-targeted read faults: a bit flip on one datanode's read path
+// corrupts that copy's returned bytes only; reads routed to the other
+// replicas still see clean data.
+func TestWALReadFaultSingleReplica(t *testing.T) {
+	l, fs, reg, _ := newFaultLog(t, 3)
+	appendN(t, l, 0, 10)
+	path := l.SegmentPath(1)
+	blocks, err := fs.Blocks(path)
+	if err != nil {
+		t.Fatalf("Blocks: %v", err)
+	}
+	bad := blocks[0].Replicas[0]
+	reg.Arm(fmt.Sprintf("dfs.dn%d.read", bad), fault.Policy{Err: errors.New("io error")})
+
+	// The DFS falls back to the healthy replicas transparently.
+	keys, serr := scanAll(l)
+	if serr != nil {
+		t.Fatalf("scan with one failing replica: %v", serr)
+	}
+	if len(keys) != 10 {
+		t.Fatalf("got %d records, want 10", len(keys))
+	}
+	if reg.Injected() == 0 {
+		t.Fatal("replica read fault never fired")
+	}
+}

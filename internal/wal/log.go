@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/dfs"
+	"repro/internal/fault"
 )
 
 // Options configures a Log.
@@ -15,6 +16,11 @@ type Options struct {
 	// SegmentSize is the rotation threshold in bytes. Zero means 64 MB
 	// (the paper's default, matching HDFS chunk size).
 	SegmentSize int64
+	// Faults, when non-nil, is consulted at the "wal.append" point on
+	// every batched segment write: injections can tear the batch
+	// (Partial), drop it whole (an fsync-lost suffix), or flip a bit
+	// on its way to disk. Nil injects nothing.
+	Faults *fault.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -115,7 +121,49 @@ func Open(fs *dfs.DFS, dir string, opts Options) (*Log, error) {
 		}
 	}
 	sort.Slice(l.order, func(i, j int) bool { return l.order[i] < l.order[j] })
+	if err := l.repairTailOnOpen(); err != nil {
+		return nil, err
+	}
 	return l, nil
+}
+
+// repairTailOnOpen physically truncates a torn frame at the end of the
+// last (previously active) segment. A crash mid-append leaves the torn
+// bytes on disk; recovery's scan would skip them, but they must also
+// be cut from the file — the next session appends to a *new* segment,
+// and a torn frame in a then-sealed segment would read as interior
+// corruption on any later recovery. Interior corruption found here
+// (a CRC mismatch before the tail) fails the open loudly.
+func (l *Log) repairTailOnOpen() error {
+	if len(l.order) == 0 {
+		return nil
+	}
+	num := l.order[len(l.order)-1]
+	st := l.segs[num]
+	if st.sorted || st.size <= segHeaderSize {
+		// Sorted segments were sealed by compaction and footer-checked
+		// above; they cannot carry an active tail.
+		return nil
+	}
+	path := l.SegmentPath(num)
+	r, err := l.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	verr := VerifySegment(r, st.size, num, false)
+	if verr == nil {
+		return nil
+	}
+	var ce *CorruptionError
+	if errors.As(verr, &ce) && errors.Is(ce.Err, ErrTorn) && ce.Off > 0 {
+		if err := l.fs.Truncate(path, ce.Off); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of seg %d: %w", num, err)
+		}
+		st.size, st.dataEnd = ce.Off, ce.Off
+		return nil
+	}
+	return verr
 }
 
 // readSegHeaderFooter validates a segment's header and, for sorted
@@ -210,8 +258,8 @@ func (l *Log) Append(recs ...*Record) ([]Ptr, error) {
 		if len(batch) == 0 {
 			return nil
 		}
-		if _, err := l.curW.Write(batch); err != nil {
-			return fmt.Errorf("wal: append seg %d: %w", l.cur, err)
+		if err := l.flushBatchLocked(batch); err != nil {
+			return err
 		}
 		batch = batch[:0]
 		return nil
@@ -248,6 +296,95 @@ func (l *Log) Append(recs ...*Record) ([]Ptr, error) {
 		l.hook(published)
 	}
 	return ptrs, nil
+}
+
+// flushBatchLocked writes one coalesced frame batch to the current
+// segment, consulting the "wal.append" fault point. Injected outcomes
+// model the real failure shapes: Partial writes a prefix of the batch
+// (a torn tail), a bare Err drops the whole batch (an fsync-lost
+// suffix), FlipBit corrupts a bit in flight (latent on-disk damage
+// that only a CRC check or scrub will notice). On any non-crash write
+// failure the segment is repaired in place — truncated back to the
+// last durable record boundary — so the log keeps serving; a crash
+// outcome leaves the torn bytes on disk, exactly as a dead process
+// would.
+func (l *Log) flushBatchLocked(batch []byte) error {
+	st := l.segs[l.cur]
+	start := st.size - int64(len(batch))
+	fail := func(written int, err error) error {
+		if !fault.Crashed(err) {
+			l.repairTornLocked(l.cur, start)
+		} else {
+			// The process is "dead": record reality (start + the torn
+			// prefix) so a same-process reopen in the crash harness
+			// does not consult in-memory state past the tear.
+			st.size = start + int64(written)
+			st.dataEnd = st.size
+		}
+		return fmt.Errorf("wal: append seg %d: %w", l.cur, err)
+	}
+	if o := l.opts.Faults.Fire("wal.append"); o.Injected() {
+		p := batch
+		if o.FlipBit {
+			p = append([]byte(nil), batch...)
+			fault.Corrupt(p, o.Token)
+		}
+		if o.Partial > 0 && o.Partial < 1 {
+			torn := int(float64(len(p)) * o.Partial)
+			if torn == 0 {
+				torn = 1
+			}
+			if _, werr := l.curW.Write(p[:torn]); werr != nil {
+				return fail(0, werr)
+			}
+			err := o.Err
+			if err == nil {
+				err = fault.ErrInjected
+			}
+			return fail(torn, fmt.Errorf("torn after %d/%d bytes: %w", torn, len(p), err))
+		}
+		if o.Err != nil {
+			return fail(0, o.Err)
+		}
+		if _, err := l.curW.Write(p); err != nil {
+			return fail(0, err)
+		}
+		return nil
+	}
+	if _, err := l.curW.Write(batch); err != nil {
+		return fail(0, err)
+	}
+	return nil
+}
+
+// repairTornLocked restores a segment to its last durable record
+// boundary after a failed batch write: the DFS file is truncated to
+// cut any torn prefix of the failed batch, and the in-memory state is
+// rolled back to match. The caller's append returns an error, so
+// nothing in the failed batch was acknowledged.
+func (l *Log) repairTornLocked(num uint32, dataEnd int64) {
+	st, ok := l.segs[num]
+	if !ok {
+		return
+	}
+	path := l.SegmentPath(num)
+	if size, err := l.fs.Size(path); err == nil && size > dataEnd {
+		// Truncation failing here is unrecoverable in place: rotate so
+		// the garbage tail is never appended after. The torn frame then
+		// sits at the end of a sealed segment, which recovery treats as
+		// loud corruption — strictly safer than serving on top of it.
+		if terr := l.fs.Truncate(path, dataEnd); terr != nil {
+			st.size = size
+			st.dataEnd = dataEnd
+			if l.cur == num && l.curW != nil {
+				l.curW.Close()
+				l.cur, l.curW = 0, nil
+			}
+			return
+		}
+	}
+	st.size = dataEnd
+	st.dataEnd = dataEnd
 }
 
 // SetAppendHook installs a callback invoked with every durably appended
@@ -749,11 +886,18 @@ func (s *Scanner) Next() bool {
 		rec, consumed, derr := Decode(frame)
 		if derr != nil {
 			if errors.Is(derr, ErrTorn) && s.idx == len(s.segs)-1 {
-				// Torn tail write: recovery truncates here.
+				// Torn tail write in the active (last) segment: the
+				// in-flight append died mid-frame and was never
+				// acknowledged. Recovery truncates here.
 				s.Close()
 				return false
 			}
-			s.err = fmt.Errorf("wal: seg %d @%d: %w", s.segs[s.idx], s.off, derr)
+			// Anything else — a CRC mismatch anywhere, or a torn frame
+			// in a sealed segment — is interior corruption: durable,
+			// possibly acknowledged records are damaged. Surface the
+			// exact location and fail loudly; silently skipping would
+			// drop every record after this point.
+			s.err = &CorruptionError{Segment: s.segs[s.idx], Off: s.off, Err: derr}
 			s.Close()
 			return false
 		}

@@ -111,6 +111,26 @@ var (
 	ErrTorn = errors.New("wal: torn record at tail")
 )
 
+// CorruptionError pins log corruption to an exact location. A torn
+// frame at the tail of the last segment is expected after a crash and
+// is silently truncated; everything else — a CRC mismatch anywhere, or
+// a torn frame in a sealed (non-last) segment — means durable records
+// may be damaged, and recovery must fail loudly with the location
+// rather than silently dropping the suffix.
+type CorruptionError struct {
+	// Segment and Off locate the first bad frame.
+	Segment uint32
+	Off     int64
+	// Err is the underlying defect (ErrCorrupt or ErrTorn).
+	Err error
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: segment %d corrupt at offset %d: %v", e.Segment, e.Off, e.Err)
+}
+
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
 func putString(buf []byte, s string) []byte {
 	if len(s) > math.MaxUint16 {
 		panic("wal: string field too long")

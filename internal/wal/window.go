@@ -2,8 +2,6 @@ package wal
 
 import (
 	"io"
-
-	"repro/internal/dfs"
 )
 
 // readWindow is the contiguous read-ahead buffer shared by the log
@@ -25,7 +23,7 @@ func (w *readWindow) reset() {
 
 // at returns at least want bytes starting at off (or everything up to
 // end), refilling from r in chunk-sized contiguous reads.
-func (w *readWindow) at(r *dfs.Reader, off, end int64, want, chunk int) ([]byte, error) {
+func (w *readWindow) at(r io.ReaderAt, off, end int64, want, chunk int) ([]byte, error) {
 	have := func() []byte {
 		rel := off - w.bufStart
 		if w.buf == nil || rel < 0 || rel >= int64(len(w.buf)) {

@@ -66,6 +66,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/txn"
 )
@@ -126,6 +127,11 @@ type Options struct {
 	// SlowOpThreshold is the minimum root-span duration for emission to
 	// SlowOpLog.
 	SlowOpThreshold time.Duration
+	// Faults, when set, is the deterministic fault-injection registry
+	// threaded through the simulated disks, DFS block I/O, WAL and the
+	// engine's crash points (see internal/fault). Nil disables every
+	// hook — the production path.
+	Faults *fault.Registry
 }
 
 // DB is an embedded single-server LogBase instance. It implements
@@ -170,6 +176,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		NumDataNodes:      nodes,
 		ReplicationFactor: opts.Replication,
 		BlockSize:         4 << 20,
+		Faults:            opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -189,6 +196,7 @@ func openOn(fs *dfs.DFS, dir string, opts Options) (*DB, error) {
 		AutoCompact:         opts.AutoCompact,
 		Metrics:             opts.Metrics,
 		DisableMetrics:      opts.DisableMetrics,
+		Faults:              opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -601,8 +609,25 @@ func (db *DB) CompactionInfo() CompactionInfo { return db.server.CompactionInfo(
 func (db *DB) SortedFraction() float64 { return db.server.SortedFraction() }
 
 // Recover rebuilds in-memory state after Reopen: index files from the
-// last checkpoint plus a redo of the log tail.
-func (db *DB) Recover() (core.RecoveryStats, error) { return db.server.Recover() }
+// last checkpoint plus a redo of the log tail. The timestamp oracle is
+// advanced past every restored commit so "latest" snapshot reads (e.g.
+// unpinned scans) see the recovered data immediately.
+func (db *DB) Recover() (core.RecoveryStats, error) {
+	st, err := db.server.Recover()
+	if err == nil {
+		db.svc.AdvanceTo(st.MaxTS)
+	}
+	return st, err
+}
+
+// ScrubReport summarises one Scrub pass; see core.ScrubReport.
+type ScrubReport = core.ScrubReport
+
+// Scrub verifies every log segment against all DFS replicas (record
+// frames and sorted-segment footer CRCs), repairs corrupt replica
+// blocks from a healthy peer, and reports ranges where every replica
+// is corrupt. A second Scrub after a repair pass reports zero defects.
+func (db *DB) Scrub() (ScrubReport, error) { return db.server.Scrub() }
 
 // Stats exposes engine counters.
 func (db *DB) Stats() *core.ServerStats { return db.server.Stats() }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	logbase "repro"
+	"repro/internal/fault"
 )
 
 // treeLog is a concurrency-safe slow-op sink.
@@ -257,5 +258,124 @@ func TestEmbeddedSlowOpThreshold(t *testing.T) {
 
 	if db.Metrics() == nil {
 		t.Error("DB.Metrics() nil")
+	}
+}
+
+// TestFaultObservabilityMetrics pins the fault-injection, scrub and
+// retry surfaces into the metrics registry: injected faults are
+// countable, scrub repairs increment their counter, client stale-route
+// retries are visible, and the breaker gauge is registered.
+func TestFaultObservabilityMetrics(t *testing.T) {
+	// Embedded: a wired registry exposes the injection gauge, and
+	// transient replica-read faults count as injected.
+	reg := fault.New(7)
+	db, err := logbase.Open(t.TempDir(), logbase.Options{SegmentSize: 1 << 18, Faults: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	db.CreateTable("t", "g")
+	reg.Arm("dfs.dn0.read", fault.Policy{Times: 2})
+	for i := 0; i < 20; i++ {
+		if err := db.Put(bg, "t", "g", []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := db.Get(bg, "t", "g", []byte(fmt.Sprintf("k%02d", i))); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	snap := map[string]float64{}
+	for _, m := range db.Metrics().Snapshot() {
+		snap[m.Name] += m.Value
+	}
+	if snap["logbase_faults_injected_total"] < 1 {
+		t.Errorf("logbase_faults_injected_total = %v, want >= 1", snap["logbase_faults_injected_total"])
+	}
+	if _, ok := snap["logbase_scrub_repaired_total"]; !ok {
+		t.Error("logbase_scrub_repaired_total not registered")
+	}
+
+	// Cluster: a scrub repair increments its counter, a stale-routed
+	// client retry increments the retry counter, and the breaker gauge
+	// is scrapeable.
+	c, err := logbase.NewCluster(t.TempDir(), logbase.ClusterConfig{
+		NumServers: 2,
+		Tables:     []logbase.TableSpec{{Name: "t", Groups: []string{"g"}, Tablets: 4}},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl := logbase.NewClusterClient(c)
+	defer cl.Close()
+	keys := make([][]byte, 40)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("row%03d", i))
+		if err := cl.Put(bg, "t", "g", keys[i], []byte("v")); err != nil {
+			t.Fatalf("cluster Put: %v", err)
+		}
+		if _, err := cl.Get(bg, "t", "g", keys[i]); err != nil {
+			t.Fatalf("cluster Get: %v", err) // warm the owner cache
+		}
+	}
+	victim := c.LiveServers()[0]
+	survivor := c.LiveServers()[1]
+	path := c.Server(victim).Log().SegmentPath(c.Server(victim).Log().ActiveSegment())
+	blocks, err := c.FS().Blocks(path)
+	if err != nil || len(blocks) == 0 || blocks[0].Size < 128 {
+		// The victim may hold no data at this scale; corrupt the
+		// survivor's log instead.
+		path = c.Server(survivor).Log().SegmentPath(c.Server(survivor).Log().ActiveSegment())
+		if blocks, err = c.FS().Blocks(path); err != nil || len(blocks) == 0 {
+			t.Fatalf("no populated segment to corrupt: %v", err)
+		}
+	}
+	if err := c.FS().CorruptBlockReplica(path, 0, blocks[0].Replicas[0], 64); err != nil {
+		t.Fatalf("CorruptBlockReplica: %v", err)
+	}
+	if _, err := c.ScrubAll(); err != nil {
+		t.Fatalf("ScrubAll: %v", err)
+	}
+	// Freeze one tablet as a migration cutover would: writes bounce
+	// with the retryable frozen error and spin the unified
+	// refresh-and-retry loop (epoch is unchanged, so no silent cache
+	// refresh short-circuits it) until the attempt budget runs out.
+	router, err := c.Router("t")
+	if err != nil {
+		t.Fatalf("Router: %v", err)
+	}
+	frozenKey := keys[0]
+	tab, ok := router.Lookup(frozenKey)
+	if !ok {
+		t.Fatalf("no tablet for %q", frozenKey)
+	}
+	owner := c.Assignments()[tab.ID]
+	if err := c.Server(owner).FreezeTablet(tab.ID); err != nil {
+		t.Fatalf("FreezeTablet: %v", err)
+	}
+	if err := cl.Put(bg, "t", "g", frozenKey, []byte("w")); err == nil {
+		t.Fatal("Put to frozen tablet succeeded without cutover")
+	}
+	if err := c.Server(owner).UnfreezeTablet(tab.ID); err != nil {
+		t.Fatalf("UnfreezeTablet: %v", err)
+	}
+	if err := cl.Put(bg, "t", "g", frozenKey, []byte("w")); err != nil {
+		t.Fatalf("Put after unfreeze: %v", err)
+	}
+	csnap := map[string]float64{}
+	seen := map[string]bool{}
+	for _, m := range c.Metrics().Snapshot() {
+		csnap[m.Name] += m.Value
+		seen[m.Name] = true
+	}
+	if csnap["logbase_scrub_repaired_total"] < 1 {
+		t.Errorf("logbase_scrub_repaired_total = %v after repair, want >= 1", csnap["logbase_scrub_repaired_total"])
+	}
+	if csnap["logbase_retry_attempts_total"] < 1 {
+		t.Errorf("logbase_retry_attempts_total = %v after failover reroute, want >= 1", csnap["logbase_retry_attempts_total"])
+	}
+	if !seen["logbase_breaker_open"] {
+		t.Error("logbase_breaker_open gauge not registered")
 	}
 }
